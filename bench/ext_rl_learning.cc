@@ -1,0 +1,50 @@
+// Extension: the RL partitioner's learning curve — SLO violations and mean
+// reward on the measured pass as a function of training epochs. Shows the
+// division of labor inside PP-M: the SLO guard bounds the damage from epoch
+// zero, and the learned policy then takes over the anticipation (violations
+// and needless reservation both fall as training proceeds).
+#include "bench/harness.h"
+#include "common/csv.h"
+#include "core/mtat_policy.h"
+
+using namespace mtat;
+using namespace mtat::bench;
+
+int main() {
+  const Scale sc = scale_from_env();
+  banner("ext_rl_learning", "extension (PP-M learning curve; Algorithm 1 in training)");
+  const LCConfig redis = scaled_lc_config(redis_config(), sc);
+  const double peak = fmem_all_peak_krps(sc, redis);
+  CsvWriter csv("ext_rl_learning.csv",
+                {"epochs", "viol_pct", "p99_ms", "mean_reward", "mean_lc_share",
+                 "be_tput"});
+  std::printf("%7s %9s %10s %12s %14s %13s\n", "epochs", "viol%", "P99(ms)", "mean reward",
+              "mean LC share", "BE tput");
+  for (int epochs : {0, 1, 2, 4, 8}) {
+    SimConfig cfg = make_sim_config(sc, redis, PolicyKind::kMtatFull);
+    ColocationSim sim(cfg);
+    train_if_mtat(sim, epochs, peak);
+    const LoadPattern pattern = LoadPattern::figure7(peak * 1000.0);
+    sim.run(pattern, pattern.total_length());
+    const SimResult r = sim.result();
+    auto& mtat = dynamic_cast<MtatPolicy&>(sim.policy());
+    const auto& rewards = mtat.ppm().reward_history();
+    // Mean reward over the measured pass only (the trailing 240 intervals).
+    double mean_reward = 0;
+    const std::size_t n = std::min<std::size_t>(rewards.size(), 240);
+    for (std::size_t i = rewards.size() - n; i < rewards.size(); ++i)
+      mean_reward += rewards[i] / static_cast<double>(n);
+    double mean_share = 0;
+    for (const auto& tp : r.series) mean_share += tp.lc_fmem_share;
+    mean_share /= static_cast<double>(r.series.size());
+    std::printf("%7d %8.1f%% %10.2f %12.3f %14.3f %13.3e\n", epochs,
+                100.0 * r.slo_violation_rate, r.lc_p99_ms, mean_reward, mean_share,
+                r.be_total_throughput);
+    csv.row({static_cast<double>(epochs), 100.0 * r.slo_violation_rate, r.lc_p99_ms,
+             mean_reward, mean_share, r.be_total_throughput});
+  }
+  std::printf("\nexpected: epoch 0 leans on the guard (compliant but reactive, larger\n"
+              "reservations); training raises mean reward by shedding FMem the SLO\n"
+              "doesn't need and pre-positioning for the surges it does.\n");
+  return 0;
+}

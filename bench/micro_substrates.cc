@@ -1,0 +1,202 @@
+// Google-benchmark microbenchmarks of the substrates: the per-operation costs
+// behind the simulation's performance envelope (histogram ops, placement
+// primitives, telemetry, storage engines, kernels, RL, SA, queueing).
+#include <benchmark/benchmark.h>
+
+#include "common/alias_sampler.h"
+#include "common/latency_histogram.h"
+#include "common/rng.h"
+#include "core/sa_partitioner.h"
+#include "loadgen/queue_sim.h"
+#include "mem/migration_engine.h"
+#include "rl/sac.h"
+#include "telemetry/page_hotness.h"
+#include "workloads/graph/graph_layout.h"
+#include "workloads/graph/kernels.h"
+#include "workloads/kv/btree_store.h"
+#include "workloads/kv/hash_store.h"
+#include "workloads/xsbench/xsbench.h"
+
+namespace mtat {
+namespace {
+
+void BM_LatencyHistogramRecord(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (auto _ : state) h.record(rng.next_u64() >> 20);
+}
+BENCHMARK(BM_LatencyHistogramRecord);
+
+void BM_LatencyHistogramP99(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) h.record(rng.next_u64() >> 20);
+  for (auto _ : state) benchmark::DoNotOptimize(h.percentile(99.0));
+}
+BENCHMARK(BM_LatencyHistogramP99);
+
+void BM_AliasSamplerDraw(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> w(1 << 16);
+  for (auto& v : w) v = rng.next_double();
+  AliasSampler s(w);
+  for (auto _ : state) benchmark::DoNotOptimize(s(rng));
+}
+BENCHMARK(BM_AliasSamplerDraw);
+
+void BM_TieredMemoryMigrate(benchmark::State& state) {
+  TieredMemory::Config c;
+  c.fmem_pages = 1 << 16;
+  c.smem_pages = 1 << 18;
+  TieredMemory mem(c);
+  mem.allocate(0, 1 << 17, AllocPolicy::kFMemFirst);
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto p = static_cast<PageId>(rng.next_below(mem.page_count()));
+    mem.migrate(p, rng.next_bool(0.5) ? Tier::kFMem : Tier::kSMem);
+  }
+}
+BENCHMARK(BM_TieredMemoryMigrate);
+
+void BM_PageHotnessRecord(benchmark::State& state) {
+  TieredMemory::Config c;
+  c.fmem_pages = 1 << 16;
+  c.smem_pages = 1 << 18;
+  TieredMemory mem(c);
+  mem.allocate(0, 1 << 17, AllocPolicy::kFMemFirst);
+  PageHotness h(mem);
+  h.seed_allocated_pages();
+  Rng rng(5);
+  for (auto _ : state)
+    h.record_access(0, static_cast<PageId>(rng.next_below(1 << 17)));
+}
+BENCHMARK(BM_PageHotnessRecord);
+
+void BM_PageHotnessAge(benchmark::State& state) {
+  TieredMemory::Config c;
+  c.fmem_pages = 1 << 16;
+  c.smem_pages = 1 << 18;
+  TieredMemory mem(c);
+  mem.allocate(0, 1 << 17, AllocPolicy::kFMemFirst);
+  PageHotness h(mem);
+  h.seed_allocated_pages();
+  Rng rng(6);
+  for (int i = 0; i < 1 << 18; ++i)
+    h.record_access(0, static_cast<PageId>(rng.next_below(1 << 17)));
+  for (auto _ : state) h.age();
+}
+BENCHMARK(BM_PageHotnessAge);
+
+void BM_HashStoreGet(benchmark::State& state) {
+  TieredMemory::Config c;
+  c.fmem_pages = 1;
+  c.smem_pages = 1 << 18;
+  TieredMemory mem(c);
+  HashStore::Config hc;
+  hc.n_records = 100'000;
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly, 1024);
+  HashStore store(space, hc);
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(store.get(rng.next_below(hc.n_records)));
+}
+BENCHMARK(BM_HashStoreGet);
+
+void BM_BTreeStoreGet(benchmark::State& state) {
+  TieredMemory::Config c;
+  c.fmem_pages = 1;
+  c.smem_pages = 1 << 18;
+  TieredMemory mem(c);
+  BTreeStore::Config bc;
+  bc.n_records = 100'000;
+  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly, 1024);
+  BTreeStore store(space, bc);
+  Rng rng(8);
+  for (auto _ : state) benchmark::DoNotOptimize(store.get(rng.next_below(bc.n_records)));
+}
+BENCHMARK(BM_BTreeStoreGet);
+
+void BM_BfsScale12(benchmark::State& state) {
+  Rng rng(9);
+  const Graph g = make_uniform_graph(1 << 12, 16 << 12, rng);
+  TieredMemory::Config c;
+  c.fmem_pages = 1;
+  c.smem_pages = 1 << 18;
+  TieredMemory mem(c);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly, 1 << 20);
+  GraphLayout layout(space, g);
+  std::vector<std::uint64_t> dist;
+  for (auto _ : state) benchmark::DoNotOptimize(bfs(layout, 0, dist).edges_processed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BfsScale12);
+
+void BM_XsbenchLookup(benchmark::State& state) {
+  TieredMemory::Config c;
+  c.fmem_pages = 1;
+  c.smem_pages = 1 << 18;
+  TieredMemory mem(c);
+  XSBenchKernel::Config xc;
+  AddressSpace space(mem, 0, XSBenchKernel::required_bytes(xc), AllocPolicy::kSMemOnly,
+                     1 << 20);
+  XSBenchKernel kernel(space, xc, 10);
+  for (auto _ : state) benchmark::DoNotOptimize(kernel.lookup());
+}
+BENCHMARK(BM_XsbenchLookup);
+
+void BM_SacInference(benchmark::State& state) {
+  SacAgent agent{SacConfig{}};
+  const std::vector<double> s = {0.5, 0.5, 0.5};
+  for (auto _ : state) benchmark::DoNotOptimize(agent.act(s, true));
+}
+BENCHMARK(BM_SacInference);
+
+void BM_SacUpdate(benchmark::State& state) {
+  SacAgent agent{SacConfig{}};
+  Rng rng(11);
+  for (int i = 0; i < 256; ++i) {
+    const std::vector<double> s = {rng.next_double(), rng.next_double(), rng.next_double()};
+    agent.observe(s, {rng.next_double() * 2 - 1}, rng.next_double(), s, false);
+  }
+  for (auto _ : state) agent.update(1);
+}
+BENCHMARK(BM_SacUpdate);
+
+void BM_SaPartitionSearch(benchmark::State& state) {
+  Rng rng(12);
+  std::vector<BEPerfModel> models;
+  for (int i = 0; i < 4; ++i) {
+    const double slope = 1e-5 * (i + 1);
+    models.push_back({[slope](std::uint64_t p) { return 0.4 + slope * static_cast<double>(p); },
+                      1 << 16});
+  }
+  SAOptions opt;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(anneal_be_partition(models, 1 << 15, opt, rng).objective);
+}
+BENCHMARK(BM_SaPartitionSearch);
+
+void BM_QueueSimSecond(benchmark::State& state) {
+  TieredMemory::Config c;
+  c.fmem_pages = 1;
+  c.smem_pages = 1 << 17;
+  TieredMemory mem(c);
+  LCConfig lc = redis_config();
+  lc.n_records = 50'000;
+  LCWorkload wl(mem, 0, lc, AllocPolicy::kSMemOnly, 13);
+  QueueSim q(wl, seconds(1), 14);
+  const LoadPattern pat = LoadPattern::constant(4000.0);
+  q.set_pattern(&pat, 0);
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += seconds(1);
+    q.run_until(t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(q.completed()));
+}
+BENCHMARK(BM_QueueSimSecond);
+
+}  // namespace
+}  // namespace mtat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Graph analytics on tiered memory, using the substrate as a standalone
+// library: generate an R-MAT graph, lay it out over a simulated two-tier
+// memory, run BFS / delta-stepping SSSP / PageRank, and show how each
+// kernel's memory time responds to the FMem fraction — the raw material
+// behind the BE throughput curves MTAT's SA partitioner optimizes over.
+//
+//   ./graph_analytics [scale]      (default scale 14: 16k vertices)
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/graph/graph_layout.h"
+#include "workloads/graph/kernels.h"
+
+using namespace mtat;
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 14;
+  Rng rng(2024);
+  std::printf("generating R-MAT graph, scale %d...\n", scale);
+  const Graph g = make_rmat_graph(scale, 16, rng);
+  std::printf("  %llu vertices, %llu directed edges, footprint %.1f MiB\n",
+              (unsigned long long)g.num_vertices(), (unsigned long long)g.num_edges(),
+              static_cast<double>(GraphLayout::required_bytes(g)) / (1024.0 * 1024.0));
+
+  std::printf("\n%8s %14s %14s %14s\n", "FMem", "BFS", "SSSP", "PageRank x3");
+  for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    // A fresh two-tier memory sized so `fraction` of the footprint fits FMem.
+    const std::uint64_t pages = bytes_to_pages(GraphLayout::required_bytes(g));
+    TieredMemory::Config mc;
+    mc.fmem_pages = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(fraction * pages));
+    mc.smem_pages = pages + 16;
+    TieredMemory mem(mc);
+    AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kFMemFirst,
+                       /*sample_period=*/1 << 20);
+    GraphLayout layout(space, g);
+
+    std::vector<std::uint64_t> dist;
+    std::vector<double> rank;
+    const KernelStats b = bfs(layout, 0, dist);
+    const KernelStats s = sssp(layout, 0, /*delta=*/8, dist);
+    const KernelStats p = pagerank(layout, 3, rank);
+    std::printf("%7.0f%% %11.2f ms %11.2f ms %11.2f ms\n", fraction * 100,
+                static_cast<double>(b.memory_latency) / 1e6,
+                static_cast<double>(s.memory_latency) / 1e6,
+                static_cast<double>(p.memory_latency) / 1e6);
+  }
+  std::printf("\nmemory time shrinks monotonically with the FMem share; the ratio\n"
+              "between the 0%% and 100%% rows is each kernel's tiering sensitivity.\n");
+  return 0;
+}

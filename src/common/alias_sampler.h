@@ -1,0 +1,69 @@
+// Walker alias method: O(1) sampling from an arbitrary discrete distribution.
+//
+// Used by the BE workload engine to draw telemetry samples from a kernel's
+// page-access profile at simulation time (hundreds of thousands of draws per
+// simulated second, so O(log n) inversion sampling would dominate the run).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mtat {
+
+class AliasSampler {
+ public:
+  /// Builds the alias table from (unnormalized, non-negative) weights.
+  /// At least one weight must be positive.
+  explicit AliasSampler(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    if (n == 0) throw std::invalid_argument("AliasSampler: empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+      total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("AliasSampler: all weights zero");
+    prob_.resize(n);
+    alias_.resize(n);
+    // Scale to mean 1 and split into under/over-full columns.
+    std::vector<double> scaled(n);
+    std::vector<std::uint32_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint32_t s = small.back();
+      small.pop_back();
+      const std::uint32_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] -= 1.0 - scaled[s];
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (std::uint32_t i : large) prob_[i] = 1.0;
+    for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+    for (std::size_t i = 0; i < n; ++i)
+      if (prob_[i] >= 1.0) alias_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  /// Draw one index distributed according to the weights.
+  std::uint32_t operator()(Rng& rng) const {
+    const std::uint32_t col = static_cast<std::uint32_t>(rng.next_below(prob_.size()));
+    return rng.next_double() < prob_[col] ? col : alias_[col];
+  }
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace mtat

@@ -1,0 +1,70 @@
+// Minimal CSV emitter used by the benchmark harness to dump the data series
+// behind each reproduced figure/table next to the binary's stdout report.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mtat {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+      : out_(path), ncols_(columns.size()) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    write_strings(columns);
+  }
+
+  /// Writes one row of numeric cells. Must match the header width.
+  void row(const std::vector<double>& cells) {
+    if (cells.size() != ncols_) throw std::invalid_argument("CsvWriter: column count mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << format(cells[i]);
+    }
+    out_ << '\n';
+  }
+
+  /// Writes one row whose first cell is a label and the rest numeric.
+  void row(const std::string& label, const std::vector<double>& cells) {
+    row(std::vector<std::string>{label}, cells);
+  }
+
+  /// Writes one row with several leading label cells, then numeric cells.
+  void row(const std::vector<std::string>& labels, const std::vector<double>& cells) {
+    if (labels.size() + cells.size() != ncols_)
+      throw std::invalid_argument("CsvWriter: column count mismatch");
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << labels[i];
+    }
+    for (double c : cells) out_ << ',' << format(c);
+    out_ << '\n';
+  }
+
+ private:
+  static std::string format(double v) {
+    std::ostringstream os;
+    os.precision(10);
+    os << v;
+    return os.str();
+  }
+
+  void write_strings(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+  std::size_t ncols_;
+};
+
+}  // namespace mtat

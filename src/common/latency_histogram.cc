@@ -1,0 +1,50 @@
+#include "common/latency_histogram.h"
+
+namespace mtat {
+
+Duration LatencyHistogram::value_for(std::size_t idx) {
+  if (idx < kExactValues) return static_cast<Duration>(idx);
+  const std::size_t rel = idx - kExactValues;
+  const int octave = static_cast<int>(rel / kBucketsPerOctave);  // msb - 6
+  const std::uint64_t sub = rel % kBucketsPerOctave;
+  const int msb = octave + 6;
+  const Duration lower = (Duration{1} << msb) + (sub << (msb - 5));
+  return lower + (Duration{1} << (msb - 5)) - 1;
+}
+
+Duration LatencyHistogram::percentile(double pct) const {
+  if (total_ == 0) return 0;
+  if (pct <= 0.0) return min_;
+  if (pct >= 100.0) return max_;
+  // Rank of the requested percentile (1-based, ceil), per HdrHistogram.
+  const auto target = static_cast<std::uint64_t>(pct / 100.0 * static_cast<double>(total_) + 0.9999);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      const Duration v = value_for(i);
+      return v > max_ ? max_ : v;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.total_ > 0) {
+    if (total_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+}
+
+void LatencyHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0;
+  max_ = 0;
+  min_ = 0;
+}
+
+}  // namespace mtat

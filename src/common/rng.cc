@@ -1,0 +1,35 @@
+#include "common/rng.h"
+
+#include <stdexcept>
+
+namespace mtat {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfianGenerator: n must be > 0");
+  if (theta <= 0.0 || theta >= 1.0)
+    throw std::invalid_argument("ZipfianGenerator: theta must be in (0, 1)");
+  alpha_ = 1.0 / (1.0 - theta);
+  zetan_ = zeta(n, theta);
+  const double zeta2 = zeta(2, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::operator()(Rng& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto v = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace mtat

@@ -1,0 +1,92 @@
+// Small statistics helpers: running mean/variance (Welford), EWMA, and a
+// fixed-capacity sliding window used by controllers that react to recent
+// telemetry.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+namespace mtat {
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average. alpha is the weight of the newest
+/// sample; the first sample initializes the average directly.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) throw std::invalid_argument("Ewma: alpha in (0,1]");
+  }
+
+  void add(double x) {
+    value_ = primed_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    primed_ = true;
+  }
+
+  bool primed() const { return primed_; }
+  double value() const { return value_; }
+  void reset() { primed_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Sliding window of the most recent N samples with O(1) mean queries.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("SlidingWindow: capacity > 0");
+  }
+
+  void add(double x) {
+    window_.push_back(x);
+    sum_ += x;
+    if (window_.size() > capacity_) {
+      sum_ -= window_.front();
+      window_.pop_front();
+    }
+  }
+
+  std::size_t size() const { return window_.size(); }
+  bool full() const { return window_.size() == capacity_; }
+  double mean() const { return window_.empty() ? 0.0 : sum_ / static_cast<double>(window_.size()); }
+  double back() const { return window_.back(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+}  // namespace mtat

@@ -1,0 +1,30 @@
+// Core identifier types shared across the MTAT simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mtat {
+
+/// Dense index of a simulated physical page within the TieredMemory page array.
+using PageId = std::uint32_t;
+constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+/// Identifies a co-located workload (tenant). Workload 0 is conventionally the
+/// LC workload in experiments, but nothing in the memory substrate assumes it.
+using WorkloadId = std::uint16_t;
+constexpr WorkloadId kInvalidWorkload = std::numeric_limits<WorkloadId>::max();
+
+/// Which memory tier a page currently resides in.
+enum class Tier : std::uint8_t {
+  kFMem = 0,  ///< fast tier (local DRAM in the paper; 73 ns)
+  kSMem = 1,  ///< slow tier (emulated CXL in the paper; 202 ns)
+};
+
+constexpr Tier other_tier(Tier t) { return t == Tier::kFMem ? Tier::kSMem : Tier::kFMem; }
+
+/// Read/write discriminator for sampled accesses (the paper samples loads via
+/// MEM_LOAD_L3_MISS_RETIRED.* and stores via MEM_INST_RETIRED.ALL_STORES).
+enum class AccessKind : std::uint8_t { kRead = 0, kWrite = 1 };
+
+}  // namespace mtat

@@ -1,0 +1,48 @@
+// Time and size units used throughout the MTAT simulator.
+//
+// Simulated time is an integer count of nanoseconds (`SimTime`). All modules
+// share this timebase; there is deliberately no wall-clock anywhere in the
+// simulation so experiments are deterministic and arbitrarily compressible.
+#pragma once
+
+#include <cstdint>
+
+namespace mtat {
+
+/// Simulated time in nanoseconds since experiment start.
+using SimTime = std::uint64_t;
+/// A span of simulated time, in nanoseconds.
+using Duration = std::uint64_t;
+
+namespace time_literals {
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+}  // namespace time_literals
+
+constexpr Duration nanoseconds(std::uint64_t n) { return n; }
+constexpr Duration microseconds(std::uint64_t n) { return n * time_literals::kMicrosecond; }
+constexpr Duration milliseconds(std::uint64_t n) { return n * time_literals::kMillisecond; }
+constexpr Duration seconds(std::uint64_t n) { return n * time_literals::kSecond; }
+
+/// Convert a simulated duration to (floating) seconds, for rate math.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(time_literals::kSecond);
+}
+
+/// Byte-count type for memory capacities.
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator""_KiB(unsigned long long n) { return n * 1024ull; }
+constexpr Bytes operator""_MiB(unsigned long long n) { return n * 1024ull * 1024ull; }
+constexpr Bytes operator""_GiB(unsigned long long n) { return n * 1024ull * 1024ull * 1024ull; }
+
+/// The simulator's page size. 4 KiB mirrors the paper's base-page management
+/// (the MEMTIS huge-page split/collapse machinery is out of scope; see DESIGN.md).
+constexpr Bytes kPageSize = 4096;
+
+constexpr std::uint64_t bytes_to_pages(Bytes b) { return (b + kPageSize - 1) / kPageSize; }
+constexpr Bytes pages_to_bytes(std::uint64_t pages) { return pages * kPageSize; }
+
+}  // namespace mtat

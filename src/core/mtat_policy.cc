@@ -1,0 +1,49 @@
+#include "core/mtat_policy.h"
+
+namespace mtat {
+
+MtatPolicy::MtatPolicy(const PolicyContext& ctx, Duration interval, Duration lc_slo,
+                       std::vector<BEPerfModel> be_models, Options opt, SacAgent* shared_agent)
+    : ctx_(ctx), full_(opt.full) {
+  opt.ppe.isolate_be = full_;
+  opt.ppm.manage_be = full_;
+  for (std::size_t i = 0; i < ctx.tenants.size(); ++i)
+    if (ctx.tenants[i].is_lc) lc_idx_ = i;
+  ppe_ = std::make_unique<PartitionEnforcer>(ctx, opt.ppe);
+  // Eq. 1 bounds |alpha| by the bandwidth M/2t; moving more than the whole
+  // FMem in one interval is additionally meaningless, so cap there too.
+  const std::uint64_t max_alpha = std::min(ctx.engine->max_pages_per_direction(interval),
+                                           ctx.mem->capacity(Tier::kFMem));
+  ppm_ = std::make_unique<PartitionPolicyMaker>(ctx.mem->capacity(Tier::kFMem), max_alpha,
+                                                lc_slo, std::move(be_models), opt.ppm,
+                                                shared_agent);
+}
+
+std::uint64_t MtatPolicy::lc_quota() const { return ppe_->quota(lc_idx_); }
+
+void MtatPolicy::on_tick(SimTime, Duration) { ppe_->on_tick(); }
+
+void MtatPolicy::on_interval(SimTime, Duration, Duration lc_p99) {
+  const TenantInfo& lc = ctx_.tenants[lc_idx_];
+  const IntervalCounters counters = ctx_.sampler->collect(lc.id);
+  const double usage = ctx_.mem->fmem_usage_ratio(lc.id);
+  const auto decision =
+      ppm_->decide(ppe_->quota(lc_idx_), usage, counters, lc_p99);
+
+  // Assemble the quota plan in tenant order: LC slot from the RL decision,
+  // BE slots from the SA split (Full) or left to competition (LC-Only).
+  std::vector<std::uint64_t> quotas(ctx_.tenants.size(), 0);
+  quotas[lc_idx_] = decision.lc_pages;
+  if (full_) {
+    std::size_t be_slot = 0;
+    for (std::size_t i = 0; i < ctx_.tenants.size(); ++i) {
+      if (i == lc_idx_) continue;
+      quotas[i] = be_slot < decision.be_pages.size() ? decision.be_pages[be_slot] : 0;
+      ++be_slot;
+    }
+  }
+  ppe_->set_plan(quotas);
+  ppe_->age_histograms();
+}
+
+}  // namespace mtat

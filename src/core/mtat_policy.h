@@ -1,0 +1,53 @@
+// The MTAT framework (paper §3): PP-M decisions enforced by PP-E, behind the
+// common TieringPolicy interface so the experiment harness can swap it
+// against the baselines.
+//
+// Variants (paper §5 "Comparisons"):
+//  * MTAT (Full)    — RL-sized LC reservation + SA fairness split across BE
+//                     partitions, all isolated by PP-E.
+//  * MTAT (LC Only) — RL-sized LC reservation only; BE workloads compete for
+//                     the residual FMem under frequency-based management.
+#pragma once
+
+#include <memory>
+
+#include "core/ppe.h"
+#include "core/ppm.h"
+#include "policy/policy.h"
+
+namespace mtat {
+
+class MtatPolicy : public TieringPolicy {
+ public:
+  struct Options {
+    PartitionEnforcer::Options ppe;
+    PartitionPolicyMaker::Options ppm;
+    bool full = true;  ///< Full vs LC-Only (overrides ppe.isolate_be / ppm.manage_be)
+  };
+
+  /// `be_models` are the offline profiles for the BE tenants, in the same
+  /// order the BE tenants appear in ctx.tenants. `lc_slo` is the LC SLO the
+  /// reward checks against. `interval` is the partitioning interval (sets the
+  /// Eq. 1 action bound via the engine's bandwidth). A shared SacAgent can be
+  /// passed to persist learning across simulation phases.
+  MtatPolicy(const PolicyContext& ctx, Duration interval, Duration lc_slo,
+             std::vector<BEPerfModel> be_models, Options opt, SacAgent* shared_agent = nullptr);
+
+  std::string name() const override { return full_ ? "mtat_full" : "mtat_lc_only"; }
+  void on_tick(SimTime now, Duration dt) override;
+  void on_interval(SimTime now, Duration interval, Duration lc_p99) override;
+
+  PartitionPolicyMaker& ppm() { return *ppm_; }
+  PartitionEnforcer& ppe() { return *ppe_; }
+  /// Current LC reservation in pages (for the Figure 5 allocation series).
+  std::uint64_t lc_quota() const;
+
+ private:
+  PolicyContext ctx_;
+  bool full_;
+  std::size_t lc_idx_ = 0;
+  std::unique_ptr<PartitionEnforcer> ppe_;
+  std::unique_ptr<PartitionPolicyMaker> ppm_;
+};
+
+}  // namespace mtat

@@ -1,0 +1,112 @@
+#include "core/multi_lc_mtat.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mtat {
+
+MultiLcMtatPolicy::MultiLcMtatPolicy(const PolicyContext& ctx, Duration interval,
+                                     std::vector<LcSpec> lcs,
+                                     std::vector<BEPerfModel> be_models, Options opt)
+    : ctx_(ctx),
+      lcs_(std::move(lcs)),
+      be_models_(std::move(be_models)),
+      opt_(opt),
+      rng_(opt.ppm.seed ^ 0x9E3779B9u) {
+  if (lcs_.empty()) throw std::invalid_argument("MultiLcMtatPolicy: no LC tenants");
+  for (const LcSpec& lc : lcs_)
+    if (lc.tenant_index >= ctx.tenants.size())
+      throw std::invalid_argument("MultiLcMtatPolicy: bad tenant index");
+
+  // PP-E keeps Algorithm 3's LC-first priority for the *first* LC tenant;
+  // the others are enforced via quotas like any partitioned tenant.
+  PolicyContext ppe_ctx = ctx;
+  for (std::size_t i = 0; i < ppe_ctx.tenants.size(); ++i)
+    ppe_ctx.tenants[i].is_lc = i == lcs_.front().tenant_index;
+  opt_.ppe.isolate_be = true;
+  ppe_ = std::make_unique<PartitionEnforcer>(ppe_ctx, opt_.ppe);
+
+  // One PP-M per LC tenant: own agent, own SLO, no BE management (the BE
+  // split happens once below over whatever all the reservations leave).
+  const std::uint64_t cap = ctx.mem->capacity(Tier::kFMem);
+  const std::uint64_t max_alpha =
+      std::min(ctx.engine->max_pages_per_direction(interval), cap);
+  for (std::size_t i = 0; i < lcs_.size(); ++i) {
+    PartitionPolicyMaker::Options po = opt_.ppm;
+    po.manage_be = false;
+    po.seed = opt_.ppm.seed + i * 1000003;
+    po.sac.seed = opt_.ppm.sac.seed + i * 7919;
+    ppm_.push_back(
+        std::make_unique<PartitionPolicyMaker>(cap, max_alpha, lcs_[i].slo, std::vector<BEPerfModel>{}, po));
+  }
+  pending_p99_.assign(lcs_.size(), 0);
+}
+
+void MultiLcMtatPolicy::on_tick(SimTime, Duration) { ppe_->on_tick(); }
+
+void MultiLcMtatPolicy::report_lc_p99(std::size_t lc_position, Duration p99) {
+  pending_p99_.at(lc_position) = p99;
+}
+
+std::uint64_t MultiLcMtatPolicy::lc_quota(std::size_t lc_position) const {
+  return ppe_->quota(lcs_.at(lc_position).tenant_index);
+}
+
+void MultiLcMtatPolicy::on_interval(SimTime, Duration, Duration lc_p99) {
+  pending_p99_[0] = lc_p99;
+
+  // 1. Each LC agent sizes its own reservation against the full capacity.
+  const std::uint64_t cap = ctx_.mem->capacity(Tier::kFMem);
+  std::vector<std::uint64_t> want(lcs_.size());
+  for (std::size_t i = 0; i < lcs_.size(); ++i) {
+    const TenantInfo& t = ctx_.tenants[lcs_[i].tenant_index];
+    const IntervalCounters counters = ctx_.sampler->collect(t.id);
+    const double usage = ctx_.mem->fmem_usage_ratio(t.id);
+    want[i] = ppm_[i]
+                  ->decide(ppe_->quota(lcs_[i].tenant_index), usage, counters,
+                           pending_p99_[i])
+                  .lc_pages;
+  }
+
+  // 2. Proportional scale-down when the combined LC demand exceeds capacity —
+  //    every SLO-holder gives up the same fraction rather than the last one
+  //    absorbing the whole shortfall.
+  std::uint64_t total_lc = 0;
+  for (std::uint64_t w : want) total_lc += w;
+  if (total_lc > cap) {
+    const double scale = static_cast<double>(cap) / static_cast<double>(total_lc);
+    total_lc = 0;
+    for (auto& w : want) {
+      w = static_cast<std::uint64_t>(static_cast<double>(w) * scale);
+      total_lc += w;
+    }
+  }
+
+  // 3. Fairness split of the residual across BE tenants (Algorithm 2).
+  std::vector<std::uint64_t> be_alloc;
+  if (!be_models_.empty()) {
+    const SAResult sa =
+        anneal_be_partition(be_models_, cap - total_lc, opt_.ppm.sa, rng_);
+    be_alloc = sa.allocation;
+  }
+
+  // 4. Assemble the quota plan in tenant order.
+  std::vector<std::uint64_t> quotas(ctx_.tenants.size(), 0);
+  std::vector<bool> is_lc_slot(ctx_.tenants.size(), false);
+  for (std::size_t i = 0; i < lcs_.size(); ++i) {
+    quotas[lcs_[i].tenant_index] = want[i];
+    is_lc_slot[lcs_[i].tenant_index] = true;
+  }
+  std::size_t be_slot = 0;
+  for (std::size_t i = 0; i < quotas.size(); ++i) {
+    if (is_lc_slot[i]) continue;
+    quotas[i] = be_slot < be_alloc.size() ? be_alloc[be_slot] : 0;
+    ++be_slot;
+  }
+  ppe_->set_plan(quotas);
+  ppe_->age_histograms();
+
+  for (auto& p : pending_p99_) p = 0;
+}
+
+}  // namespace mtat

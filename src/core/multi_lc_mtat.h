@@ -1,0 +1,72 @@
+// Multi-LC MTAT — the paper's deferred extension (§7 discusses integrating
+// MTAT with multi-service LC management à la PARTIES/CLITE; the paper itself
+// evaluates a single LC tenant).
+//
+// Generalization: every latency-critical tenant gets its own PP-M instance
+// (its own SAC agent, SLO, guard state), each sizing a reservation against
+// the shared FMem. Reservations are granted in tenant order with
+// proportional scale-down if the sum would exceed capacity; the residual is
+// split across BE tenants with the same Algorithm-2 fairness search; one
+// shared PP-E enforces the combined plan (the first LC tenant keeps
+// Algorithm 3's LC-first slice priority; further LC tenants are enforced
+// ahead of BE by quota but share the slice budget).
+//
+// Drivers feed per-LC interval P99s through report_lc_p99() before each
+// on_interval() — the single-P99 TieringPolicy hook only carries the primary
+// tenant's latency.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/ppe.h"
+#include "core/ppm.h"
+#include "policy/policy.h"
+
+namespace mtat {
+
+class MultiLcMtatPolicy : public TieringPolicy {
+ public:
+  struct LcSpec {
+    std::size_t tenant_index = 0;  ///< position in ctx.tenants
+    Duration slo = milliseconds(20);
+  };
+
+  struct Options {
+    PartitionEnforcer::Options ppe;
+    PartitionPolicyMaker::Options ppm;  ///< shared hyperparameters per agent
+  };
+
+  /// `lcs` lists every latency-critical tenant (the corresponding
+  /// ctx.tenants entries should have is_lc set for the first and may for the
+  /// rest); `be_models` covers the remaining tenants in ctx order.
+  MultiLcMtatPolicy(const PolicyContext& ctx, Duration interval, std::vector<LcSpec> lcs,
+                    std::vector<BEPerfModel> be_models, Options opt);
+
+  std::string name() const override { return "mtat_multi_lc"; }
+  void on_tick(SimTime now, Duration dt) override;
+
+  /// Deliver tenant `lc`'s interval P99 ahead of the next on_interval().
+  void report_lc_p99(std::size_t lc_position, Duration p99);
+
+  /// `lc_p99` applies to the first LC tenant (positional shortcut so the
+  /// class still works behind the single-LC TieringPolicy interface).
+  void on_interval(SimTime now, Duration interval, Duration lc_p99) override;
+
+  std::uint64_t lc_quota(std::size_t lc_position) const;
+  PartitionEnforcer& ppe() { return *ppe_; }
+  PartitionPolicyMaker& ppm(std::size_t lc_position) { return *ppm_[lc_position]; }
+  std::size_t lc_count() const { return lcs_.size(); }
+
+ private:
+  PolicyContext ctx_;
+  std::vector<LcSpec> lcs_;
+  std::vector<BEPerfModel> be_models_;
+  Options opt_;
+  std::unique_ptr<PartitionEnforcer> ppe_;
+  std::vector<std::unique_ptr<PartitionPolicyMaker>> ppm_;
+  std::vector<Duration> pending_p99_;
+  Rng rng_;
+};
+
+}  // namespace mtat

@@ -1,0 +1,98 @@
+#include "core/sa_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mtat {
+namespace {
+
+double objective(const std::vector<BEPerfModel>& models,
+                 const std::vector<std::uint64_t>& alloc) {
+  // Primary objective: max-min NP (§3.2.2). The epsilon-weighted mean breaks
+  // ties so FMem is never parked on a workload whose curve has saturated —
+  // without it, moves away from a saturated workload change nothing and the
+  // search can return wasteful allocations.
+  double min_np = 1.0;
+  double sum_np = 0.0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const double np = models[i].np_at_pages(alloc[i]);
+    min_np = std::min(min_np, np);
+    sum_np += np;
+  }
+  return min_np + 1e-6 * sum_np;
+}
+
+}  // namespace
+
+SAResult anneal_partition(const std::function<double(const std::vector<std::uint64_t>&)>& p,
+                          const std::vector<std::uint64_t>& caps, std::uint64_t total_pages,
+                          const SAOptions& opt, Rng& rng) {
+  if (caps.empty()) throw std::invalid_argument("anneal_partition: no workloads");
+  if (opt.unit_pages == 0) throw std::invalid_argument("anneal_partition: zero unit");
+  const std::size_t n = caps.size();
+
+  // Even initial split (Algorithm 2 line 1), remainder to the front, then
+  // clamped to the caps with the overflow pushed to slots with headroom.
+  std::vector<std::uint64_t> alloc(n, total_pages / n);
+  for (std::size_t i = 0; i < total_pages % n; ++i) alloc[i]++;
+  std::uint64_t overflow = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (alloc[i] > caps[i]) {
+      overflow += alloc[i] - caps[i];
+      alloc[i] = caps[i];
+    }
+  for (std::size_t i = 0; i < n && overflow > 0; ++i) {
+    const std::uint64_t give = std::min(overflow, caps[i] - alloc[i]);
+    alloc[i] += give;
+    overflow -= give;
+  }
+  if (overflow > 0) alloc[0] += overflow;  // total exceeds sum of caps
+
+  double p_cur = p(alloc);
+  SAResult best{alloc, p_cur, 0};
+  if (n == 1) return best;
+
+  double temperature = opt.initial_temperature;
+  int iter = 0;
+  while (iter < opt.max_iterations && temperature > opt.temperature_threshold) {
+    ++iter;
+    temperature *= opt.gamma;
+    // Shift one unit from j to i (dm in {+1,-1} is equivalent to choosing the
+    // ordered pair uniformly).
+    const std::size_t i = rng.next_below(n);
+    std::size_t j = rng.next_below(n - 1);
+    if (j >= i) ++j;
+    if (alloc[j] < opt.unit_pages) continue;
+    if (alloc[i] + opt.unit_pages > caps[i]) continue;
+    alloc[i] += opt.unit_pages;
+    alloc[j] -= opt.unit_pages;
+    const double p_new = p(alloc);
+    const double dp = p_new - p_cur;
+    if (dp > 0.0 || rng.next_double() < std::exp(dp / temperature)) {
+      p_cur = p_new;  // accept
+      if (p_cur > best.objective) {
+        best.objective = p_cur;
+        best.allocation = alloc;
+      }
+    } else {
+      alloc[i] -= opt.unit_pages;  // reject: undo
+      alloc[j] += opt.unit_pages;
+    }
+  }
+  best.iterations = iter;
+  return best;
+}
+
+SAResult anneal_be_partition(const std::vector<BEPerfModel>& models, std::uint64_t total_pages,
+                             const SAOptions& opt, Rng& rng) {
+  if (models.empty()) throw std::invalid_argument("anneal_be_partition: no BE workloads");
+  std::vector<std::uint64_t> caps;
+  caps.reserve(models.size());
+  for (const auto& m : models) caps.push_back(m.max_useful_pages);
+  return anneal_partition(
+      [&models](const std::vector<std::uint64_t>& alloc) { return objective(models, alloc); },
+      caps, total_pages, opt, rng);
+}
+
+}  // namespace mtat

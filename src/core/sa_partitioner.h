@@ -1,0 +1,57 @@
+// Fairness-driven FMem partitioning for BE workloads via simulated annealing
+// (paper §3.2.2, Algorithm 2).
+//
+// Objective: maximize P(M) = min_i NP_i, the smallest normalized performance
+// (Eq. 3) across BE workloads, over allocations M = [M_1..M_n] of the FMem
+// left after the LC reservation. The neighborhood move shifts one unit of
+// memory between two randomly chosen workloads; uphill moves are always
+// accepted, downhill moves with probability exp(dP / T) under geometric
+// cooling T <- gamma * T.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mtat {
+
+/// Per-workload performance model: NP_i as a function of FMem pages granted
+/// (paper: offline-profiled throughput normalized to exclusive-FMem
+/// throughput), plus the footprint beyond which more FMem is wasted.
+struct BEPerfModel {
+  std::function<double(std::uint64_t pages)> np_at_pages;
+  std::uint64_t max_useful_pages = 0;
+};
+
+struct SAOptions {
+  double initial_temperature = 0.05;  ///< T0; NP deltas are O(0.01)
+  double gamma = 0.995;               ///< geometric cooling factor
+  double temperature_threshold = 1e-4;
+  int max_iterations = 4000;
+  /// Delta-m step: the paper moves +-1 GB on a 32 GB FMem; we keep the same
+  /// 1/32-of-FMem granularity by default (set explicitly in pages).
+  std::uint64_t unit_pages = 1;
+};
+
+struct SAResult {
+  std::vector<std::uint64_t> allocation;  ///< pages per BE workload
+  double objective = 0.0;                 ///< P(M*) = min NP
+  int iterations = 0;
+};
+
+/// Algorithm 2. `total_pages` is M_total - M_LC. The initial allocation is
+/// the even split; the result is the best allocation visited.
+SAResult anneal_be_partition(const std::vector<BEPerfModel>& models, std::uint64_t total_pages,
+                             const SAOptions& opt, Rng& rng);
+
+/// Algorithm 2 over an arbitrary performance metric P(M) — the paper states
+/// the search in exactly this generality. Used by the contention-aware
+/// objective (a workload's NP depends on everyone's allocation once tier
+/// bandwidth is shared); `caps[i]` bounds allocation i (max useful pages).
+SAResult anneal_partition(const std::function<double(const std::vector<std::uint64_t>&)>& p,
+                          const std::vector<std::uint64_t>& caps, std::uint64_t total_pages,
+                          const SAOptions& opt, Rng& rng);
+
+}  // namespace mtat

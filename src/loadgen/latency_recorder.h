@@ -1,0 +1,70 @@
+// Windowed latency recording for the LC workload.
+//
+// Maintains (a) fixed-width windows of request sojourn times, the source of
+// every "P99 over time" series (Figures 2 and 5), (b) a resettable interval
+// histogram PP-M reads for the RL reward's p99 (Eq. 2), and (c) cumulative
+// SLO-violation accounting (Table 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/units.h"
+
+namespace mtat {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder(Duration window, Duration slo) : window_(window), slo_(slo) {
+    if (window == 0) throw std::invalid_argument("LatencyRecorder: zero window");
+  }
+
+  /// Record one request completed with the given sojourn time, attributed to
+  /// the window of its arrival time `at`.
+  void record(SimTime at, Duration sojourn) {
+    const auto w = static_cast<std::size_t>(at / window_);
+    if (windows_.size() <= w) windows_.resize(w + 1);
+    windows_[w].record(sojourn);
+    interval_.record(sojourn);
+    ++total_;
+    if (sojourn > slo_) ++violations_;
+  }
+
+  /// Histogram since the previous collect_interval() call (resets it).
+  LatencyHistogram collect_interval() {
+    LatencyHistogram out = interval_;
+    interval_.reset();
+    return out;
+  }
+
+  /// P99 of each completed-so-far window; empty windows report 0.
+  std::vector<Duration> p99_series() const {
+    std::vector<Duration> out;
+    out.reserve(windows_.size());
+    for (const auto& h : windows_) out.push_back(h.percentile(99.0));
+    return out;
+  }
+
+  const std::vector<LatencyHistogram>& windows() const { return windows_; }
+  Duration window_length() const { return window_; }
+  Duration slo() const { return slo_; }
+
+  std::uint64_t total_requests() const { return total_; }
+  std::uint64_t slo_violations() const { return violations_; }
+  /// Fraction of all requests that missed the SLO (Table 4's metric).
+  double violation_rate() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(violations_) / static_cast<double>(total_);
+  }
+
+ private:
+  Duration window_;
+  Duration slo_;
+  std::vector<LatencyHistogram> windows_;
+  LatencyHistogram interval_;
+  std::uint64_t total_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace mtat

@@ -1,0 +1,22 @@
+#include "loadgen/load_pattern.h"
+
+namespace mtat {
+
+LoadPattern LoadPattern::figure7(double max_rate) {
+  std::vector<Step> steps;
+  for (double f : {0.2, 0.4, 0.6, 0.8}) steps.push_back({seconds(20), f * max_rate});
+  steps.push_back({seconds(60), max_rate});
+  for (double f : {0.8, 0.6, 0.4}) steps.push_back({seconds(20), f * max_rate});
+  steps.push_back({seconds(40), 0.2 * max_rate});
+  return LoadPattern(std::move(steps));
+}
+
+LoadPattern LoadPattern::staircase(double max_rate, const std::vector<double>& fractions,
+                                   Duration step_len) {
+  std::vector<Step> steps;
+  steps.reserve(fractions.size());
+  for (double f : fractions) steps.push_back({step_len, f * max_rate});
+  return LoadPattern(std::move(steps));
+}
+
+}  // namespace mtat

@@ -1,0 +1,63 @@
+// Offered-load patterns for the LC workload.
+//
+// A LoadPattern maps simulated time to an offered request rate. The paper's
+// dynamic experiments use the Figure-7 trapezoid (20% -> 100% -> 20% of max
+// load in 20%/20s steps); Figure 2 uses a staircase whose levels equal the
+// max throughput at 0/25/50/75/100% FMem.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mtat {
+
+/// Piecewise-constant offered load (requests per second over simulated time).
+class LoadPattern {
+ public:
+  struct Step {
+    Duration length;  ///< how long this level lasts
+    double rate;      ///< requests/s during the step
+  };
+
+  explicit LoadPattern(std::vector<Step> steps) : steps_(std::move(steps)) {
+    if (steps_.empty()) throw std::invalid_argument("LoadPattern: no steps");
+    for (const Step& s : steps_) {
+      if (s.length == 0) throw std::invalid_argument("LoadPattern: zero-length step");
+      if (s.rate < 0) throw std::invalid_argument("LoadPattern: negative rate");
+      total_ += s.length;
+    }
+  }
+
+  /// Constant load forever (the final step's rate persists past the end).
+  static LoadPattern constant(double rate) { return LoadPattern({{seconds(1), rate}}); }
+
+  /// The Figure-7 trapezoid over `max_rate`: 20/40/60/80% for 20 s each,
+  /// 100% for 60 s, then 80/60/40% for 20 s each and 20% for the final 40 s —
+  /// a 240 s pattern whose high-load plateau spans t = 80..140 s.
+  static LoadPattern figure7(double max_rate);
+
+  /// Staircase: each fraction of `max_rate` held for `step_len` (Figure 2).
+  static LoadPattern staircase(double max_rate, const std::vector<double>& fractions,
+                               Duration step_len);
+
+  /// Offered rate at simulated time `t`. Past the last step, the final rate.
+  double rate_at(SimTime t) const {
+    SimTime acc = 0;
+    for (const Step& s : steps_) {
+      acc += s.length;
+      if (t < acc) return s.rate;
+    }
+    return steps_.back().rate;
+  }
+
+  Duration total_length() const { return total_; }
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+  Duration total_ = 0;
+};
+
+}  // namespace mtat

@@ -1,0 +1,99 @@
+// Bandwidth-budgeted page migration.
+//
+// The paper bounds reconfiguration by the tiered-memory subsystem's data
+// movement capacity M (bytes/s): an action must complete within one policy
+// interval t, and because promotion and demotion happen simultaneously the
+// per-direction bound is M/2t (Eq. 1). MigrationEngine enforces exactly that:
+// the simulation refills a page budget each interval from the configured
+// bandwidth, and every policy (MTAT and baselines alike) spends from it when
+// it moves pages, so no policy can cheat by migrating instantaneously.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "mem/tiered_memory.h"
+
+namespace mtat {
+
+class MigrationEngine {
+ public:
+  struct Config {
+    /// Total migration bandwidth (promotion + demotion combined), bytes/s.
+    /// The paper measures PP-E consuming ~4 GB/s on a 25.6 GB/s channel.
+    double bandwidth_bytes_per_sec = 4.0 * 1024 * 1024 * 1024;
+  };
+
+  MigrationEngine(TieredMemory& mem, const Config& cfg) : mem_(&mem), cfg_(cfg) {
+    if (cfg.bandwidth_bytes_per_sec <= 0)
+      throw std::invalid_argument("MigrationEngine: bandwidth must be positive");
+  }
+
+  /// Refills the page budget for an interval of length `dt`. Fractional pages
+  /// carry over so long-run throughput matches the configured bandwidth
+  /// regardless of tick size.
+  void begin_interval(Duration dt) {
+    carry_ += cfg_.bandwidth_bytes_per_sec * to_seconds(dt) / static_cast<double>(kPageSize);
+    const auto whole = static_cast<std::uint64_t>(carry_);
+    budget_ = whole;
+    carry_ -= static_cast<double>(whole);
+    moved_this_interval_ = 0;
+  }
+
+  /// Pages still movable in the current interval.
+  std::uint64_t budget_pages() const { return budget_; }
+
+  /// Maximum pages movable per direction in an interval of length `t` —
+  /// the bound on |α| in Eq. 1 (M / 2t, expressed in pages).
+  std::uint64_t max_pages_per_direction(Duration t) const {
+    return static_cast<std::uint64_t>(cfg_.bandwidth_bytes_per_sec * to_seconds(t) /
+                                      (2.0 * static_cast<double>(kPageSize)));
+  }
+
+  /// Move one page to FMem. Fails (returns false) when out of budget, the
+  /// page is already in FMem, or FMem is full.
+  bool promote(PageId p) { return move(p, Tier::kFMem, 1); }
+
+  /// Move one page to SMem. Symmetric to promote().
+  bool demote(PageId p) { return move(p, Tier::kSMem, 1); }
+
+  /// Atomically swap a SMem page into FMem and an FMem page out. Costs two
+  /// pages of budget; succeeds even when both tiers are full.
+  bool exchange(PageId promote_page, PageId demote_page) {
+    if (budget_ < 2) return false;
+    if (mem_->tier_of(promote_page) != Tier::kSMem || mem_->tier_of(demote_page) != Tier::kFMem)
+      return false;
+    mem_->exchange(promote_page, demote_page);
+    spend(2);
+    return true;
+  }
+
+  std::uint64_t pages_moved_this_interval() const { return moved_this_interval_; }
+  std::uint64_t total_pages_moved() const { return total_moved_; }
+  Bytes total_bytes_moved() const { return total_moved_ * kPageSize; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  bool move(PageId p, Tier to, std::uint64_t cost) {
+    if (budget_ < cost) return false;
+    if (!mem_->migrate(p, to)) return false;
+    spend(cost);
+    return true;
+  }
+
+  void spend(std::uint64_t pages) {
+    budget_ -= pages;
+    moved_this_interval_ += pages;
+    total_moved_ += pages;
+  }
+
+  TieredMemory* mem_;
+  Config cfg_;
+  std::uint64_t budget_ = 0;
+  double carry_ = 0.0;
+  std::uint64_t moved_this_interval_ = 0;
+  std::uint64_t total_moved_ = 0;
+};
+
+}  // namespace mtat

@@ -1,0 +1,83 @@
+#include "mem/tiered_memory.h"
+
+namespace mtat {
+
+TieredMemory::TieredMemory(const Config& cfg) : cfg_(cfg) {
+  if (cfg.fmem_pages == 0 && cfg.smem_pages == 0)
+    throw std::invalid_argument("TieredMemory: zero total capacity");
+  if (cfg.smem_latency < cfg.fmem_latency)
+    throw std::invalid_argument("TieredMemory: SMem must not be faster than FMem");
+  info_.reserve(cfg.fmem_pages + cfg.smem_pages);
+}
+
+void TieredMemory::ensure_workload(WorkloadId w) {
+  if (w == kInvalidWorkload) throw std::invalid_argument("TieredMemory: invalid workload id");
+  if (per_workload_.size() <= w) per_workload_.resize(static_cast<std::size_t>(w) + 1);
+}
+
+std::vector<PageId> TieredMemory::allocate(WorkloadId w, std::uint64_t n, AllocPolicy policy) {
+  ensure_workload(w);
+  std::uint64_t want_fmem = 0;
+  switch (policy) {
+    case AllocPolicy::kFMemFirst:
+      want_fmem = std::min(n, free_pages(Tier::kFMem));
+      break;
+    case AllocPolicy::kFMemOnly:
+      if (free_pages(Tier::kFMem) < n)
+        throw std::runtime_error("TieredMemory: FMem-only allocation does not fit");
+      want_fmem = n;
+      break;
+    case AllocPolicy::kSMemOnly:
+      want_fmem = 0;
+      break;
+  }
+  if (free_pages(Tier::kSMem) < n - want_fmem)
+    throw std::runtime_error("TieredMemory: allocation exceeds total capacity");
+
+  std::vector<PageId> out;
+  out.reserve(n);
+  auto& wl = per_workload_[w];
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Tier t = i < want_fmem ? Tier::kFMem : Tier::kSMem;
+    const auto p = static_cast<PageId>(info_.size());
+    info_.push_back(PageInfo{w, t});
+    used_[static_cast<int>(t)]++;
+    wl.pages.push_back(p);
+    wl.in_tier[static_cast<int>(t)]++;
+    out.push_back(p);
+  }
+  return out;
+}
+
+void TieredMemory::place(PageId p, Tier t) {
+  PageInfo& pi = info_[p];
+  const Tier from = pi.tier;
+  used_[static_cast<int>(from)]--;
+  used_[static_cast<int>(t)]++;
+  auto& wl = per_workload_[pi.owner];
+  wl.in_tier[static_cast<int>(from)]--;
+  wl.in_tier[static_cast<int>(t)]++;
+  pi.tier = t;
+  migrations_++;
+  for (const auto& fn : listeners_) fn(p, from, t);
+}
+
+bool TieredMemory::migrate(PageId p, Tier to) {
+  check(p);
+  if (info_[p].tier == to) return false;
+  if (free_pages(to) == 0) return false;
+  place(p, to);
+  return true;
+}
+
+void TieredMemory::exchange(PageId a, PageId b) {
+  check(a);
+  check(b);
+  const Tier ta = info_[a].tier;
+  const Tier tb = info_[b].tier;
+  if (ta == tb) throw std::logic_error("TieredMemory::exchange: pages share a tier");
+  place(a, tb);
+  place(b, ta);
+}
+
+}  // namespace mtat

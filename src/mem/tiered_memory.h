@@ -1,0 +1,159 @@
+// The tiered-memory substrate: a two-tier (FMem/SMem) page-frame simulator.
+//
+// This stands in for the paper's physical testbed — 32 GiB local DRAM (FMem,
+// ~73 ns) plus 256 GiB NUMA-remote DRAM emulating CXL memory (SMem, ~202 ns).
+// It tracks, for every simulated page frame: the owning workload and the tier
+// it currently resides in, and exposes the placement primitives every policy
+// in the reproduction (MTAT's PP-E, MEMTIS-like, TPP-like, static pins) is
+// built on: allocate, migrate, and exchange.
+//
+// Deliberately NOT here: access counting (see telemetry/), bandwidth budgets
+// for migrations (see MigrationEngine), and any notion of hotness. This class
+// only knows where pages are; policies decide where they should be.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace mtat {
+
+/// Where freshly allocated pages should land.
+enum class AllocPolicy : std::uint8_t {
+  kFMemFirst,  ///< fill FMem until exhausted, then spill to SMem (Linux default)
+  kFMemOnly,   ///< fail if FMem cannot hold the request
+  kSMemOnly,   ///< place everything in SMem (used by SMEM_ALL pinning)
+};
+
+class TieredMemory {
+ public:
+  struct Config {
+    std::uint64_t fmem_pages = 0;  ///< capacity of the fast tier, in pages
+    std::uint64_t smem_pages = 0;  ///< capacity of the slow tier, in pages
+    Duration fmem_latency = 73;    ///< per-access latency of FMem, ns
+    Duration smem_latency = 202;   ///< per-access latency of SMem, ns
+  };
+
+  explicit TieredMemory(const Config& cfg);
+
+  // --- Allocation -----------------------------------------------------------
+
+  /// Allocates `n` pages for workload `w` under the given placement policy.
+  /// Returns the new page ids. Throws std::runtime_error if total capacity
+  /// (or FMem capacity, for kFMemOnly) is insufficient.
+  std::vector<PageId> allocate(WorkloadId w, std::uint64_t n, AllocPolicy policy);
+
+  // --- Queries ---------------------------------------------------------------
+
+  Tier tier_of(PageId p) const { return info_[check(p)].tier; }
+  WorkloadId owner_of(PageId p) const { return info_[check(p)].owner; }
+
+  /// Per-access latency of the given tier, including any contention factor
+  /// currently applied (see set_contention_factor).
+  Duration latency(Tier t) const {
+    const Duration base = t == Tier::kFMem ? cfg_.fmem_latency : cfg_.smem_latency;
+    return static_cast<Duration>(static_cast<double>(base) *
+                                 contention_[static_cast<int>(t)]);
+  }
+
+  /// Uncontended latency of a tier (the configured constant).
+  Duration base_latency(Tier t) const {
+    return t == Tier::kFMem ? cfg_.fmem_latency : cfg_.smem_latency;
+  }
+
+  /// Bandwidth-contention multiplier on a tier's latency (>= 1). Set by the
+  /// simulation's bandwidth model each tick when tier demand approaches the
+  /// tier's sustainable rate; 1.0 means uncontended. Supports the §7
+  /// bandwidth-aware policy extension.
+  void set_contention_factor(Tier t, double factor) {
+    if (factor < 1.0) throw std::invalid_argument("TieredMemory: contention factor < 1");
+    contention_[static_cast<int>(t)] = factor;
+  }
+  double contention_factor(Tier t) const { return contention_[static_cast<int>(t)]; }
+  /// Latency of an access to page `p` given its current placement.
+  Duration access_latency(PageId p) const { return latency(tier_of(p)); }
+
+  std::uint64_t capacity(Tier t) const {
+    return t == Tier::kFMem ? cfg_.fmem_pages : cfg_.smem_pages;
+  }
+  std::uint64_t used(Tier t) const { return used_[static_cast<int>(t)]; }
+  std::uint64_t free_pages(Tier t) const { return capacity(t) - used(t); }
+
+  /// Number of pages workload `w` currently has resident in tier `t`.
+  std::uint64_t workload_pages(WorkloadId w, Tier t) const {
+    return per_workload_[w].in_tier[static_cast<int>(t)];
+  }
+  /// Total pages allocated to workload `w` (its simulated RSS).
+  std::uint64_t workload_total(WorkloadId w) const {
+    return per_workload_[w].in_tier[0] + per_workload_[w].in_tier[1];
+  }
+  /// Fraction of workload `w`'s pages resident in FMem — the paper's
+  /// "FMem Usage Ratio" state component and the Figure 2/5 residency series.
+  double fmem_usage_ratio(WorkloadId w) const {
+    const std::uint64_t total = workload_total(w);
+    return total == 0 ? 0.0
+                      : static_cast<double>(workload_pages(w, Tier::kFMem)) /
+                            static_cast<double>(total);
+  }
+
+  /// All pages owned by workload `w`, in allocation order.
+  const std::vector<PageId>& pages_of(WorkloadId w) const { return per_workload_[w].pages; }
+
+  std::uint64_t page_count() const { return info_.size(); }
+  std::uint16_t workload_count() const { return static_cast<std::uint16_t>(per_workload_.size()); }
+  const Config& config() const { return cfg_; }
+
+  // --- Placement primitives ---------------------------------------------------
+
+  /// Moves page `p` to tier `to`. Returns false (and does nothing) when the
+  /// destination tier is full or the page is already there. Costs one page of
+  /// migration traffic (accounted by the caller's MigrationEngine).
+  bool migrate(PageId p, Tier to);
+
+  /// Swaps the tiers of two pages currently in *different* tiers — the
+  /// "memory tier exchange" of §3.1, which makes progress even when both
+  /// tiers are full. Throws std::logic_error if the pages share a tier.
+  void exchange(PageId a, PageId b);
+
+  // --- Cumulative stats --------------------------------------------------------
+
+  std::uint64_t total_migrations() const { return migrations_; }
+  Bytes bytes_migrated() const { return migrations_ * kPageSize; }
+
+  /// Observer invoked after every page placement change (migrate/exchange).
+  /// Used by performance models that maintain incremental placement sums.
+  using MigrationListener = std::function<void(PageId, Tier from, Tier to)>;
+  void add_migration_listener(MigrationListener fn) { listeners_.push_back(std::move(fn)); }
+
+ private:
+  struct PageInfo {
+    WorkloadId owner = kInvalidWorkload;
+    Tier tier = Tier::kSMem;
+  };
+  struct WorkloadPages {
+    std::vector<PageId> pages;
+    std::uint64_t in_tier[2] = {0, 0};
+  };
+
+  PageId check(PageId p) const {
+    if (p >= info_.size()) throw std::out_of_range("TieredMemory: bad page id");
+    return p;
+  }
+
+  void place(PageId p, Tier t);    // internal move without full-destination check
+  void ensure_workload(WorkloadId w);
+
+  Config cfg_;
+  std::vector<PageInfo> info_;
+  std::vector<WorkloadPages> per_workload_;
+  std::vector<MigrationListener> listeners_;
+  std::uint64_t used_[2] = {0, 0};
+  double contention_[2] = {1.0, 1.0};
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace mtat

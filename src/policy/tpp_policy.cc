@@ -1,0 +1,84 @@
+#include "policy/tpp_policy.h"
+
+#include <algorithm>
+
+namespace mtat {
+
+TppPolicy::TppPolicy(const PolicyContext& ctx) : TppPolicy(ctx, Options{}) {}
+
+TppPolicy::TppPolicy(const PolicyContext& ctx, Options opt)
+    : ctx_(ctx),
+      opt_(opt),
+      last_seen_tick_(ctx.mem->page_count(), -1),
+      ref_bit_(ctx.mem->page_count(), 0),
+      queued_(ctx.mem->page_count(), 0) {
+  ctx_.sampler->add_callback(
+      [this](WorkloadId, PageId p, AccessKind) { on_sample(p); });
+}
+
+void TppPolicy::on_sample(PageId p) {
+  if (p >= last_seen_tick_.size()) return;  // page allocated after attach
+  if (ctx_.mem->tier_of(p) == Tier::kFMem) {
+    ref_bit_[p] = 1;  // keeps the page off the clock's demotion path
+    return;
+  }
+  // Two-touch filter: the first sample puts the page on the shadow active
+  // list; a second sample within the window raises the promotion "fault".
+  const std::int64_t last = last_seen_tick_[p];
+  if (last >= 0 && tick_no_ - last <= opt_.active_window_ticks && !queued_[p]) {
+    promote_queue_.push_back(p);
+    queued_[p] = 1;
+  }
+  last_seen_tick_[p] = tick_no_;
+}
+
+void TppPolicy::on_tick(SimTime, Duration) {
+  ++tick_no_;
+  TieredMemory& mem = *ctx_.mem;
+  MigrationEngine& engine = *ctx_.engine;
+  // Keep at least one page free whenever a watermark is configured — TPP's
+  // promotion path always needs headroom to land in.
+  const auto watermark = std::max<std::uint64_t>(
+      opt_.free_watermark > 0 ? 1 : 0,
+      static_cast<std::uint64_t>(opt_.free_watermark *
+                                 static_cast<double>(mem.capacity(Tier::kFMem))));
+
+  // Watermark reclaim: demote cold FMem pages (clock with reference bits)
+  // until the free headroom is restored. Bound the scan so a tick's work
+  // stays proportional to the deficit.
+  std::uint64_t deficit = mem.free_pages(Tier::kFMem) < watermark
+                              ? watermark - mem.free_pages(Tier::kFMem)
+                              : 0;
+  std::uint64_t scan_budget = deficit * 4 + 64;
+  while (deficit > 0 && scan_budget > 0 && engine.budget_pages() > 0) {
+    const PageId p = static_cast<PageId>(clock_hand_ % mem.page_count());
+    clock_hand_++;
+    --scan_budget;
+    if (mem.tier_of(p) != Tier::kFMem) continue;
+    if (ref_bit_[p]) {
+      ref_bit_[p] = 0;  // second chance
+      continue;
+    }
+    if (engine.demote(p)) --deficit;
+  }
+
+  // Fault-driven promotion into the freed headroom.
+  std::size_t promoted = 0;
+  while (!promote_queue_.empty() && promoted < opt_.max_promotions_per_tick &&
+         engine.budget_pages() > 0 && mem.free_pages(Tier::kFMem) > 0) {
+    const PageId p = promote_queue_.front();
+    promote_queue_.pop_front();
+    queued_[p] = 0;
+    if (mem.tier_of(p) != Tier::kSMem) continue;  // already moved
+    if (engine.promote(p)) {
+      ref_bit_[p] = 1;  // freshly promoted pages start referenced
+      ++promoted;
+    }
+  }
+}
+
+void TppPolicy::on_interval(SimTime, Duration, Duration) {
+  // TPP has no interval-scale decision process; everything is fault-driven.
+}
+
+}  // namespace mtat

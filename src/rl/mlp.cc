@@ -1,0 +1,121 @@
+#include "rl/mlp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mtat {
+
+Mlp::Mlp(std::vector<int> sizes, Rng& rng) : sizes_(std::move(sizes)) {
+  if (sizes_.size() < 2) throw std::invalid_argument("Mlp: need at least in/out sizes");
+  for (int s : sizes_)
+    if (s <= 0) throw std::invalid_argument("Mlp: layer sizes must be positive");
+  std::size_t off = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    Layer layer;
+    layer.in = sizes_[l];
+    layer.out = sizes_[l + 1];
+    layer.w_off = off;
+    off += static_cast<std::size_t>(layer.in) * layer.out;
+    layer.b_off = off;
+    off += layer.out;
+    layers_.push_back(layer);
+  }
+  params_.resize(off);
+  grads_.assign(off, 0.0);
+  adam_m_.assign(off, 0.0);
+  adam_v_.assign(off, 0.0);
+  for (const Layer& l : layers_) {
+    const double stddev = std::sqrt(2.0 / l.in);  // He init for ReLU nets
+    for (int i = 0; i < l.in * l.out; ++i)
+      params_[l.w_off + i] = rng.next_gaussian() * stddev;
+    for (int i = 0; i < l.out; ++i) params_[l.b_off + i] = 0.0;
+  }
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+  Cache scratch;
+  return forward_cached(x, scratch);
+}
+
+std::vector<double> Mlp::forward_cached(const std::vector<double>& x, Cache& cache) const {
+  if (static_cast<int>(x.size()) != sizes_.front())
+    throw std::invalid_argument("Mlp: input size mismatch");
+  cache.activations.clear();
+  cache.activations.push_back(x);
+  std::vector<double> cur = x;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& l = layers_[li];
+    std::vector<double> next(l.out);
+    for (int o = 0; o < l.out; ++o) {
+      double sum = params_[l.b_off + o];
+      const double* w = &params_[l.w_off + static_cast<std::size_t>(o) * l.in];
+      for (int i = 0; i < l.in; ++i) sum += w[i] * cur[i];
+      // ReLU on hidden layers, identity on the output layer.
+      next[o] = (li + 1 < layers_.size() && sum < 0.0) ? 0.0 : sum;
+    }
+    cache.activations.push_back(next);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<double> Mlp::backward(const Cache& cache, const std::vector<double>& dout,
+                                  double scale) {
+  if (cache.activations.size() != layers_.size() + 1)
+    throw std::invalid_argument("Mlp: stale cache");
+  std::vector<double> delta = dout;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const Layer& l = layers_[li];
+    const auto& a_in = cache.activations[li];
+    const auto& a_out = cache.activations[li + 1];
+    // ReLU derivative on hidden layers: zero where the activation was clamped.
+    if (li + 1 < layers_.size())
+      for (int o = 0; o < l.out; ++o)
+        if (a_out[o] <= 0.0) delta[o] = 0.0;
+    std::vector<double> dprev(l.in, 0.0);
+    for (int o = 0; o < l.out; ++o) {
+      const double d = delta[o];
+      grads_[l.b_off + o] += scale * d;
+      const std::size_t wrow = l.w_off + static_cast<std::size_t>(o) * l.in;
+      for (int i = 0; i < l.in; ++i) {
+        grads_[wrow + i] += scale * d * a_in[i];
+        dprev[i] += d * params_[wrow + i];
+      }
+    }
+    delta = std::move(dprev);
+  }
+  // The returned input gradient carries `scale` too, matching the parameter
+  // gradients' scaling so chained backward passes stay consistent.
+  if (scale != 1.0)
+    for (double& d : delta) d *= scale;
+  return delta;
+}
+
+void Mlp::adam_step(double lr, double beta1, double beta2, double eps) {
+  ++adam_t_;
+  const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(adam_t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    adam_m_[i] = beta1 * adam_m_[i] + (1.0 - beta1) * grads_[i];
+    adam_v_[i] = beta2 * adam_v_[i] + (1.0 - beta2) * grads_[i] * grads_[i];
+    params_[i] -= lr * (adam_m_[i] / bc1) / (std::sqrt(adam_v_[i] / bc2) + eps);
+  }
+  zero_grad();
+}
+
+void Mlp::zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.0); }
+
+void Mlp::copy_parameters_from(const Mlp& other) {
+  if (other.params_.size() != params_.size())
+    throw std::invalid_argument("Mlp: shape mismatch in copy");
+  params_ = other.params_;
+}
+
+void Mlp::soft_update_from(const Mlp& other, double tau) {
+  if (other.params_.size() != params_.size())
+    throw std::invalid_argument("Mlp: shape mismatch in soft update");
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    params_[i] = tau * other.params_[i] + (1.0 - tau) * params_[i];
+}
+
+}  // namespace mtat

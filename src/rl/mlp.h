@@ -1,0 +1,75 @@
+// Minimal dense neural network with manual backpropagation and Adam.
+//
+// This is the substrate under the Soft Actor-Critic agent of PP-M (the paper
+// implements PP-M in PyTorch; we implement the same few-thousand-parameter
+// MLPs from scratch — see DESIGN.md §1). Double precision, ReLU hidden
+// layers, linear output. Gradients accumulate into per-parameter buffers so a
+// caller can sum several loss terms before one optimizer step; correctness is
+// pinned by numerical-gradient tests in tests/rl_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mtat {
+
+class Mlp {
+ public:
+  /// `sizes` = {in, hidden..., out}. Weights use He initialization.
+  Mlp(std::vector<int> sizes, Rng& rng);
+
+  /// Per-layer pre-activations and activations retained for backward().
+  struct Cache {
+    std::vector<std::vector<double>> activations;  // a[0]=input .. a[L]=output
+  };
+
+  /// Plain inference.
+  std::vector<double> forward(const std::vector<double>& x) const;
+
+  /// Forward pass retaining intermediates for a subsequent backward().
+  std::vector<double> forward_cached(const std::vector<double>& x, Cache& cache) const;
+
+  /// Backpropagate dLoss/dOutput for the forward pass recorded in `cache`.
+  /// Accumulates parameter gradients (scaled by `scale`, e.g. 1/batch) and
+  /// returns dLoss/dInput — needed by SAC's actor update, which differentiates
+  /// the critic with respect to the action.
+  std::vector<double> backward(const Cache& cache, const std::vector<double>& dout,
+                               double scale = 1.0);
+
+  /// One Adam step over the accumulated gradients, then zero them.
+  void adam_step(double lr, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+
+  void zero_grad();
+
+  /// Hard-copy parameters (target-network initialization).
+  void copy_parameters_from(const Mlp& other);
+  /// Polyak update: p = tau * other + (1 - tau) * p.
+  void soft_update_from(const Mlp& other, double tau);
+
+  int input_dim() const { return sizes_.front(); }
+  int output_dim() const { return sizes_.back(); }
+  std::size_t parameter_count() const { return params_.size(); }
+
+  /// Raw parameter access for tests (weights then biases, layer by layer).
+  std::vector<double>& parameters() { return params_; }
+  const std::vector<double>& parameters() const { return params_; }
+  const std::vector<double>& gradients() const { return grads_; }
+
+ private:
+  struct Layer {
+    std::size_t w_off;  // into params_: out x in row-major weights
+    std::size_t b_off;  // then out biases
+    int in, out;
+  };
+
+  std::vector<int> sizes_;
+  std::vector<Layer> layers_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+  std::vector<double> adam_m_, adam_v_;
+  std::uint64_t adam_t_ = 0;
+};
+
+}  // namespace mtat

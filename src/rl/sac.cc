@@ -1,0 +1,187 @@
+#include "rl/sac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mtat {
+namespace {
+
+constexpr double kLogStdMin = -5.0;
+constexpr double kLogStdMax = 2.0;
+constexpr double kTanhEps = 1e-6;
+constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5 * log(2*pi)
+
+std::vector<int> net_sizes(int in, const std::vector<int>& hidden, int out) {
+  std::vector<int> s{in};
+  s.insert(s.end(), hidden.begin(), hidden.end());
+  s.push_back(out);
+  return s;
+}
+
+}  // namespace
+
+SacAgent::SacAgent(const SacConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      actor_(net_sizes(cfg.state_dim, cfg.hidden, 2 * cfg.action_dim), rng_),
+      q1_(net_sizes(cfg.state_dim + cfg.action_dim, cfg.hidden, 1), rng_),
+      q2_(net_sizes(cfg.state_dim + cfg.action_dim, cfg.hidden, 1), rng_),
+      q1_target_(net_sizes(cfg.state_dim + cfg.action_dim, cfg.hidden, 1), rng_),
+      q2_target_(net_sizes(cfg.state_dim + cfg.action_dim, cfg.hidden, 1), rng_),
+      log_alpha_(std::log(cfg.init_alpha)),
+      buffer_(cfg.buffer_capacity) {
+  if (cfg.state_dim <= 0 || cfg.action_dim <= 0)
+    throw std::invalid_argument("SacAgent: bad dimensions");
+  q1_target_.copy_parameters_from(q1_);
+  q2_target_.copy_parameters_from(q2_);
+}
+
+double SacAgent::alpha() const { return std::exp(log_alpha_); }
+
+std::vector<double> SacAgent::concat(const std::vector<double>& a, const std::vector<double>& b) {
+  std::vector<double> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+SacAgent::PolicySample SacAgent::sample_policy(const std::vector<double>& state,
+                                               Mlp::Cache* cache) {
+  PolicySample ps;
+  Mlp::Cache local;
+  const std::vector<double> head =
+      cache ? actor_.forward_cached(state, *cache) : actor_.forward_cached(state, local);
+  const int dim = cfg_.action_dim;
+  ps.mean.assign(head.begin(), head.begin() + dim);
+  ps.log_std.resize(dim);
+  ps.action.resize(dim);
+  ps.raw.resize(dim);
+  ps.eps.resize(dim);
+  for (int d = 0; d < dim; ++d) {
+    ps.log_std[d] = std::clamp(head[dim + d], kLogStdMin, kLogStdMax);
+    const double sigma = std::exp(ps.log_std[d]);
+    ps.eps[d] = rng_.next_gaussian();
+    ps.raw[d] = ps.mean[d] + sigma * ps.eps[d];
+    ps.action[d] = std::tanh(ps.raw[d]);
+    // log N(raw; mean, sigma) with raw = mean + sigma*eps, minus the tanh
+    // change-of-variables correction.
+    ps.log_prob += -0.5 * ps.eps[d] * ps.eps[d] - ps.log_std[d] - kHalfLog2Pi -
+                   std::log(1.0 - ps.action[d] * ps.action[d] + kTanhEps);
+  }
+  return ps;
+}
+
+std::vector<double> SacAgent::act(const std::vector<double>& state, bool deterministic) {
+  if (deterministic) {
+    const std::vector<double> head = actor_.forward(state);
+    std::vector<double> out(cfg_.action_dim);
+    for (int d = 0; d < cfg_.action_dim; ++d) out[d] = std::tanh(head[d]);
+    return out;
+  }
+  return sample_policy(state, nullptr).action;
+}
+
+void SacAgent::observe(const std::vector<double>& state, const std::vector<double>& action,
+                       double reward, const std::vector<double>& next_state, bool done) {
+  buffer_.store(Transition{state, action, reward, next_state, done});
+}
+
+double SacAgent::q_value(const std::vector<double>& state,
+                         const std::vector<double>& action) const {
+  const std::vector<double> in = concat(state, action);
+  return std::min(q1_.forward(in)[0], q2_.forward(in)[0]);
+}
+
+void SacAgent::update(int steps) {
+  if (!ready_to_update()) return;
+  for (int i = 0; i < steps; ++i) update_once();
+}
+
+void SacAgent::update_once() {
+  const std::size_t batch = std::min(cfg_.batch_size, buffer_.size());
+  const double inv_b = 1.0 / static_cast<double>(batch);
+  std::vector<const Transition*> samples(batch);
+  for (auto& s : samples) s = &buffer_.sample(rng_);
+
+  // --- Critic update: y = r + gamma(1-done)(min Q'(s',a') - alpha log pi) ---
+  double critic_loss = 0.0;
+  for (const Transition* t : samples) {
+    double y = t->reward;
+    if (!t->done) {
+      const PolicySample next = sample_policy(t->next_state, nullptr);
+      const std::vector<double> in = concat(t->next_state, next.action);
+      const double qmin = std::min(q1_target_.forward(in)[0], q2_target_.forward(in)[0]);
+      y += cfg_.gamma * (qmin - alpha() * next.log_prob);
+    }
+    const std::vector<double> in = concat(t->state, t->action);
+    Mlp::Cache c1, c2;
+    const double q1v = q1_.forward_cached(in, c1)[0];
+    const double q2v = q2_.forward_cached(in, c2)[0];
+    critic_loss += ((q1v - y) * (q1v - y) + (q2v - y) * (q2v - y)) * inv_b;
+    q1_.backward(c1, {2.0 * (q1v - y)}, inv_b);
+    q2_.backward(c2, {2.0 * (q2v - y)}, inv_b);
+  }
+  q1_.adam_step(cfg_.critic_lr);
+  q2_.adam_step(cfg_.critic_lr);
+  last_critic_loss_ = critic_loss;
+
+  // --- Actor update: minimize alpha*log pi - min Q(s, a(s)) ----------------
+  double actor_loss = 0.0;
+  double mean_log_prob = 0.0;
+  const int dim = cfg_.action_dim;
+  for (const Transition* t : samples) {
+    Mlp::Cache actor_cache;
+    const PolicySample ps = sample_policy(t->state, &actor_cache);
+    const std::vector<double> in = concat(t->state, ps.action);
+    Mlp::Cache c1, c2;
+    const double q1v = q1_.forward_cached(in, c1)[0];
+    const double q2v = q2_.forward_cached(in, c2)[0];
+    const double qmin = std::min(q1v, q2v);
+    actor_loss += (alpha() * ps.log_prob - qmin) * inv_b;
+    mean_log_prob += ps.log_prob * inv_b;
+    // dL/da through the smaller critic (dout = -1, mean-scaled).
+    Mlp& qsel = q1v <= q2v ? q1_ : q2_;
+    const std::vector<double> din =
+        qsel.backward(q1v <= q2v ? c1 : c2, {-1.0}, inv_b);
+    // Assemble gradients w.r.t. the actor head [mean..., log_std...].
+    std::vector<double> dhead(2 * dim, 0.0);
+    for (int d = 0; d < dim; ++d) {
+      const double a = ps.action[d];
+      const double one_m_a2 = 1.0 - a * a;
+      const double dq_da = din[cfg_.state_dim + d];  // action slice of input grad
+      // d(log pi)/d(raw): only the tanh correction depends on raw given eps.
+      const double dlogp_draw = 2.0 * a * one_m_a2 / (one_m_a2 + kTanhEps);
+      const double g_raw = dq_da * one_m_a2 + (alpha() * inv_b) * dlogp_draw;
+      dhead[d] = g_raw;  // d raw / d mean = 1
+      // d raw / d log_std = sigma * eps; d(log pi)/d log_std also has the -1
+      // from the Gaussian entropy term. Zero where the clamp was active.
+      const bool clamped = ps.log_std[d] <= kLogStdMin || ps.log_std[d] >= kLogStdMax;
+      if (!clamped)
+        dhead[dim + d] =
+            g_raw * std::exp(ps.log_std[d]) * ps.eps[d] - (alpha() * inv_b);
+    }
+    actor_.backward(actor_cache, dhead, 1.0);
+  }
+  actor_.adam_step(cfg_.actor_lr);
+  // The actor pass accumulated gradients inside the critics as a side effect;
+  // discard them — the critics already took their step this round.
+  q1_.zero_grad();
+  q2_.zero_grad();
+  last_actor_loss_ = actor_loss;
+
+  // --- Temperature update: d/dlogalpha of -logalpha*(logpi + target_H) -----
+  const double g_alpha = -(mean_log_prob + cfg_.target_entropy);
+  ++alpha_t_;
+  alpha_m_ = 0.9 * alpha_m_ + 0.1 * g_alpha;
+  alpha_v_ = 0.999 * alpha_v_ + 0.001 * g_alpha * g_alpha;
+  const double m_hat = alpha_m_ / (1.0 - std::pow(0.9, static_cast<double>(alpha_t_)));
+  const double v_hat = alpha_v_ / (1.0 - std::pow(0.999, static_cast<double>(alpha_t_)));
+  log_alpha_ -= cfg_.alpha_lr * m_hat / (std::sqrt(v_hat) + 1e-8);
+
+  // --- Target networks -------------------------------------------------------
+  q1_target_.soft_update_from(q1_, cfg_.tau);
+  q2_target_.soft_update_from(q2_, cfg_.tau);
+  ++updates_;
+}
+
+}  // namespace mtat

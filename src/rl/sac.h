@@ -1,0 +1,89 @@
+// Soft Actor-Critic (Haarnoja et al. 2018), the RL algorithm of PP-M's
+// Algorithm 1: twin Q-networks with Polyak-averaged targets, a tanh-squashed
+// Gaussian policy trained by the reparameterization trick, and automatic
+// entropy-temperature tuning.
+//
+// Actions live in [-1, 1]^dim; the caller (core/ppm) maps them onto the
+// paper's admissible range alpha in [-M/2t, +M/2t] (Eq. 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "rl/mlp.h"
+#include "rl/replay_buffer.h"
+
+namespace mtat {
+
+struct SacConfig {
+  int state_dim = 3;   ///< paper: UsageRatio, AccessRatio, AccessCount
+  int action_dim = 1;  ///< paper: scalar FMem delta
+  std::vector<int> hidden = {64, 64};
+  double actor_lr = 3e-4;
+  double critic_lr = 3e-4;
+  double alpha_lr = 3e-4;
+  double gamma = 0.95;
+  double tau = 0.005;             ///< target-network Polyak factor
+  double init_alpha = 0.2;        ///< initial entropy temperature
+  double target_entropy = -1.0;   ///< default: -action_dim
+  std::size_t batch_size = 64;
+  std::size_t buffer_capacity = 100'000;
+  std::size_t min_buffer_for_update = 50;  ///< paper: update after 50 samples
+  std::uint64_t seed = 7;
+};
+
+class SacAgent {
+ public:
+  explicit SacAgent(const SacConfig& cfg);
+
+  /// Sample an action in [-1, 1]^dim. Deterministic mode returns tanh(mean)
+  /// (evaluation); stochastic mode draws from the squashed Gaussian.
+  std::vector<double> act(const std::vector<double>& state, bool deterministic = false);
+
+  /// Record a transition into the replay buffer.
+  void observe(const std::vector<double>& state, const std::vector<double>& action,
+               double reward, const std::vector<double>& next_state, bool done);
+
+  bool ready_to_update() const { return buffer_.size() >= cfg_.min_buffer_for_update; }
+
+  /// Run `steps` gradient updates (critic, actor, temperature, targets).
+  void update(int steps = 1);
+
+  double alpha() const;
+  std::size_t buffer_size() const { return buffer_.size(); }
+  double last_critic_loss() const { return last_critic_loss_; }
+  double last_actor_loss() const { return last_actor_loss_; }
+  std::uint64_t updates_performed() const { return updates_; }
+
+  /// Q-value estimate min(Q1, Q2)(s, a) — for tests and diagnostics.
+  double q_value(const std::vector<double>& state, const std::vector<double>& action) const;
+
+ private:
+  struct PolicySample {
+    std::vector<double> action;    // tanh-squashed, in [-1,1]
+    std::vector<double> raw;       // pre-squash Gaussian draw
+    std::vector<double> mean, log_std, eps;
+    double log_prob = 0.0;
+  };
+
+  PolicySample sample_policy(const std::vector<double>& state, Mlp::Cache* cache);
+  void update_once();
+  static std::vector<double> concat(const std::vector<double>& a, const std::vector<double>& b);
+
+  SacConfig cfg_;
+  Rng rng_;
+  Mlp actor_;           // state -> [mean..., log_std...]
+  Mlp q1_, q2_;         // state+action -> scalar
+  Mlp q1_target_, q2_target_;
+  double log_alpha_;
+  double alpha_m_ = 0.0, alpha_v_ = 0.0;  // Adam state for the temperature
+  std::uint64_t alpha_t_ = 0;
+  ReplayBuffer buffer_;
+  double last_critic_loss_ = 0.0;
+  double last_actor_loss_ = 0.0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace mtat

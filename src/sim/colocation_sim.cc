@@ -1,0 +1,275 @@
+#include "sim/colocation_sim.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace mtat {
+
+const char* policy_name(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kMtatFull: return "mtat_full";
+    case PolicyKind::kMtatLcOnly: return "mtat_lc_only";
+    case PolicyKind::kMemtis: return "memtis";
+    case PolicyKind::kTpp: return "tpp";
+    case PolicyKind::kFmemAll: return "fmem_all";
+    case PolicyKind::kSmemAll: return "smem_all";
+    case PolicyKind::kVtmm: return "vtmm";
+    case PolicyKind::kDamon: return "damon";
+    case PolicyKind::kMemtisHp: return "memtis_hp";
+  }
+  return "?";
+}
+
+ColocationSim::ColocationSim(const SimConfig& cfg) : cfg_(cfg) {
+  // --- Platform ---------------------------------------------------------------
+  TieredMemory::Config mc;
+  mc.fmem_pages = bytes_to_pages(cfg.fmem);
+  mc.smem_pages = bytes_to_pages(cfg.smem);
+  mc.fmem_latency = cfg.fmem_latency;
+  mc.smem_latency = cfg.smem_latency;
+  mem_ = std::make_unique<TieredMemory>(mc);
+  engine_ = std::make_unique<MigrationEngine>(
+      *mem_, MigrationEngine::Config{cfg.migration_bandwidth});
+  sampler_ = std::make_unique<AccessSampler>(*mem_, cfg.lc.sample_period);
+
+  // --- Tenants: LC allocates first (paper Figure 2 setup) ---------------------
+  AllocPolicy lc_alloc = AllocPolicy::kFMemFirst;
+  AllocPolicy be_alloc = AllocPolicy::kFMemFirst;
+  if (cfg.policy == PolicyKind::kFmemAll) be_alloc = AllocPolicy::kSMemOnly;
+  if (cfg.policy == PolicyKind::kSmemAll) lc_alloc = AllocPolicy::kSMemOnly;
+
+  Rng seeder(cfg.seed);
+  const WorkloadId lc_id = 0;
+  lc_ = std::make_unique<LCWorkload>(*mem_, lc_id, cfg.lc, lc_alloc, seeder.next_u64());
+  lc_->space().set_observer(sampler_.get());
+  for (std::size_t i = 0; i < cfg.be.size(); ++i)
+    be_.push_back(std::make_unique<BEWorkload>(*mem_, static_cast<WorkloadId>(i + 1),
+                                               cfg.be[i], be_alloc, sampler_.get(),
+                                               seeder.next_u64()));
+
+  queue_ = std::make_unique<QueueSim>(*lc_, cfg.latency_window, seeder.next_u64());
+  be_measured_iters_.assign(be_.size(), 0.0);
+
+  // --- Policy -------------------------------------------------------------------
+  PolicyContext ctx;
+  ctx.mem = mem_.get();
+  ctx.engine = engine_.get();
+  ctx.sampler = sampler_.get();
+  ctx.tenants.push_back(TenantInfo{lc_id, true});
+  for (std::size_t i = 0; i < be_.size(); ++i)
+    ctx.tenants.push_back(TenantInfo{static_cast<WorkloadId>(i + 1), false});
+
+  switch (cfg.policy) {
+    case PolicyKind::kMemtis:
+      policy_ = std::make_unique<MemtisPolicy>(ctx);
+      break;
+    case PolicyKind::kTpp:
+      policy_ = std::make_unique<TppPolicy>(ctx);
+      break;
+    case PolicyKind::kVtmm:
+      policy_ = std::make_unique<VtmmPolicy>(ctx);
+      break;
+    case PolicyKind::kDamon:
+      policy_ = std::make_unique<DamonPolicy>(ctx);
+      break;
+    case PolicyKind::kMemtisHp:
+      policy_ = std::make_unique<MemtisHpPolicy>(ctx);
+      break;
+    case PolicyKind::kFmemAll:
+      policy_ = std::make_unique<StaticPolicy>(StaticPolicy::Kind::kFMemAll);
+      break;
+    case PolicyKind::kSmemAll:
+      policy_ = std::make_unique<StaticPolicy>(StaticPolicy::Kind::kSMemAll);
+      break;
+    case PolicyKind::kMtatFull:
+    case PolicyKind::kMtatLcOnly: {
+      // Offline profiles for PP-M's BE partitioning (§3.2.2): normalized
+      // throughput as a function of granted FMem, from the kernel profiles.
+      std::vector<BEPerfModel> models;
+      for (const auto& bw : be_) {
+        BEWorkload* w = bw.get();
+        models.push_back(BEPerfModel{
+            [w](std::uint64_t pages) { return w->rate_at_pages(pages) / w->perf_full(); },
+            w->space().num_pages()});
+      }
+      MtatPolicy::Options opt = cfg.mtat;
+      opt.full = cfg.policy == PolicyKind::kMtatFull;
+      if (cfg.bandwidth.enabled && !opt.ppm.joint_objective) {
+        // Contention-aware SA objective: with shared tier bandwidth, one
+        // tenant's allocation changes every tenant's performance, so P(M) is
+        // evaluated jointly — per-tenant ideal placement under the bandwidth
+        // factors that placement itself induces (short fixed-point).
+        opt.ppm.joint_objective = [this](const std::vector<std::uint64_t>& alloc) {
+          const BandwidthModel& bw = cfg_.bandwidth;
+          const double base_f = static_cast<double>(mem_->base_latency(Tier::kFMem));
+          const double base_s = static_cast<double>(mem_->base_latency(Tier::kSMem));
+          double ff = 1.0, fs = 1.0;
+          std::vector<double> hit(be_.size());
+          for (std::size_t i = 0; i < be_.size(); ++i)
+            hit[i] = be_[i]->hit_fraction_at_pages(i < alloc.size() ? alloc[i] : 0);
+          for (int it = 0; it < 4; ++it) {
+            double df = 0.0, ds = 0.0;
+            for (std::size_t i = 0; i < be_.size(); ++i) {
+              const double acc = be_[i]->rate_under(hit[i], base_f * ff, base_s * fs) *
+                                 be_[i]->config().profile.accesses_per_iteration;
+              df += acc * hit[i];
+              ds += acc * (1.0 - hit[i]);
+            }
+            ff = bandwidth_factor(bw, df / bw.fmem_accesses_per_sec);
+            fs = bandwidth_factor(bw, ds / bw.smem_accesses_per_sec);
+          }
+          double min_np = 1.0, sum_np = 0.0;
+          for (std::size_t i = 0; i < be_.size(); ++i) {
+            const double np =
+                be_[i]->rate_under(hit[i], base_f * ff, base_s * fs) / be_[i]->perf_full();
+            min_np = std::min(min_np, np);
+            sum_np += np;
+          }
+          return min_np + 1e-6 * sum_np;
+        };
+      }
+      if (opt.ppm.sa.unit_pages <= 1) {
+        // Paper granularity: +-1 GB on 32 GB FMem -> 1/32 of capacity.
+        opt.ppm.sa.unit_pages = std::max<std::uint64_t>(1, bytes_to_pages(cfg.fmem) / 32);
+      }
+      auto mtat = std::make_unique<MtatPolicy>(ctx, cfg.interval, cfg.lc.slo,
+                                               std::move(models), opt, cfg.shared_agent);
+      mtat_ = mtat.get();
+      policy_ = std::move(mtat);
+      break;
+    }
+  }
+
+  next_interval_ = cfg.interval;
+  reset_stats();
+}
+
+ColocationSim::~ColocationSim() = default;
+
+void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool measure) {
+  // Measured phases run the RL policy on its mean action (no exploration
+  // noise); training phases explore. Learning continues in both.
+  if (mtat_ != nullptr) mtat_->ppm().set_deterministic(measure);
+  queue_->set_pattern(&pattern, now_);
+  const SimTime end = now_ + duration;
+  double offered_now = pattern.rate_at(0);
+  while (now_ < end) {
+    const Duration dt = std::min<Duration>(cfg_.tick, end - now_);
+    if (cfg_.bandwidth.enabled)
+      apply_bandwidth_model(pattern.rate_at(now_ - (end - duration)));
+    engine_->begin_interval(dt);
+    policy_->on_tick(now_, dt);
+    for (auto& bw : be_) bw->tick(dt);
+    queue_->run_until(now_ + dt);
+    now_ += dt;
+    if (now_ >= next_interval_) {
+      offered_now = pattern.rate_at(now_ - (end - duration));
+      LatencyHistogram h = queue_->recorder().collect_interval();
+      const Duration p99 = h.percentile(99.0);
+      const auto wall0 = std::chrono::steady_clock::now();
+      policy_->on_interval(now_, cfg_.interval, p99);
+      const auto wall1 = std::chrono::steady_clock::now();
+      policy_wall_us_ +=
+          std::chrono::duration<double, std::micro>(wall1 - wall0).count();
+      if (measure) {
+        measured_lat_.merge(h);
+        record_interval(offered_now, p99, cfg_.interval);
+        measured_time_ += cfg_.interval;
+        ++measured_intervals_;
+      } else {
+        // Drain per-interval counters so the measured phase starts clean.
+        queue_->take_interval_completed();
+        for (auto& bw : be_) bw->take_interval_iterations();
+      }
+      next_interval_ = now_ + cfg_.interval;
+    }
+  }
+}
+
+void ColocationSim::apply_bandwidth_model(double lc_offered_rps) {
+  // One-step-lagged fixed point: demand is computed from the previous tick's
+  // (possibly contended) rates, then the new factors apply to this tick.
+  const BandwidthModel& bw = cfg_.bandwidth;
+  double demand[2] = {0.0, 0.0};
+  for (const auto& be : be_) {
+    const double acc = be->current_rate() * be->config().profile.accesses_per_iteration;
+    demand[0] += acc * be->fmem_weight();
+    demand[1] += acc * (1.0 - be->fmem_weight());
+  }
+  const double lc_acc = lc_offered_rps * static_cast<double>(lc_->misses_per_request());
+  demand[0] += lc_acc * mem_->fmem_usage_ratio(lc_->id());
+  demand[1] += lc_acc * (1.0 - mem_->fmem_usage_ratio(lc_->id()));
+  const double cap[2] = {bw.fmem_accesses_per_sec, bw.smem_accesses_per_sec};
+  for (int t = 0; t < 2; ++t) {
+    const double target = bandwidth_factor(bw, demand[t] / cap[t]);
+    bw_factor_[t] = (1.0 - bw.damping) * bw_factor_[t] + bw.damping * target;
+    mem_->set_contention_factor(t == 0 ? Tier::kFMem : Tier::kSMem, bw_factor_[t]);
+  }
+}
+
+void ColocationSim::record_interval(double offered_rps, Duration lc_p99, Duration interval) {
+  TimePoint tp;
+  tp.t_sec = to_seconds(now_);
+  tp.offered_rps = offered_rps;
+  tp.lc_p99_ms = static_cast<double>(lc_p99) / 1e6;
+  const double interval_s = to_seconds(interval);
+  tp.lc_throughput_rps = static_cast<double>(queue_->take_interval_completed()) / interval_s;
+  tp.lc_fmem_ratio = mem_->fmem_usage_ratio(lc_->id());
+  const auto fmem_cap = static_cast<double>(mem_->capacity(Tier::kFMem));
+  tp.lc_fmem_share =
+      static_cast<double>(mem_->workload_pages(lc_->id(), Tier::kFMem)) / fmem_cap;
+  for (std::size_t i = 0; i < be_.size(); ++i) {
+    tp.be_fmem_share.push_back(
+        static_cast<double>(mem_->workload_pages(be_[i]->id(), Tier::kFMem)) / fmem_cap);
+    const double iters = be_[i]->take_interval_iterations();
+    be_measured_iters_[i] += iters;
+    tp.be_throughput.push_back(iters / interval_s);
+  }
+  series_.push_back(std::move(tp));
+  pages_moved_measured_ = engine_->total_pages_moved() - measured_pages_moved_mark_;
+}
+
+void ColocationSim::reset_stats() {
+  series_.clear();
+  measured_lat_.reset();
+  measured_requests_ = queue_->recorder().total_requests();
+  measured_violations_ = queue_->recorder().slo_violations();
+  for (auto& bw : be_) bw->take_interval_iterations();
+  queue_->take_interval_completed();
+  be_measured_iters_.assign(be_.size(), 0.0);
+  measured_time_ = 0;
+  measured_pages_moved_mark_ = engine_->total_pages_moved();
+  pages_moved_measured_ = 0;
+  policy_wall_us_ = 0;
+  measured_intervals_ = 0;
+}
+
+SimResult ColocationSim::result() const {
+  SimResult r;
+  r.series = series_;
+  r.lc_p99_ms = static_cast<double>(measured_lat_.percentile(99.0)) / 1e6;
+  const std::uint64_t reqs = queue_->recorder().total_requests() - measured_requests_;
+  const std::uint64_t viol = queue_->recorder().slo_violations() - measured_violations_;
+  r.lc_completed = reqs;
+  r.slo_violation_rate =
+      reqs == 0 ? 0.0 : static_cast<double>(viol) / static_cast<double>(reqs);
+  const double secs = to_seconds(measured_time_);
+  double min_np = be_.empty() ? 0.0 : 1.0;
+  for (std::size_t i = 0; i < be_.size(); ++i) {
+    const double rate = secs > 0 ? be_measured_iters_[i] / secs : 0.0;
+    r.be_rate.push_back(rate);
+    const double np = rate / be_[i]->perf_full();
+    r.be_np.push_back(np);
+    r.be_total_throughput += rate;
+    r.be_mean_np += np / static_cast<double>(be_.size());
+    min_np = std::min(min_np, np);
+  }
+  r.fairness = min_np;
+  r.migration_bytes_per_sec =
+      secs > 0 ? static_cast<double>(pages_moved_measured_) * kPageSize / secs : 0.0;
+  r.policy_wall_us_per_interval =
+      measured_intervals_ > 0 ? policy_wall_us_ / static_cast<double>(measured_intervals_) : 0.0;
+  return r;
+}
+
+}  // namespace mtat

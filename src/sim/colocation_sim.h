@@ -1,0 +1,180 @@
+// The co-location experiment engine.
+//
+// Owns one complete reproduction of the paper's server: a tiered memory, a
+// bandwidth-budgeted migration engine, PEBS-like telemetry, one LC workload
+// behind an open-loop M/G/k queue, a set of BE workloads, and one placement
+// policy (MTAT variant or baseline). run() advances everything on a shared
+// simulated clock; per-interval rows give the time series behind Figures 2
+// and 5, and the aggregate metrics give fairness/throughput/SLO-violation
+// numbers behind Figures 6, 8, 9 and Tables 3-4.
+//
+// Allocation order reproduces the paper's setup: the LC workload allocates
+// first and FMem-first (Figure 2: "Redis initially occupies 100% of available
+// FMem"), BE workloads spill to SMem — except under the static pins, which
+// place LC (FMEM_ALL) or BE (SMEM_ALL) exclusively.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/mtat_policy.h"
+#include "loadgen/queue_sim.h"
+#include "mem/migration_engine.h"
+#include "mem/tiered_memory.h"
+#include "policy/memtis_policy.h"
+#include "policy/vtmm_policy.h"
+#include "policy/damon_policy.h"
+#include "policy/memtis_hp_policy.h"
+#include "policy/policy.h"
+#include "policy/static_policy.h"
+#include "policy/tpp_policy.h"
+#include "telemetry/access_sampler.h"
+#include "workloads/be/be_workload.h"
+#include "workloads/lc/lc_workload.h"
+
+namespace mtat {
+
+/// kVtmm and kDamon are extensions beyond the paper's comparison set (see
+/// policy/vtmm_policy.h and policy/damon_policy.h); the rest are §5's
+/// comparison points.
+enum class PolicyKind {
+  kMtatFull, kMtatLcOnly, kMemtis, kTpp, kFmemAll, kSmemAll, kVtmm, kDamon, kMemtisHp
+};
+
+const char* policy_name(PolicyKind k);
+
+/// Optional tier-bandwidth contention model (§7's bandwidth-aware policy
+/// discussion): when a tier's aggregate access demand approaches its
+/// sustainable rate, its effective per-access latency inflates, which feeds
+/// back into every workload's throughput and the LC service times.
+struct BandwidthModel {
+  bool enabled = false;
+  double fmem_accesses_per_sec = 600e6;  ///< sustainable access rate, FMem
+  double smem_accesses_per_sec = 45e6;   ///< sustainable access rate, SMem
+  /// Inflation curve: latency factor = 1 / (1 - saturation * utilization),
+  /// the standard open-queue approximation; `saturation` < 1 softens it so
+  /// the coupled demand/latency fixed point stays stable.
+  double saturation = 0.8;
+  double max_factor = 4.0;  ///< latency inflation cap
+  /// Per-tick EWMA damping of the factor (demand is elastic in latency, so
+  /// the undamped one-step iteration can oscillate).
+  double damping = 0.1;
+};
+
+/// The latency-inflation curve of the bandwidth model at utilization `rho`.
+inline double bandwidth_factor(const BandwidthModel& bw, double rho) {
+  const double r = std::min(0.999, rho);
+  return std::min(bw.max_factor, std::max(1.0, 1.0 / (1.0 - bw.saturation * r)));
+}
+
+struct SimConfig {
+  // --- platform (DESIGN.md §5 scaled defaults) ---
+  Bytes fmem = Bytes{2} * 1024 * 1024 * 1024;
+  Bytes smem = Bytes{16} * 1024 * 1024 * 1024;
+  Duration fmem_latency = 73;
+  Duration smem_latency = 202;
+  double migration_bandwidth = 4.0 * 1024 * 1024 * 1024;  ///< bytes/s (§5.5)
+  // --- timing ---
+  Duration tick = milliseconds(10);
+  Duration interval = seconds(1);  ///< partitioning interval (paper: 60 s, /60)
+  Duration latency_window = seconds(1);
+  // --- tenants ---
+  LCConfig lc;
+  std::vector<BEConfig> be;
+  // --- policy ---
+  BandwidthModel bandwidth;
+  PolicyKind policy = PolicyKind::kMtatFull;
+  MtatPolicy::Options mtat;    ///< tunables for the MTAT variants
+  SacAgent* shared_agent = nullptr;  ///< persist RL learning across sims
+  std::uint64_t seed = 42;
+};
+
+/// One partitioning-interval row of the experiment time series.
+struct TimePoint {
+  double t_sec = 0;
+  double offered_rps = 0;
+  double lc_p99_ms = 0;
+  double lc_throughput_rps = 0;
+  double lc_fmem_ratio = 0;   ///< LC pages in FMem / LC RSS (Figure 2 bottom)
+  double lc_fmem_share = 0;   ///< LC pages in FMem / FMem capacity (Figure 5)
+  std::vector<double> be_fmem_share;   ///< per BE, of FMem capacity
+  std::vector<double> be_throughput;   ///< per BE, iterations/s this interval
+};
+
+/// Aggregates over the measured portion of a run.
+struct SimResult {
+  std::vector<TimePoint> series;
+  double lc_p99_ms = 0;            ///< P99 over the whole measured phase
+  double slo_violation_rate = 0;   ///< fraction of requests over SLO (Table 4)
+  std::uint64_t lc_completed = 0;
+  std::vector<double> be_rate;     ///< mean iterations/s per BE
+  std::vector<double> be_np;       ///< Eq. 3 normalized performance per BE
+  double fairness = 0;             ///< min_i NP_i (§5.1's fairness metric)
+  double be_total_throughput = 0;  ///< sum of mean BE rates (Figure 6b)
+  double be_mean_np = 0;           ///< scale-free alternative aggregate
+  double migration_bytes_per_sec = 0;  ///< PP-E overhead proxy (§5.5)
+  double policy_wall_us_per_interval = 0;  ///< PP-M overhead proxy (§5.5)
+};
+
+class ColocationSim {
+ public:
+  explicit ColocationSim(const SimConfig& cfg);
+
+  ColocationSim(const ColocationSim&) = delete;
+  ColocationSim& operator=(const ColocationSim&) = delete;
+  ~ColocationSim();
+
+  /// Advance the simulation by `duration` under `pattern` (restarted at the
+  /// current time). With measure=false (training/warmup) nothing is recorded.
+  void run(const LoadPattern& pattern, Duration duration, bool measure = true);
+
+  /// Aggregates for everything measured since construction (or reset_stats).
+  SimResult result() const;
+
+  /// Drop measured data, keeping all simulation and learning state — used
+  /// between a training phase and the measured phase.
+  void reset_stats();
+
+  LCWorkload& lc() { return *lc_; }
+  BEWorkload& be(std::size_t i) { return *be_[i]; }
+  std::size_t be_count() const { return be_.size(); }
+  TieredMemory& mem() { return *mem_; }
+  MigrationEngine& engine() { return *engine_; }
+  TieringPolicy& policy() { return *policy_; }
+  const SimConfig& config() const { return cfg_; }
+  SimTime now() const { return now_; }
+
+ private:
+  void record_interval(double offered_rps, Duration lc_p99, Duration interval);
+  void apply_bandwidth_model(double lc_offered_rps);
+
+  SimConfig cfg_;
+  std::unique_ptr<TieredMemory> mem_;
+  std::unique_ptr<MigrationEngine> engine_;
+  std::unique_ptr<AccessSampler> sampler_;
+  std::unique_ptr<LCWorkload> lc_;
+  std::vector<std::unique_ptr<BEWorkload>> be_;
+  std::unique_ptr<QueueSim> queue_;
+  std::unique_ptr<TieringPolicy> policy_;
+  MtatPolicy* mtat_ = nullptr;  // non-null when policy is an MTAT variant
+
+  SimTime now_ = 0;
+  SimTime next_interval_ = 0;
+
+  // Measurement phase bookkeeping.
+  std::vector<TimePoint> series_;
+  LatencyHistogram measured_lat_;
+  std::uint64_t measured_requests_ = 0;
+  std::uint64_t measured_violations_ = 0;
+  std::vector<double> be_measured_iters_;
+  Duration measured_time_ = 0;
+  std::uint64_t measured_pages_moved_mark_ = 0;
+  std::uint64_t pages_moved_measured_ = 0;
+  double policy_wall_us_ = 0;
+  std::uint64_t measured_intervals_ = 0;
+  double bw_factor_[2] = {1.0, 1.0};  // damped contention factors per tier
+};
+
+}  // namespace mtat

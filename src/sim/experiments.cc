@@ -1,0 +1,73 @@
+#include "sim/experiments.h"
+
+namespace mtat {
+
+std::vector<LatencyCurvePoint> lc_latency_curve(const LCConfig& lc, double fmem_fraction,
+                                                const std::vector<double>& load_fractions,
+                                                Duration per_point, std::uint64_t seed) {
+  // Size FMem to hold exactly the requested fraction of the workload's
+  // footprint; everything else lands in SMem. A zero fraction still needs a
+  // nonzero tier, so floor at one page.
+  Rng seeder(seed);
+  LCConfig cfg = lc;
+  // Determine the footprint by building once against an all-SMem scratch.
+  TieredMemory::Config probe_mc;
+  probe_mc.fmem_pages = 1;
+  probe_mc.smem_pages = bytes_to_pages(Bytes{64} * 1024 * 1024 * 1024);
+  TieredMemory probe_mem(probe_mc);
+  LCWorkload probe(probe_mem, 0, cfg, AllocPolicy::kSMemOnly, seeder.next_u64());
+  const std::uint64_t footprint = probe.space().num_pages();
+
+  TieredMemory::Config mc;
+  mc.fmem_pages = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(fmem_fraction * static_cast<double>(footprint)));
+  mc.smem_pages = footprint + 1024;
+  TieredMemory mem(mc);
+  LCWorkload wl(mem, 0, cfg, AllocPolicy::kFMemFirst, seeder.next_u64());
+
+  std::vector<LatencyCurvePoint> out;
+  for (double f : load_fractions) {
+    const double rate = f * cfg.max_load_krps * 1000.0;
+    QueueSim queue(wl, seconds(1), seeder.next_u64());
+    const LoadPattern pattern = LoadPattern::constant(rate);
+    queue.set_pattern(&pattern, 0);
+    const Duration warm = per_point / 5;
+    queue.run_until(warm);
+    queue.recorder().collect_interval();  // discard warmup
+    const std::uint64_t before = queue.completed();
+    queue.run_until(per_point);
+    const LatencyHistogram h = queue.recorder().collect_interval();
+    LatencyCurvePoint p;
+    p.offered_krps = rate / 1000.0;
+    p.p99_ms = static_cast<double>(h.percentile(99.0)) / 1e6;
+    p.achieved_krps = static_cast<double>(queue.completed() - before) /
+                      to_seconds(per_point - warm) / 1000.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double find_max_load(const std::function<bool(double)>& sustainable, double lo_krps,
+                     double hi_krps, int iters) {
+  double lo = lo_krps, hi = hi_krps;
+  if (!sustainable(lo)) return lo;
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (sustainable(mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+bool probe_slo_sustainable(ColocationSim& sim, double krps, Duration warm, Duration duration,
+                           double max_violation_rate) {
+  const LoadPattern pattern = LoadPattern::constant(krps * 1000.0);
+  sim.run(pattern, warm, /*measure=*/false);
+  sim.reset_stats();
+  sim.run(pattern, duration, /*measure=*/true);
+  return sim.result().slo_violation_rate <= max_violation_rate;
+}
+
+}  // namespace mtat

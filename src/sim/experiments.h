@@ -1,0 +1,40 @@
+// Reusable experiment drivers shared by the benchmark harness and examples.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/colocation_sim.h"
+
+namespace mtat {
+
+/// One point of a Figure-1 latency curve.
+struct LatencyCurvePoint {
+  double offered_krps = 0;
+  double p99_ms = 0;
+  double achieved_krps = 0;
+};
+
+/// P99-vs-load curve for an LC workload running *alone* with a static FMem
+/// allocation able to hold `fmem_fraction` of its footprint (Figure 1's
+/// FMem 0/25/50/75/100% settings). Each load level runs on a fresh queue
+/// (no backlog carry-over), `per_point` of simulated time with the first
+/// fifth discarded as warmup.
+std::vector<LatencyCurvePoint> lc_latency_curve(const LCConfig& lc, double fmem_fraction,
+                                                const std::vector<double>& load_fractions,
+                                                Duration per_point, std::uint64_t seed);
+
+/// Generic bisection for "maximum load satisfying a predicate" (Figure 8's
+/// max sustainable load). `sustainable(krps)` must be monotone (true below
+/// the knee). Returns the largest sustainable load found within `iters`
+/// halvings of [lo, hi].
+double find_max_load(const std::function<bool(double krps)>& sustainable, double lo_krps,
+                     double hi_krps, int iters = 7);
+
+/// Convenience: SLO-violation criterion the paper uses — run `sim` at
+/// constant `krps` for `duration` (after `warm` uncounted) and require the
+/// measured violation rate to stay under `max_violation_rate`.
+bool probe_slo_sustainable(ColocationSim& sim, double krps, Duration warm, Duration duration,
+                           double max_violation_rate = 0.01);
+
+}  // namespace mtat

@@ -1,0 +1,112 @@
+// PEBS-like sampled access monitor.
+//
+// The paper's PP-E samples MEM_LOAD_L3_MISS_RETIRED.{LOCAL,REMOTE}_DRAM and
+// MEM_INST_RETIRED.ALL_STORES to classify each sampled access as FMem or SMem
+// and accumulate page-level counts. Here the AddressSpace delivers a 1-in-N
+// sample of modelled accesses; AccessSampler classifies it by the page's
+// current tier, maintains the per-workload interval counters PP-M's RL state
+// is built from (FMem Access Ratio, Memory Access Count), and fans the sample
+// out to the registered PageHotness histograms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/address_space.h"
+#include "telemetry/page_hotness.h"
+
+namespace mtat {
+
+/// Per-workload counters accumulated over one observation interval.
+struct IntervalCounters {
+  std::uint64_t fmem_accesses = 0;  ///< sampled accesses resolved in FMem
+  std::uint64_t smem_accesses = 0;  ///< sampled accesses resolved in SMem
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  std::uint64_t total() const { return fmem_accesses + smem_accesses; }
+
+  /// The paper's "FMem Access Ratio": share of accesses served by FMem.
+  /// Returns 1.0 for an idle interval (no accesses means no SMem misses).
+  double fmem_access_ratio() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 1.0 : static_cast<double>(fmem_accesses) / static_cast<double>(t);
+  }
+};
+
+class AccessSampler : public AccessObserver {
+ public:
+  /// `sample_period` is the N of the AddressSpaces feeding this sampler; it is
+  /// used only to scale sampled counts back to estimated true access counts.
+  explicit AccessSampler(const TieredMemory& mem, std::uint64_t sample_period = 1)
+      : mem_(&mem), sample_period_(sample_period == 0 ? 1 : sample_period) {}
+
+  void on_sampled_access(WorkloadId w, PageId p, AccessKind kind) override {
+    if (current_.size() <= w) {
+      current_.resize(static_cast<std::size_t>(w) + 1);
+      cumulative_.resize(static_cast<std::size_t>(w) + 1);
+    }
+    IntervalCounters& c = current_[w];
+    if (mem_->tier_of(p) == Tier::kFMem)
+      ++c.fmem_accesses;
+    else
+      ++c.smem_accesses;
+    if (kind == AccessKind::kRead)
+      ++c.reads;
+    else
+      ++c.writes;
+    for (PageHotness* h : sinks_) h->record_access(w, p);
+    for (const auto& cb : callbacks_) cb(w, p, kind);
+  }
+
+  /// Attach a histogram that should receive every sample this monitor sees.
+  void add_sink(PageHotness* h) { sinks_.push_back(h); }
+
+  /// Attach an arbitrary per-sample callback (e.g. TPP's fault shadowing).
+  using SampleCallback = std::function<void(WorkloadId, PageId, AccessKind)>;
+  void add_callback(SampleCallback cb) { callbacks_.push_back(std::move(cb)); }
+
+  /// Read-and-reset the interval counters for workload `w`. Called once per
+  /// observation interval by the policy layer.
+  IntervalCounters collect(WorkloadId w) {
+    if (current_.size() <= w) return IntervalCounters{};
+    IntervalCounters out = current_[w];
+    accumulate(cumulative_[w], out);
+    current_[w] = IntervalCounters{};
+    return out;
+  }
+
+  /// Peek at the counters without resetting.
+  IntervalCounters peek(WorkloadId w) const {
+    return current_.size() <= w ? IntervalCounters{} : current_[w];
+  }
+
+  const IntervalCounters& cumulative(WorkloadId w) const {
+    static const IntervalCounters kEmpty{};
+    return cumulative_.size() <= w ? kEmpty : cumulative_[w];
+  }
+
+  /// Scale a sampled count to an estimate of the true access count.
+  std::uint64_t to_true_count(std::uint64_t sampled) const { return sampled * sample_period_; }
+
+  std::uint64_t sample_period() const { return sample_period_; }
+
+ private:
+  static void accumulate(IntervalCounters& into, const IntervalCounters& from) {
+    into.fmem_accesses += from.fmem_accesses;
+    into.smem_accesses += from.smem_accesses;
+    into.reads += from.reads;
+    into.writes += from.writes;
+  }
+
+  const TieredMemory* mem_;
+  std::uint64_t sample_period_;
+  std::vector<IntervalCounters> current_;
+  std::vector<IntervalCounters> cumulative_;
+  std::vector<PageHotness*> sinks_;
+  std::vector<SampleCallback> callbacks_;
+};
+
+}  // namespace mtat

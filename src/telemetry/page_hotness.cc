@@ -1,0 +1,109 @@
+#include "telemetry/page_hotness.h"
+
+#include <stdexcept>
+
+namespace mtat {
+
+PageHotness::PageHotness(TieredMemory& mem, WorkloadId workload_filter)
+    : mem_(&mem), filter_(workload_filter) {
+  mem.add_migration_listener([this](PageId p, Tier from, Tier to) { on_migration(p, from, to); });
+}
+
+void PageHotness::seed_allocated_pages() {
+  const auto seed_one = [this](PageId p) {
+    ensure(p);
+    Entry& e = entries_[p];
+    if (e.tracked) return;
+    e.tracked = true;
+    e.count = 0;
+    e.epoch = epoch_;
+    push(p, static_cast<int>(mem_->tier_of(p)), 0);
+    ++tracked_;
+  };
+  if (filter_ != kInvalidWorkload) {
+    for (PageId p : mem_->pages_of(filter_)) seed_one(p);
+  } else {
+    for (PageId p = 0; p < mem_->page_count(); ++p) seed_one(p);
+  }
+}
+
+void PageHotness::record_access(WorkloadId w, PageId p) {
+  if (filter_ != kInvalidWorkload && w != filter_) return;
+  ensure(p);
+  Entry& e = entries_[p];
+  const int tier = static_cast<int>(mem_->tier_of(p));
+  const std::uint32_t eff = e.tracked ? effective(e) : 0;
+  const int old_bin = bin_of(eff);
+  const int new_bin = bin_of(eff + 1);
+  if (!e.tracked) {
+    e.tracked = true;
+    ++tracked_;
+    e.count = 1;
+    e.epoch = epoch_;
+    push(p, tier, new_bin);
+    return;
+  }
+  e.count = eff + 1;
+  e.epoch = epoch_;
+  if (new_bin != old_bin || static_cast<int>(e.tier) != tier) {
+    remove(p, e.tier, old_bin);
+    push(p, tier, new_bin);
+  }
+}
+
+void PageHotness::on_migration(PageId p, Tier, Tier to) {
+  if (p >= entries_.size()) return;
+  Entry& e = entries_[p];
+  if (!e.tracked) return;
+  const int bin = bin_of(effective(e));
+  remove(p, e.tier, bin);
+  push(p, static_cast<int>(to), bin);
+}
+
+void PageHotness::age() {
+  ++epoch_;
+  // Counts halve lazily via the epoch shift; physically, every bin's contents
+  // now belong one bin lower, so rotate each tier's bin array down one slot.
+  // Bin 1 (count 1 -> 0) merges into bin 0.
+  for (auto& tier_bins : bins_) {
+    auto& b0 = tier_bins[0];
+    for (PageId p : tier_bins[1]) {
+      entries_[p].pos = static_cast<std::uint32_t>(b0.size());
+      b0.push_back(p);
+    }
+    for (int b = 1; b + 1 < kBins; ++b) tier_bins[b] = std::move(tier_bins[b + 1]);
+    tier_bins[kBins - 1].clear();
+  }
+}
+
+std::vector<PageId> PageHotness::scan(Tier tier, std::size_t max_n, bool from_hot) const {
+  std::vector<PageId> out;
+  if (max_n == 0) return out;
+  out.reserve(max_n < 4096 ? max_n : 4096);
+  const auto& tier_bins = bins_[static_cast<int>(tier)];
+  const auto collect = [&](int b) {
+    for (PageId p : tier_bins[b]) {
+      out.push_back(p);
+      if (out.size() == max_n) return true;
+    }
+    return false;
+  };
+  // Hottest scans exclude bin 0 (effective count zero is not hot); coldest
+  // scans start there — seeded/aged-out pages are the first candidates.
+  if (from_hot) {
+    for (int b = kBins - 1; b >= 1; --b)
+      if (collect(b)) break;
+  } else {
+    for (int b = 0; b < kBins; ++b)
+      if (collect(b)) break;
+  }
+  return out;
+}
+
+std::uint64_t PageHotness::pages_at_or_above(Tier tier, int b) const {
+  std::uint64_t n = 0;
+  for (int i = b; i < kBins; ++i) n += bins_[static_cast<int>(tier)][i].size();
+  return n;
+}
+
+}  // namespace mtat

@@ -1,0 +1,138 @@
+// Exponential-bin page-access histograms with per-bin page lists.
+//
+// This is the data structure §3.3.2 and §4 describe (and MEMTIS/FlexMem use):
+// sampled per-page access counts are kept page-table-style, and pages are
+// chained into histogram bins whose ranges double at each step (2^0, 2^1, ...),
+// so "promote the hottest SMem pages" and "demote the coldest FMem pages" are
+// O(result) pulls from the ends of the bin array. Bins are segregated by the
+// page's current tier — the paper's separate FMem and SMem histograms — kept
+// in sync with placement via a TieredMemory migration listener. Counts are
+// periodically 'aged' by halving, implemented in O(bins + |count-1 pages|) by
+// rotating the bin arrays down one slot and halving stored counts lazily via
+// an epoch shift.
+//
+// Bin rule: bin 0 holds count 0, bin b>=1 holds counts in [2^(b-1), 2^b).
+// Halving every count therefore maps bin b exactly onto bin b-1, which is why
+// the rotation trick is exact, not an approximation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/tiered_memory.h"
+
+namespace mtat {
+
+class PageHotness {
+ public:
+  static constexpr int kBins = 32;
+
+  /// Tracks hotness for pages of `mem`. If `workload_filter` is a valid id,
+  /// only that workload's accesses are recorded (per-workload histograms of
+  /// MTAT's PP-E); with kInvalidWorkload it records everything (the unified
+  /// global histogram a MEMTIS-like policy uses).
+  ///
+  /// Registers a migration listener on `mem`: the histogram must outlive any
+  /// further page migrations and must not be moved.
+  explicit PageHotness(TieredMemory& mem, WorkloadId workload_filter = kInvalidWorkload);
+
+  PageHotness(const PageHotness&) = delete;
+  PageHotness& operator=(const PageHotness&) = delete;
+
+  /// Insert every currently allocated page (of the filtered workload, if any)
+  /// at count 0, so never-accessed pages are orderable as "coldest". Policies
+  /// call this once at attach time.
+  void seed_allocated_pages();
+
+  /// Record one sampled access to page `p` by workload `w`.
+  void record_access(WorkloadId w, PageId p);
+
+  /// Current (aged) access count of a page; 0 if never seen.
+  std::uint32_t count_of(PageId p) const {
+    return p < entries_.size() && entries_[p].tracked ? effective(entries_[p]) : 0;
+  }
+
+  /// Histogram bin of a page; -1 if untracked.
+  int bin_of_page(PageId p) const {
+    return p < entries_.size() && entries_[p].tracked ? bin_of(effective(entries_[p])) : -1;
+  }
+
+  /// Halve every count (the §3.3.2 aging step).
+  void age();
+
+  /// Up to `max_n` of the hottest tracked pages currently resident in `tier`,
+  /// hottest bins first. Pages with zero effective count never qualify.
+  std::vector<PageId> hottest_in_tier(Tier tier, std::size_t max_n) const {
+    return scan(tier, max_n, /*from_hot=*/true);
+  }
+
+  /// Up to `max_n` of the coldest tracked pages in `tier`, coldest first
+  /// (seeded/aged-out pages in bin 0 lead).
+  std::vector<PageId> coldest_in_tier(Tier tier, std::size_t max_n) const {
+    return scan(tier, max_n, /*from_hot=*/false);
+  }
+
+  /// Number of tracked pages in `tier` at bin `b` or hotter — lets policies
+  /// size "how much of my quota is genuinely warm" without a scan.
+  std::uint64_t pages_at_or_above(Tier tier, int b) const;
+
+  std::size_t bin_size(Tier tier, int b) const {
+    return bins_[static_cast<int>(tier)][b].size();
+  }
+  std::size_t tracked_pages() const { return tracked_; }
+  std::uint32_t age_epoch() const { return epoch_; }
+  WorkloadId workload_filter() const { return filter_; }
+
+  /// The bin rule, exposed for tests: 0 -> 0, c >= 1 -> 1 + floor(log2(c)).
+  static int bin_of(std::uint32_t c) {
+    if (c == 0) return 0;
+    const int b = 32 - __builtin_clz(c);  // 1 + floor(log2(c))
+    return b >= kBins ? kBins - 1 : b;
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t count = 0;
+    std::uint32_t epoch = 0;
+    std::uint32_t pos = 0;    // index within its (tier, bin) vector
+    std::uint8_t tier = 0;    // which tier's bin array holds it
+    bool tracked = false;
+  };
+
+  std::uint32_t effective(const Entry& e) const {
+    const std::uint32_t shift = epoch_ - e.epoch;
+    return shift >= 32 ? 0 : e.count >> shift;
+  }
+
+  void ensure(PageId p) {
+    if (p >= entries_.size()) entries_.resize(static_cast<std::size_t>(p) + 1);
+  }
+
+  void push(PageId p, int tier, int bin) {
+    auto& v = bins_[tier][bin];
+    entries_[p].pos = static_cast<std::uint32_t>(v.size());
+    entries_[p].tier = static_cast<std::uint8_t>(tier);
+    v.push_back(p);
+  }
+
+  void remove(PageId p, int tier, int bin) {
+    auto& v = bins_[tier][bin];
+    const std::uint32_t pos = entries_[p].pos;
+    v[pos] = v.back();
+    entries_[v[pos]].pos = pos;
+    v.pop_back();
+  }
+
+  void on_migration(PageId p, Tier from, Tier to);
+  std::vector<PageId> scan(Tier tier, std::size_t max_n, bool from_hot) const;
+
+  TieredMemory* mem_;
+  WorkloadId filter_;
+  std::vector<Entry> entries_;
+  std::vector<PageId> bins_[2][kBins];
+  std::size_t tracked_ = 0;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace mtat

@@ -1,0 +1,118 @@
+// Best-effort workload engine: profile-driven throughput model + telemetry.
+//
+// Each BEWorkload owns an experiment-scale address space whose pages carry
+// the access-probability profile extracted from its real kernel. Per tick it
+// (a) computes the work rate implied by current page placement — cycles plus
+// misses x expected tier latency, the expectation maintained incrementally
+// via a TieredMemory migration listener — and (b) emits the PEBS-like sampled
+// accesses that placement policies actually observe. BE workloads thus look
+// to a policy exactly like the paper's: steady, high-frequency access streams
+// that dwarf the LC workload's per-page rates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/alias_sampler.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "mem/address_space.h"
+#include "workloads/be/page_profile.h"
+
+namespace mtat {
+
+struct BEConfig {
+  std::string name;
+  std::string description;    ///< Table 2 text
+  Bytes rss = 0;              ///< experiment-scale footprint
+  double cpu_ns_per_iter = 0; ///< non-memory cost per work unit, per core
+  int cores = 4;              ///< cores pinned to this workload (×throughput)
+  /// Memory-level parallelism: how many of the workload's misses overlap.
+  /// Divides the effective stall per access; this is what makes, e.g.,
+  /// XSBench's independent lookups far more access-intensive per second (and
+  /// hence more competitive under frequency-based tiering) than BFS's
+  /// dependent pointer chases at the same core count.
+  double mlp = 1.0;
+  /// Time the workload loses per migration of one of its own pages (page-copy
+  /// interference plus, for fault-driven policies like TPP, the hint-fault
+  /// stall on the access path). Charged against the tick's compute time, so
+  /// perpetual churn — TPP's watermark/refill cycle — costs real throughput.
+  Duration migration_stall = 3000;  // ns per migrated page
+  PageProfile profile;        ///< stretched to bytes_to_pages(rss) pages
+  std::uint64_t sample_period = 1024;  ///< PEBS-like sampling divisor
+};
+
+class BEWorkload {
+ public:
+  /// `sampler` (may be null) receives the sampled access stream.
+  /// The workload registers a migration listener on `mem`, so it must not be
+  /// moved and must outlive any further use of `mem`'s placement primitives.
+  BEWorkload(TieredMemory& mem, WorkloadId id, BEConfig cfg, AllocPolicy alloc,
+             AccessObserver* sampler, std::uint64_t seed);
+
+  BEWorkload(const BEWorkload&) = delete;
+  BEWorkload& operator=(const BEWorkload&) = delete;
+
+  /// Advance the workload by `dt`: accrue iterations at the placement-implied
+  /// rate and emit sampled telemetry.
+  void tick(Duration dt);
+
+  /// Instantaneous work rate (iterations/s) at the current placement.
+  double current_rate() const;
+
+  /// Work rate if the workload's `fmem_pages` hottest pages were in FMem —
+  /// the offline-profiling curve PP-M's BE partitioning consumes (§3.2.2).
+  double rate_at_pages(std::uint64_t fmem_pages) const;
+
+  /// Rate with the entire footprint in FMem: Perf_full of Eq. 3.
+  double perf_full() const { return rate_at_pages(space_->num_pages()); }
+
+  /// Fraction of the access distribution covered by the `fmem_pages` hottest
+  /// pages (the ideal-placement hit curve).
+  double hit_fraction_at_pages(std::uint64_t fmem_pages) const {
+    return best_prefix_[std::min<std::uint64_t>(fmem_pages, space_->num_pages())];
+  }
+
+  /// Work rate under explicit per-tier latencies — lets contention-aware
+  /// planners evaluate hypothetical placements under hypothetical bandwidth
+  /// conditions without touching the live memory state.
+  double rate_under(double fmem_weight, double lat_fmem_ns, double lat_smem_ns) const {
+    const double expected = fmem_weight * lat_fmem_ns + (1.0 - fmem_weight) * lat_smem_ns;
+    const double ns_per_iter =
+        cfg_.cpu_ns_per_iter + cfg_.profile.accesses_per_iteration * expected / cfg_.mlp;
+    return static_cast<double>(cfg_.cores) * 1e9 / ns_per_iter;
+  }
+
+  /// Iterations accrued since the last call (per-interval throughput).
+  double take_interval_iterations();
+  double total_iterations() const { return total_iterations_; }
+
+  /// Fraction of the access distribution currently resident in FMem.
+  double fmem_weight() const { return fmem_weight_; }
+
+  WorkloadId id() const { return id_; }
+  AddressSpace& space() { return *space_; }
+  const BEConfig& config() const { return cfg_; }
+
+ private:
+  double rate_for_weight(double fmem_weight) const;
+
+  TieredMemory* mem_;
+  WorkloadId id_;
+  BEConfig cfg_;
+  std::unique_ptr<AddressSpace> space_;
+  AccessObserver* sampler_;
+  Rng rng_;
+  std::unique_ptr<AliasSampler> alias_;
+  std::vector<double> best_prefix_;
+  PageId first_page_ = 0;
+  double fmem_weight_ = 0.0;
+  double total_iterations_ = 0.0;
+  double interval_iterations_ = 0.0;
+  std::uint64_t migrations_pending_ = 0;
+  double sample_carry_ = 0.0;
+};
+
+}  // namespace mtat

@@ -1,0 +1,48 @@
+// Page-access profiles for best-effort workloads.
+//
+// A BE workload matters to tiered-memory management through two things only:
+// the probability distribution of its memory accesses over its pages, and how
+// many misses one unit of work costs. Both are *extracted* from a real run of
+// the underlying kernel (BFS/SSSP/PageRank/XSBench) over a scratch simulated
+// address space with exhaustive (period-1) sampling, then stretched onto the
+// experiment-scale footprint. See DESIGN.md §1 for why this substitution
+// preserves the behaviour the paper evaluates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "mem/address_space.h"
+
+namespace mtat {
+
+struct PageProfile {
+  /// Per-virtual-page access probability; sums to 1 over the footprint.
+  std::vector<double> weight;
+  /// Modelled misses per unit of work (edge processed / lookup performed).
+  double accesses_per_iteration = 0.0;
+
+  std::uint64_t num_pages() const { return weight.size(); }
+
+  /// Expand the footprint to `target_pages` >= num_pages() pages, preserving
+  /// the shape: target page j inherits a proportional share of source page
+  /// floor(j * src/target)'s weight. Weights still sum to 1. Shrinking is
+  /// rejected (it would need aggregation semantics nothing here uses).
+  PageProfile stretched_to(std::uint64_t target_pages) const;
+
+  /// Descending-weight prefix sums: prefix[g] = total access probability
+  /// captured by the g best-placed pages. prefix[0] = 0,
+  /// prefix[num_pages()] = 1. This is the workload's ideal FMem hit curve,
+  /// the basis of the offline profiling data PP-M consumes.
+  std::vector<double> best_placement_prefix() const;
+};
+
+/// Runs `body` against a fresh scratch address space of `footprint` bytes
+/// (single-tier scratch simulator, exhaustive sampling), counting accesses
+/// per page. `body` returns the number of work units (iterations) performed.
+/// The resulting profile's accesses_per_iteration is total/iterations.
+PageProfile extract_profile(Bytes footprint, const std::function<std::uint64_t(AddressSpace&)>& body);
+
+}  // namespace mtat

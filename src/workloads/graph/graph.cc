@@ -1,0 +1,74 @@
+#include "workloads/graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mtat {
+
+Graph::Graph(std::uint64_t n, std::vector<std::pair<Vertex, Vertex>> edges, bool symmetrize,
+             Rng* weight_rng) {
+  if (n == 0) throw std::invalid_argument("Graph: need at least one vertex");
+  if (symmetrize) {
+    const std::size_t orig = edges.size();
+    edges.reserve(orig * 2);
+    for (std::size_t i = 0; i < orig; ++i) edges.emplace_back(edges[i].second, edges[i].first);
+  }
+  // Counting-sort edges into CSR.
+  offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    if (u >= n || v >= n) throw std::invalid_argument("Graph: edge endpoint out of range");
+    offsets_[u + 1]++;
+  }
+  for (std::uint64_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+  targets_.resize(edges.size());
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges) targets_[cursor[u]++] = v;
+  // Deterministic per-edge weights (1..64), independent of insertion order:
+  // derived from the edge's final CSR slot when no RNG is supplied.
+  weights_.resize(edges.size());
+  for (std::size_t e = 0; e < weights_.size(); ++e)
+    weights_[e] = weight_rng ? static_cast<std::uint8_t>(1 + weight_rng->next_below(64))
+                             : static_cast<std::uint8_t>(1 + (e * 2654435761u) % 64);
+}
+
+Graph make_uniform_graph(std::uint64_t n, std::uint64_t m, Rng& rng) {
+  std::vector<std::pair<Graph::Vertex, Graph::Vertex>> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const auto u = static_cast<Graph::Vertex>(rng.next_below(n));
+    const auto v = static_cast<Graph::Vertex>(rng.next_below(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph(n, std::move(edges), /*symmetrize=*/true, &rng);
+}
+
+Graph make_rmat_graph(int scale, int edges_per_vertex, Rng& rng) {
+  if (scale <= 0 || scale > 31) throw std::invalid_argument("make_rmat_graph: bad scale");
+  const std::uint64_t n = 1ull << scale;
+  const std::uint64_t m = n * static_cast<std::uint64_t>(edges_per_vertex);
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;
+  std::vector<std::pair<Graph::Vertex, Graph::Vertex>> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < kA) {
+        // top-left: neither bit set
+      } else if (r < kA + kB) {
+        v |= 1;
+      } else if (r < kA + kB + kC) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) edges.emplace_back(static_cast<Graph::Vertex>(u), static_cast<Graph::Vertex>(v));
+  }
+  return Graph(n, std::move(edges), /*symmetrize=*/true, &rng);
+}
+
+}  // namespace mtat

@@ -1,0 +1,66 @@
+// Maps a CSR graph's arrays onto a simulated address space.
+//
+// Region layout (byte offsets within the AddressSpace):
+//   offsets array   n+1  x 8 B
+//   targets array   m    x 4 B
+//   weights array   m    x 1 B
+//   prop array A    n    x 8 B   (dist / rank)
+//   prop array B    n    x 8 B   (next-rank / tentative)
+//
+// Kernels call the charged accessors below once per element they touch, so
+// the page-access stream a kernel produces is its real one: sequential over
+// offsets/targets, scattered over property arrays indexed by neighbor id —
+// which is what gives graph workloads their characteristic profile skew.
+#pragma once
+
+#include "common/units.h"
+#include "mem/address_space.h"
+#include "workloads/graph/graph.h"
+
+namespace mtat {
+
+class GraphLayout {
+ public:
+  GraphLayout(AddressSpace& space, const Graph& g) : space_(&space), g_(&g) {
+    const Bytes n = g.num_vertices();
+    const Bytes m = g.num_edges();
+    offsets_base_ = 0;
+    targets_base_ = offsets_base_ + (n + 1) * 8;
+    weights_base_ = targets_base_ + m * 4;
+    prop_a_base_ = weights_base_ + m;
+    prop_b_base_ = prop_a_base_ + n * 8;
+    end_ = prop_b_base_ + n * 8;
+    if (end_ > space.size()) throw std::invalid_argument("GraphLayout: space too small");
+  }
+
+  static Bytes required_bytes(const Graph& g) {
+    return (g.num_vertices() + 1) * 8 + g.num_edges() * 5 + g.num_vertices() * 16;
+  }
+
+  Duration read_offset(Graph::Vertex v) { return touch(offsets_base_ + Bytes{v} * 8); }
+  Duration read_target(std::uint64_t e) { return touch(targets_base_ + e * 4); }
+  Duration read_weight(std::uint64_t e) { return touch(weights_base_ + e); }
+  Duration read_prop_a(Graph::Vertex v) { return touch(prop_a_base_ + Bytes{v} * 8); }
+  Duration write_prop_a(Graph::Vertex v) {
+    return touch(prop_a_base_ + Bytes{v} * 8, AccessKind::kWrite);
+  }
+  Duration read_prop_b(Graph::Vertex v) { return touch(prop_b_base_ + Bytes{v} * 8); }
+  Duration write_prop_b(Graph::Vertex v) {
+    return touch(prop_b_base_ + Bytes{v} * 8, AccessKind::kWrite);
+  }
+
+  AddressSpace& space() { return *space_; }
+  const Graph& graph() const { return *g_; }
+  Bytes used_bytes() const { return end_; }
+
+ private:
+  Duration touch(Bytes addr, AccessKind kind = AccessKind::kRead) {
+    return space_->access(addr, kind);
+  }
+
+  AddressSpace* space_;
+  const Graph* g_;
+  Bytes offsets_base_, targets_base_, weights_base_, prop_a_base_, prop_b_base_, end_;
+};
+
+}  // namespace mtat

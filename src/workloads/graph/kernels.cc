@@ -1,0 +1,146 @@
+#include "workloads/graph/kernels.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace mtat {
+namespace {
+
+/// Wraps a layout so every charged access also bumps the stats counters.
+struct Charged {
+  GraphLayout& l;
+  KernelStats& s;
+  void offset(Graph::Vertex v) { add(l.read_offset(v)); }
+  void target(std::uint64_t e) { add(l.read_target(e)); }
+  void weight(std::uint64_t e) { add(l.read_weight(e)); }
+  void read_a(Graph::Vertex v) { add(l.read_prop_a(v)); }
+  void write_a(Graph::Vertex v) { add(l.write_prop_a(v)); }
+  void read_b(Graph::Vertex v) { add(l.read_prop_b(v)); }
+  void write_b(Graph::Vertex v) { add(l.write_prop_b(v)); }
+
+ private:
+  void add(Duration d) {
+    s.memory_latency += d;
+    s.accesses++;
+  }
+};
+
+}  // namespace
+
+KernelStats bfs(GraphLayout& layout, Graph::Vertex source, std::vector<std::uint64_t>& dist) {
+  const Graph& g = layout.graph();
+  if (source >= g.num_vertices()) throw std::out_of_range("bfs: bad source");
+  KernelStats stats;
+  Charged mem{layout, stats};
+  dist.assign(g.num_vertices(), kUnreached);
+  dist[source] = 0;
+  mem.write_a(source);
+  std::deque<Graph::Vertex> frontier{source};
+  while (!frontier.empty()) {
+    const Graph::Vertex u = frontier.front();
+    frontier.pop_front();
+    mem.offset(u);
+    for (std::uint64_t e = g.out_begin(u); e < g.out_end(u); ++e) {
+      mem.target(e);
+      const Graph::Vertex v = g.target(e);
+      stats.edges_processed++;
+      mem.read_a(v);  // read dist[v]
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        mem.write_a(v);
+        frontier.push_back(v);
+      }
+    }
+  }
+  return stats;
+}
+
+KernelStats sssp(GraphLayout& layout, Graph::Vertex source, std::uint64_t delta,
+                 std::vector<std::uint64_t>& dist) {
+  const Graph& g = layout.graph();
+  if (source >= g.num_vertices()) throw std::out_of_range("sssp: bad source");
+  if (delta == 0) throw std::invalid_argument("sssp: delta must be > 0");
+  KernelStats stats;
+  Charged mem{layout, stats};
+  dist.assign(g.num_vertices(), kUnreached);
+  dist[source] = 0;
+  mem.write_a(source);
+  // Delta-stepping with a cyclic bucket array. Max edge weight is 64, so a
+  // relaxation from the current bucket can land at most 64/delta + 1 buckets
+  // ahead — the cyclic window below is sized to hold that whole range.
+  const std::uint64_t n_buckets = 64 / delta + 2;
+  std::vector<std::vector<Graph::Vertex>> buckets(n_buckets);
+  buckets[0].push_back(source);
+  std::uint64_t current = 0;
+  std::vector<Graph::Vertex> batch;
+  while (true) {
+    // Advance `current` to the next non-empty bucket in the window.
+    std::uint64_t step = 0;
+    while (step < n_buckets && buckets[(current + step) % n_buckets].empty()) ++step;
+    if (step == n_buckets) break;  // all buckets drained: done
+    current += step;
+    auto& bucket = buckets[current % n_buckets];
+    // Drain the bucket to a fixed point: relaxations within the current
+    // delta-range re-insert into this same bucket.
+    while (!bucket.empty()) {
+      batch.clear();
+      batch.swap(bucket);
+      for (const Graph::Vertex u : batch) {
+        mem.read_a(u);
+        if (dist[u] / delta != current) continue;  // settled by an earlier bucket
+        mem.offset(u);
+        for (std::uint64_t e = g.out_begin(u); e < g.out_end(u); ++e) {
+          mem.target(e);
+          mem.weight(e);
+          stats.edges_processed++;
+          const Graph::Vertex v = g.target(e);
+          const std::uint64_t nd = dist[u] + g.weight(e);
+          mem.read_a(v);
+          if (nd < dist[v]) {
+            dist[v] = nd;
+            mem.write_a(v);
+            buckets[(nd / delta) % n_buckets].push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+KernelStats pagerank(GraphLayout& layout, int iterations, std::vector<double>& rank) {
+  const Graph& g = layout.graph();
+  KernelStats stats;
+  Charged mem{layout, stats};
+  const std::uint64_t n = g.num_vertices();
+  constexpr double kDamping = 0.85;
+  rank.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> contrib(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    // Phase 1: per-vertex outgoing contribution (sequential sweep).
+    for (Graph::Vertex v = 0; v < n; ++v) {
+      mem.offset(v);
+      mem.read_a(v);
+      const std::uint64_t deg = g.degree(v);
+      contrib[v] = deg ? rank[v] / static_cast<double>(deg) : 0.0;
+      mem.write_b(v);
+    }
+    // Phase 2: pull — each vertex gathers its neighbors' contributions
+    // (scattered reads over prop B, the classic PageRank access pattern).
+    for (Graph::Vertex v = 0; v < n; ++v) {
+      mem.offset(v);
+      double sum = 0.0;
+      for (std::uint64_t e = g.out_begin(v); e < g.out_end(v); ++e) {
+        mem.target(e);
+        mem.read_b(g.target(e));
+        stats.edges_processed++;
+        sum += contrib[g.target(e)];
+      }
+      rank[v] = (1.0 - kDamping) / static_cast<double>(n) + kDamping * sum;
+      mem.write_a(v);
+    }
+  }
+  return stats;
+}
+
+}  // namespace mtat

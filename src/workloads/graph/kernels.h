@@ -1,0 +1,36 @@
+// GAPBS-style graph kernels executed over the simulated address space.
+//
+// These are real algorithm implementations — BFS returns true hop distances,
+// delta-stepping SSSP returns true shortest paths, PageRank converges — and
+// every element they read or write is charged through the GraphLayout, so a
+// run doubles as a faithful page-access trace for BE profile extraction
+// (workloads/be/page_profile.h) and as a correctness-testable kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph/graph_layout.h"
+
+namespace mtat {
+
+/// Outcome of a kernel run: the simulated memory cost plus work counters used
+/// to derive the BE throughput model (accesses per edge processed).
+struct KernelStats {
+  Duration memory_latency = 0;       ///< summed charged latency
+  std::uint64_t edges_processed = 0; ///< unit of BE "iteration"
+  std::uint64_t accesses = 0;        ///< modelled misses issued
+};
+
+/// Breadth-first search from `source`; dist[v] = hop count or kUnreached.
+constexpr std::uint64_t kUnreached = ~0ull;
+KernelStats bfs(GraphLayout& layout, Graph::Vertex source, std::vector<std::uint64_t>& dist);
+
+/// Delta-stepping single-source shortest paths over the graph's edge weights.
+KernelStats sssp(GraphLayout& layout, Graph::Vertex source, std::uint64_t delta,
+                 std::vector<std::uint64_t>& dist);
+
+/// PageRank with damping 0.85; runs `iterations` full sweeps.
+KernelStats pagerank(GraphLayout& layout, int iterations, std::vector<double>& rank);
+
+}  // namespace mtat

@@ -1,0 +1,71 @@
+#include "workloads/kv/btree_store.h"
+
+#include <stdexcept>
+
+namespace mtat {
+namespace {
+
+/// Node counts per level for n leaf entries at the given fanout, root first.
+std::vector<std::uint64_t> shape_for(std::uint64_t n) {
+  std::vector<std::uint64_t> levels;  // built leaves-first, then reversed
+  std::uint64_t nodes = (n + BTreeStore::kFanout - 1) / BTreeStore::kFanout;
+  levels.push_back(nodes);
+  while (nodes > 1) {
+    nodes = (nodes + BTreeStore::kFanout - 1) / BTreeStore::kFanout;
+    levels.push_back(nodes);
+  }
+  return {levels.rbegin(), levels.rend()};
+}
+
+}  // namespace
+
+Bytes BTreeStore::required_bytes(const Config& cfg) {
+  Bytes index = 0;
+  for (std::uint64_t nodes : shape_for(cfg.n_records)) index += nodes * kNodeBytes;
+  return index + cfg.n_records * cfg.record_size;
+}
+
+BTreeStore::BTreeStore(AddressSpace& space, const Config& cfg, Bytes base)
+    : space_(&space), cfg_(cfg), base_(base) {
+  if (cfg.n_records == 0) throw std::invalid_argument("BTreeStore: n_records must be > 0");
+  if (base + required_bytes(cfg) > space.size())
+    throw std::invalid_argument("BTreeStore: region does not fit in address space");
+  level_nodes_ = shape_for(cfg.n_records);
+  Bytes off = base;
+  std::uint64_t span = kFanout;  // keys per node, computed leaves-up
+  std::vector<std::uint64_t> divisors(level_nodes_.size());
+  for (std::size_t i = level_nodes_.size(); i-- > 0;) {
+    divisors[i] = span;
+    span *= kFanout;
+  }
+  level_divisor_ = std::move(divisors);
+  for (std::uint64_t nodes : level_nodes_) {
+    level_base_.push_back(off);
+    off += nodes * kNodeBytes;
+  }
+  records_base_ = off;
+}
+
+Duration BTreeStore::lookup(std::uint64_t key, AccessKind kind) {
+  if (key >= cfg_.n_records) throw std::out_of_range("BTreeStore: key out of range");
+  Duration lat = 0;
+  // Walk root -> leaf; the node holding `key` at level i is key / divisor[i].
+  for (std::size_t i = 0; i < level_nodes_.size(); ++i) {
+    const std::uint64_t node = key / level_divisor_[i];
+    const Bytes addr = level_base_[i] + node * kNodeBytes;
+    lat += space_->access_page_n(addr / kPageSize, cfg_.node_misses, AccessKind::kRead);
+  }
+  // Record access, miss budget spread over the pages the record overlaps.
+  const Bytes start = records_base_ + key * cfg_.record_size;
+  const Bytes end = start + cfg_.record_size - 1;
+  std::uint64_t remaining = cfg_.record_misses;
+  for (std::uint64_t vp = start / kPageSize; vp <= end / kPageSize; ++vp) {
+    const std::uint64_t pages_left = end / kPageSize - vp + 1;
+    const std::uint64_t share = (remaining + pages_left - 1) / pages_left;
+    lat += space_->access_page_n(vp, share, kind);
+    remaining -= share;
+  }
+  return lat;
+}
+
+}  // namespace mtat

@@ -1,0 +1,60 @@
+// Static B+-tree index plus record heap over the simulated address space.
+//
+// Storage engine behind the MongoDB-like document store and the Silo-like
+// transactional tables. Keys are dense [0, n), so the tree is laid out as a
+// perfectly balanced static B+-tree: node addresses are computable, and a
+// lookup walks one node per level — exactly the memory-touch pattern of an
+// index traversal, which is what the tiering simulation consumes.
+//
+// Layout within the AddressSpace, starting at `base`:
+//   level 0 (root) nodes | level 1 nodes | ... | leaves | record heap
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "mem/address_space.h"
+
+namespace mtat {
+
+class BTreeStore {
+ public:
+  static constexpr Bytes kNodeBytes = 4096;  // one node per page, like InnoDB/WiredTiger
+  static constexpr std::uint64_t kFanout = 256;
+
+  struct Config {
+    std::uint64_t n_records = 0;
+    Bytes record_size = 1024;
+    std::uint64_t node_misses = 2;     ///< misses per index node visited (search within node)
+    std::uint64_t record_misses = 16;  ///< misses for one full record read/write
+  };
+
+  static Bytes required_bytes(const Config& cfg);
+
+  /// `base` is the byte offset within `space` where this store's region
+  /// starts, letting several stores (Silo's tables) share one address space.
+  BTreeStore(AddressSpace& space, const Config& cfg, Bytes base = 0);
+
+  /// Index-walk + record read. Returns charged latency.
+  Duration get(std::uint64_t key) { return lookup(key, AccessKind::kRead); }
+  /// Index-walk + record write.
+  Duration put(std::uint64_t key) { return lookup(key, AccessKind::kWrite); }
+
+  int levels() const { return static_cast<int>(level_nodes_.size()); }
+  const Config& config() const { return cfg_; }
+  Bytes index_bytes() const { return records_base_ - base_; }
+
+ private:
+  Duration lookup(std::uint64_t key, AccessKind kind);
+
+  AddressSpace* space_;
+  Config cfg_;
+  Bytes base_;
+  std::vector<std::uint64_t> level_nodes_;   // node count per level, root first
+  std::vector<Bytes> level_base_;            // byte offset of each level
+  std::vector<std::uint64_t> level_divisor_; // keys spanned by one node at that level
+  Bytes records_base_;
+};
+
+}  // namespace mtat

@@ -1,0 +1,104 @@
+#include "workloads/kv/hash_store.h"
+
+#include <stdexcept>
+
+namespace mtat {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer — good avalanche, deterministic across platforms.
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t buckets_for(const HashStore::Config& cfg) {
+  return static_cast<std::uint64_t>(static_cast<double>(cfg.n_records) / cfg.fill_factor) + 1;
+}
+
+}  // namespace
+
+Bytes HashStore::required_bytes(const Config& cfg) {
+  return buckets_for(cfg) * kBucketBytes + cfg.n_records * cfg.record_size;
+}
+
+HashStore::HashStore(AddressSpace& space, const Config& cfg) : space_(&space), cfg_(cfg) {
+  if (cfg.n_records == 0) throw std::invalid_argument("HashStore: n_records must be > 0");
+  if (cfg.fill_factor <= 0.0 || cfg.fill_factor >= 1.0)
+    throw std::invalid_argument("HashStore: fill_factor in (0,1)");
+  if (space.size() < required_bytes(cfg))
+    throw std::invalid_argument("HashStore: address space too small");
+  slots_.assign(buckets_for(cfg), kEmpty);
+  records_base_ = slots_.size() * kBucketBytes;
+  // Real insertion with linear probing, so probe-sequence lengths are genuine.
+  for (std::uint64_t key = 0; key < cfg.n_records; ++key) {
+    std::uint64_t b = bucket_of(key);
+    while (slots_[b] != kEmpty) b = (b + 1) % slots_.size();
+    slots_[b] = key;
+  }
+}
+
+std::uint64_t HashStore::bucket_of(std::uint64_t key) const {
+  return mix64(key) % slots_.size();
+}
+
+std::uint64_t HashStore::probe(std::uint64_t key, Duration& lat) {
+  std::uint64_t b = bucket_of(key);
+  while (true) {
+    lat += space_->access_page_n(b * kBucketBytes / kPageSize, cfg_.probe_misses);
+    if (slots_[b] == key) return b;
+    if (slots_[b] == kEmpty) throw std::logic_error("HashStore: key not present");
+    b = (b + 1) % slots_.size();
+  }
+}
+
+Duration HashStore::touch_record(std::uint64_t key, AccessKind kind) {
+  // Spread the record's miss budget over the pages it overlaps, charging each
+  // page its share — a 4 KiB value spans two pages when unaligned.
+  const Bytes start = records_base_ + key * cfg_.record_size;
+  const Bytes end = start + cfg_.record_size - 1;
+  const std::uint64_t first = start / kPageSize;
+  const std::uint64_t last = end / kPageSize;
+  Duration lat = 0;
+  std::uint64_t remaining = cfg_.record_misses;
+  for (std::uint64_t vp = first; vp <= last; ++vp) {
+    const std::uint64_t pages_left = last - vp + 1;
+    const std::uint64_t share = (remaining + pages_left - 1) / pages_left;  // ceil
+    lat += space_->access_page_n(vp, share, kind);
+    remaining -= share;
+  }
+  return lat;
+}
+
+Duration HashStore::get(std::uint64_t key) {
+  Duration lat = 0;
+  probe(key, lat);
+  lat += touch_record(key, AccessKind::kRead);
+  return lat;
+}
+
+Duration HashStore::put(std::uint64_t key) {
+  Duration lat = 0;
+  probe(key, lat);
+  lat += touch_record(key, AccessKind::kWrite);
+  return lat;
+}
+
+double HashStore::mean_probes() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t key = 0; key < cfg_.n_records; ++key) {
+    std::uint64_t b = bucket_of(key);
+    std::uint64_t probes = 1;
+    while (slots_[b] != key) {
+      b = (b + 1) % slots_.size();
+      ++probes;
+    }
+    total += probes;
+  }
+  return static_cast<double>(total) / static_cast<double>(cfg_.n_records);
+}
+
+}  // namespace mtat

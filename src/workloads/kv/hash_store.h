@@ -1,0 +1,69 @@
+// Open-addressing hash key-value store over the simulated address space.
+//
+// This is the storage engine behind the Redis-like and Memcached-like LC
+// workload models. It is a real hash table — keys are inserted with linear
+// probing into a bucket array, so probe counts are the true probe counts —
+// but the *data* bytes are not materialized: what the simulation needs from a
+// request is (a) which simulated pages it touches and (b) how many memory
+// misses it costs, both of which the layout provides.
+//
+// Layout within the workload's AddressSpace:
+//   [0, n_buckets * kBucketBytes)            bucket array
+//   [bucket_end, bucket_end + n * record)    record heap, record i at slot i
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "mem/address_space.h"
+
+namespace mtat {
+
+class HashStore {
+ public:
+  static constexpr Bytes kBucketBytes = 16;  // key fingerprint + record pointer
+  static constexpr std::uint64_t kEmpty = ~0ull;
+
+  struct Config {
+    std::uint64_t n_records = 0;
+    Bytes record_size = 1024;
+    double fill_factor = 0.7;          ///< bucket-array load factor
+    std::uint64_t probe_misses = 1;    ///< misses charged per probed bucket
+    std::uint64_t record_misses = 16;  ///< misses charged for one full record read
+  };
+
+  /// Space the store needs inside an AddressSpace, for sizing the allocation.
+  static Bytes required_bytes(const Config& cfg);
+
+  /// Builds the table and inserts keys 0..n_records-1. The space must be at
+  /// least required_bytes() large.
+  HashStore(AddressSpace& space, const Config& cfg);
+
+  /// Point lookup: probes buckets, reads the record. Returns charged latency.
+  /// Key must have been inserted (0 <= key < n_records).
+  Duration get(std::uint64_t key);
+
+  /// Update: same probe path, record written instead of read.
+  Duration put(std::uint64_t key);
+
+  const Config& config() const { return cfg_; }
+  std::uint64_t n_buckets() const { return slots_.size(); }
+  /// Mean probes over all inserted keys — exposed for tests of table health.
+  double mean_probes() const;
+
+ private:
+  std::uint64_t bucket_of(std::uint64_t key) const;
+  /// Walk the probe sequence for `key`, charging bucket accesses; returns the
+  /// slot index holding the key.
+  std::uint64_t probe(std::uint64_t key, Duration& lat);
+  Duration touch_record(std::uint64_t key, AccessKind kind);
+
+  AddressSpace* space_;
+  Config cfg_;
+  std::vector<std::uint64_t> slots_;  // host-side table contents (key per slot)
+  Bytes records_base_;
+};
+
+}  // namespace mtat

@@ -1,0 +1,69 @@
+#include "workloads/trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace mtat {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'T', 'A', 'T', 'T', 'R', 'C', '1'};
+
+}  // namespace
+
+void write_trace(const std::string& path, std::uint64_t footprint_pages,
+                 const std::vector<TraceSample>& samples) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_trace: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  const std::uint64_t count = samples.size();
+  out.write(reinterpret_cast<const char*>(&footprint_pages), sizeof footprint_pages);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const TraceSample& s : samples) {
+    // 4 bytes of page index; the top bit of a flag byte carries the kind.
+    out.write(reinterpret_cast<const char*>(&s.vpage), sizeof s.vpage);
+    const std::uint8_t flags = s.kind == AccessKind::kWrite ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&flags), sizeof flags);
+  }
+  if (!out) throw std::runtime_error("write_trace: write failed for " + path);
+}
+
+Trace read_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_trace: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("read_trace: bad magic in " + path);
+  Trace t;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&t.footprint_pages), sizeof t.footprint_pages);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || t.footprint_pages == 0)
+    throw std::runtime_error("read_trace: corrupt header in " + path);
+  t.samples.resize(count);
+  for (TraceSample& s : t.samples) {
+    std::uint8_t flags = 0;
+    in.read(reinterpret_cast<char*>(&s.vpage), sizeof s.vpage);
+    in.read(reinterpret_cast<char*>(&flags), sizeof flags);
+    if (!in) throw std::runtime_error("read_trace: truncated " + path);
+    if (s.vpage >= t.footprint_pages)
+      throw std::runtime_error("read_trace: sample beyond footprint in " + path);
+    s.kind = flags & 1 ? AccessKind::kWrite : AccessKind::kRead;
+  }
+  return t;
+}
+
+PageProfile profile_from_trace(const Trace& trace, double accesses_per_iteration) {
+  if (trace.samples.empty()) throw std::invalid_argument("profile_from_trace: empty trace");
+  if (accesses_per_iteration <= 0)
+    throw std::invalid_argument("profile_from_trace: accesses_per_iteration must be > 0");
+  PageProfile out;
+  out.accesses_per_iteration = accesses_per_iteration;
+  out.weight.assign(trace.footprint_pages, 0.0);
+  const double unit = 1.0 / static_cast<double>(trace.samples.size());
+  for (const TraceSample& s : trace.samples) out.weight[s.vpage] += unit;
+  return out;
+}
+
+}  // namespace mtat

@@ -1,0 +1,72 @@
+#include "workloads/xsbench/xsbench.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mtat {
+
+Bytes XSBenchKernel::required_bytes(const Config& cfg) {
+  const Bytes grid_row = 8 + static_cast<Bytes>(cfg.n_nuclides) * 4;
+  return cfg.n_gridpoints * grid_row + static_cast<Bytes>(cfg.n_nuclides) *
+                                           cfg.points_per_nuclide * cfg.row_bytes;
+}
+
+XSBenchKernel::XSBenchKernel(AddressSpace& space, const Config& cfg, std::uint64_t seed)
+    : space_(&space), cfg_(cfg), rng_(seed) {
+  if (cfg.n_gridpoints < 2) throw std::invalid_argument("XSBenchKernel: grid too small");
+  if (space.size() < required_bytes(cfg))
+    throw std::invalid_argument("XSBenchKernel: address space too small");
+  grid_base_ = 0;
+  grid_row_bytes_ = 8 + static_cast<Bytes>(cfg.n_nuclides) * 4;
+  nuclide_base_ = cfg.n_gridpoints * grid_row_bytes_;
+  // Real sorted energy grid so the binary search is genuine.
+  grid_energies_.resize(cfg.n_gridpoints);
+  for (auto& e : grid_energies_) e = rng_.next_double();
+  std::sort(grid_energies_.begin(), grid_energies_.end());
+}
+
+Duration XSBenchKernel::lookup() {
+  Duration lat = 0;
+  // Binary search the unionized grid for the particle energy; each probe
+  // reads one grid row's energy field.
+  const double energy = rng_.next_double();
+  std::uint64_t lo = 0, hi = grid_energies_.size() - 1;
+  while (lo < hi) {
+    const std::uint64_t mid = (lo + hi) / 2;
+    lat += space_->access(grid_base_ + mid * grid_row_bytes_);
+    ++accesses_;
+    if (grid_energies_[mid] < energy)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  // Read the matched row's per-nuclide index list (one more touch).
+  lat += space_->access(grid_base_ + lo * grid_row_bytes_ + 8);
+  ++accesses_;
+  // Gather XS rows for every nuclide in the sampled material.
+  for (int i = 0; i < cfg_.avg_nuclides_per_material; ++i) {
+    const auto nuc = rng_.next_below(static_cast<std::uint64_t>(cfg_.n_nuclides));
+    // The unionized grid pins each nuclide's row near the energy's position;
+    // emulate with a jittered index around the proportional location.
+    const std::uint64_t base_idx =
+        lo * cfg_.points_per_nuclide / grid_energies_.size();
+    const std::uint64_t idx =
+        std::min(cfg_.points_per_nuclide - 1, base_idx + rng_.next_below(16));
+    const Bytes addr = nuclide_base_ +
+                       (nuc * cfg_.points_per_nuclide + idx) * cfg_.row_bytes;
+    lat += space_->access(addr);
+    ++accesses_;
+  }
+  return lat;
+}
+
+XSBenchKernel::RunStats XSBenchKernel::run(std::uint64_t n) {
+  RunStats out;
+  const std::uint64_t before = accesses_;
+  for (std::uint64_t i = 0; i < n; ++i) out.memory_latency += lookup();
+  out.lookups = n;
+  out.accesses = accesses_ - before;
+  return out;
+}
+
+}  // namespace mtat

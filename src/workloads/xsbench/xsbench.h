@@ -1,0 +1,64 @@
+// XSBench-style Monte Carlo neutron-transport macroscopic cross-section
+// lookup kernel over the simulated address space.
+//
+// Mirrors the real benchmark's unionized-energy-grid algorithm: a lookup
+// draws a particle energy and a material, binary-searches the unionized grid
+// (log2(n) touches concentrated on the search tree's top pages — a sharply
+// skewed profile), then gathers the per-nuclide cross-section rows for every
+// nuclide in the material (scattered reads across the large nuclide-data
+// region). This hot-index/cold-data split is what makes XSBench behave
+// differently from the graph workloads under FMem partitioning.
+//
+// Layout within the AddressSpace:
+//   unionized grid   n_gridpoints x (8 B energy + n_per_row x 4 B indices)
+//   nuclide data     n_nuclides x n_gridpoints_per_nuclide x 48 B rows
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "mem/address_space.h"
+
+namespace mtat {
+
+class XSBenchKernel {
+ public:
+  struct Config {
+    std::uint64_t n_gridpoints = 64 * 1024;  ///< unionized grid size
+    int n_nuclides = 68;                     ///< 'large' XSBench has 355, 'small' 68
+    std::uint64_t points_per_nuclide = 8 * 1024;
+    int avg_nuclides_per_material = 10;  ///< gathers per lookup
+    Bytes row_bytes = 48;                ///< 6 doubles: the XS values per gridpoint
+  };
+
+  static Bytes required_bytes(const Config& cfg);
+
+  XSBenchKernel(AddressSpace& space, const Config& cfg, std::uint64_t seed);
+
+  /// One macroscopic XS lookup; returns charged memory latency.
+  Duration lookup();
+
+  /// Run `n` lookups; returns summed latency and counts accesses.
+  struct RunStats {
+    Duration memory_latency = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t accesses = 0;
+  };
+  RunStats run(std::uint64_t n);
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  AddressSpace* space_;
+  Config cfg_;
+  Rng rng_;
+  Bytes grid_base_;
+  Bytes grid_row_bytes_;
+  Bytes nuclide_base_;
+  std::vector<double> grid_energies_;  // host-side sorted energies (real binary search)
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace mtat

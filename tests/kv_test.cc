@@ -1,0 +1,169 @@
+// Tests for the KV storage engines under the LC workload models.
+#include <gtest/gtest.h>
+
+#include "workloads/kv/btree_store.h"
+#include "workloads/kv/hash_store.h"
+
+namespace mtat {
+namespace {
+
+TieredMemory::Config big(std::uint64_t fmem = 0) {
+  TieredMemory::Config c;
+  c.fmem_pages = fmem == 0 ? 1 : fmem;
+  c.smem_pages = 1 << 18;  // 1 GiB
+  return c;
+}
+
+// ------------------------------------------------------------ HashStore ----
+
+TEST(HashStore, RejectsBadConfig) {
+  TieredMemory mem(big());
+  HashStore::Config hc;
+  hc.n_records = 0;
+  AddressSpace space(mem, 0, 1_MiB, AllocPolicy::kSMemOnly);
+  EXPECT_THROW(HashStore(space, hc), std::invalid_argument);
+  hc.n_records = 100;
+  hc.fill_factor = 1.5;
+  EXPECT_THROW(HashStore(space, hc), std::invalid_argument);
+}
+
+TEST(HashStore, RejectsUndersizedSpace) {
+  TieredMemory mem(big());
+  HashStore::Config hc;
+  hc.n_records = 10000;
+  AddressSpace space(mem, 0, kPageSize, AllocPolicy::kSMemOnly);
+  EXPECT_THROW(HashStore(space, hc), std::invalid_argument);
+}
+
+TEST(HashStore, EveryInsertedKeyIsFound) {
+  TieredMemory mem(big());
+  HashStore::Config hc;
+  hc.n_records = 5000;
+  hc.record_size = 128;
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  HashStore store(space, hc);
+  for (std::uint64_t k = 0; k < hc.n_records; ++k)
+    EXPECT_GT(store.get(k), 0u) << "key " << k;  // would throw if missing
+}
+
+TEST(HashStore, MeanProbesNearTheory) {
+  TieredMemory mem(big());
+  HashStore::Config hc;
+  hc.n_records = 20000;
+  hc.fill_factor = 0.7;
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  HashStore store(space, hc);
+  // Linear probing successful search: ~0.5 * (1 + 1/(1-a)) = 2.17 at a=0.7.
+  EXPECT_GT(store.mean_probes(), 1.2);
+  EXPECT_LT(store.mean_probes(), 3.5);
+}
+
+TEST(HashStore, GetLatencyReflectsTier) {
+  TieredMemory mem(big(1 << 18));
+  HashStore::Config hc;
+  hc.n_records = 1000;
+  hc.record_misses = 10;
+  // Two identical stores, one per tier.
+  AddressSpace fmem_space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kFMemOnly);
+  AddressSpace smem_space(mem, 1, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  HashStore fast(fmem_space, hc), slow(smem_space, hc);
+  for (std::uint64_t k = 0; k < 50; ++k) EXPECT_LT(fast.get(k), slow.get(k));
+}
+
+TEST(HashStore, RecordMissBudgetFullyCharged) {
+  TieredMemory mem(big());
+  HashStore::Config hc;
+  hc.n_records = 16;
+  hc.record_size = 3 * kPageSize;  // record spans 4 pages
+  hc.record_misses = 21;
+  hc.probe_misses = 0;  // isolate the record charge
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  HashStore store(space, hc);
+  EXPECT_EQ(store.get(3), 21u * 202u);
+}
+
+TEST(HashStore, PutWritesRecord) {
+  TieredMemory mem(big());
+  HashStore::Config hc;
+  hc.n_records = 100;
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  HashStore store(space, hc);
+  EXPECT_GT(store.put(42), 0u);
+}
+
+TEST(HashStore, MissingKeyThrows) {
+  TieredMemory mem(big());
+  HashStore::Config hc;
+  hc.n_records = 100;
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  HashStore store(space, hc);
+  EXPECT_THROW(store.get(100), std::logic_error);
+}
+
+// ------------------------------------------------------------ BTreeStore ----
+
+TEST(BTreeStore, LevelCountMatchesFanout) {
+  TieredMemory mem(big());
+  BTreeStore::Config bc;
+  bc.n_records = 200;  // < 256 -> 1 level
+  AddressSpace s1(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  EXPECT_EQ(BTreeStore(s1, bc).levels(), 1);
+  bc.n_records = 300;  // 2 levels
+  AddressSpace s2(mem, 1, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  EXPECT_EQ(BTreeStore(s2, bc).levels(), 2);
+  bc.n_records = 100'000;  // 256^2 = 65536 < 100000 -> 3 levels
+  AddressSpace s3(mem, 2, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  EXPECT_EQ(BTreeStore(s3, bc).levels(), 3);
+}
+
+TEST(BTreeStore, LookupChargesNodesAndRecord) {
+  TieredMemory mem(big());
+  BTreeStore::Config bc;
+  bc.n_records = 100'000;
+  bc.node_misses = 2;
+  bc.record_misses = 8;
+  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  BTreeStore store(space, bc);
+  // 3 levels x 2 + 8 record misses, all at SMem latency, 1 KiB record fits a page.
+  EXPECT_EQ(store.get(12345), (3 * 2 + 8) * 202u);
+}
+
+TEST(BTreeStore, KeyOutOfRangeThrows) {
+  TieredMemory mem(big());
+  BTreeStore::Config bc;
+  bc.n_records = 100;
+  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  BTreeStore store(space, bc);
+  EXPECT_THROW(store.get(100), std::out_of_range);
+}
+
+TEST(BTreeStore, MultipleTablesShareSpace) {
+  TieredMemory mem(big());
+  BTreeStore::Config bc;
+  bc.n_records = 1000;
+  const Bytes per_table = BTreeStore::required_bytes(bc);
+  AddressSpace space(mem, 0, per_table * 3, AllocPolicy::kSMemOnly);
+  BTreeStore t0(space, bc, 0), t1(space, bc, per_table), t2(space, bc, per_table * 2);
+  EXPECT_GT(t0.get(0), 0u);
+  EXPECT_GT(t2.get(999), 0u);
+  // A fourth table would overflow the space.
+  EXPECT_THROW(BTreeStore(space, bc, per_table * 3), std::invalid_argument);
+}
+
+TEST(BTreeStore, DistinctKeysTouchDistinctLeaves) {
+  TieredMemory mem(big());
+  BTreeStore::Config bc;
+  bc.n_records = 100'000;
+  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  BTreeStore store(space, bc);
+  // Keys far apart must produce some different page accesses: check via the
+  // total access counter after touching each.
+  const auto before = space.total_accesses();
+  store.get(0);
+  const auto mid = space.total_accesses();
+  store.get(99'999);
+  EXPECT_EQ(space.total_accesses() - mid, mid - before);  // same path length
+}
+
+}  // namespace
+}  // namespace mtat

@@ -1,0 +1,143 @@
+// Tests for the DAMON-style adaptive region monitor.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "telemetry/region_monitor.h"
+
+namespace mtat {
+namespace {
+
+RegionMonitor::Options opts(std::size_t min_r = 5, std::size_t max_r = 40) {
+  RegionMonitor::Options o;
+  o.min_regions = min_r;
+  o.max_regions = max_r;
+  return o;
+}
+
+/// Regions must always tile [0, footprint) exactly, in order, without gaps.
+void expect_tiling(const RegionMonitor& m) {
+  std::uint64_t cursor = 0;
+  for (const auto& r : m.regions()) {
+    ASSERT_EQ(r.begin, cursor);
+    ASSERT_GT(r.end, r.begin);
+    cursor = r.end;
+  }
+  ASSERT_EQ(cursor, m.footprint_pages());
+}
+
+TEST(RegionMonitor, RejectsBadConfig) {
+  EXPECT_THROW(RegionMonitor(0, opts()), std::invalid_argument);
+  EXPECT_THROW(RegionMonitor(100, opts(0, 10)), std::invalid_argument);
+  EXPECT_THROW(RegionMonitor(100, opts(20, 10)), std::invalid_argument);
+}
+
+TEST(RegionMonitor, InitialEvenPartition) {
+  RegionMonitor m(1000, opts(5, 40));
+  EXPECT_EQ(m.regions().size(), 5u);
+  expect_tiling(m);
+}
+
+TEST(RegionMonitor, TinyFootprintClampsRegionCount) {
+  RegionMonitor m(3, opts(10, 40));
+  EXPECT_LE(m.regions().size(), 3u);
+  expect_tiling(m);
+}
+
+TEST(RegionMonitor, RecordAttributesToContainingRegion) {
+  RegionMonitor m(1000, opts(5, 40));
+  m.record(0);
+  m.record(999);
+  EXPECT_EQ(m.regions().front().count, 1u);
+  EXPECT_EQ(m.regions().back().count, 1u);
+  EXPECT_THROW(m.record(1000), std::out_of_range);
+}
+
+TEST(RegionMonitor, HotRegionSplitsOverWindows) {
+  // All traffic into a 20-page hot range of a 10k-page footprint: after a few
+  // aggregation windows the monitor's hottest region should have shrunk to
+  // the vicinity of that range.
+  RegionMonitor m(10'000, opts(5, 60));
+  Rng rng(5);
+  for (int window = 0; window < 30; ++window) {
+    for (int i = 0; i < 2000; ++i) m.record(4000 + rng.next_below(20));
+    m.aggregate();
+    expect_tiling(m);
+    ASSERT_LE(m.regions().size(), 60u);
+    ASSERT_GE(m.regions().size(), 5u);
+  }
+  // One more window to get a fresh snapshot of the refined layout.
+  for (int i = 0; i < 2000; ++i) m.record(4000 + rng.next_below(20));
+  const auto snapshot = m.aggregate();
+  const auto& hottest = snapshot.front();
+  EXPECT_LE(hottest.begin, 4000u);
+  EXPECT_GE(hottest.end, 4001u);          // overlaps the hot range
+  EXPECT_LE(hottest.pages(), 2000u);      // dramatically sharper than 1/5 split
+  EXPECT_GT(hottest.density(), 1.0);
+}
+
+TEST(RegionMonitor, ColdRegionsMergeBackDown) {
+  RegionMonitor m(10'000, opts(5, 60));
+  Rng rng(7);
+  // Heat a range to force splits...
+  for (int w = 0; w < 10; ++w) {
+    for (int i = 0; i < 2000; ++i) m.record(2000 + rng.next_below(50));
+    m.aggregate();
+  }
+  const std::size_t grown = m.regions().size();
+  EXPECT_GT(grown, 5u);
+  // ...then go fully idle: uniform-zero densities merge toward the floor.
+  for (int w = 0; w < 20; ++w) m.aggregate();
+  EXPECT_LE(m.regions().size(), grown);
+  EXPECT_GE(m.regions().size(), 5u);
+  expect_tiling(m);
+}
+
+TEST(RegionMonitor, AggregateResetsCountsAndSorts) {
+  RegionMonitor m(100, opts(2, 10));
+  for (int i = 0; i < 10; ++i) m.record(99);
+  const auto snap = m.aggregate();
+  EXPECT_GE(snap.front().density(), snap.back().density());
+  for (const auto& r : m.regions()) EXPECT_EQ(r.count, 0u);
+}
+
+TEST(RegionMonitor, BoundedOverheadUnderAdversarialTraffic) {
+  // Uniform random traffic (worst case for split/merge churn) must keep the
+  // region count inside [min, max] forever.
+  RegionMonitor m(50'000, opts(10, 100));
+  Rng rng(11);
+  for (int w = 0; w < 50; ++w) {
+    for (int i = 0; i < 5000; ++i) m.record(rng.next_below(50'000));
+    m.aggregate();
+    ASSERT_GE(m.regions().size(), 10u);
+    ASSERT_LE(m.regions().size(), 100u);
+    expect_tiling(m);
+  }
+}
+
+}  // namespace
+}  // namespace mtat
+
+namespace mtat {
+namespace {
+
+TEST(RegionMonitor, DeterministicForSameSeed) {
+  const auto run = [] {
+    RegionMonitor m(5000, opts(5, 50));
+    Rng rng(21);
+    for (int w = 0; w < 10; ++w) {
+      for (int i = 0; i < 1000; ++i) m.record(1000 + rng.next_below(100));
+      m.aggregate();
+    }
+    return m.regions();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+}  // namespace
+}  // namespace mtat

@@ -1,0 +1,197 @@
+// mtat_sim — command-line co-location experiment runner.
+//
+// Configures an arbitrary tiered-memory co-location from flags, runs it, and
+// emits the per-interval series as CSV (stdout or file) plus a summary. The
+// scriptable entry point for explorations that don't warrant a bench binary:
+//
+//   mtat_sim --policy=mtat_full --lc=redis --be=4 --pattern=fig7 --seconds=240
+//   mtat_sim --policy=memtis --lc=memcached --load=0.5 --fmem-mib=256
+//   mtat_sim --policy=mtat_full --lc=silo --train-epochs=8 --csv=run.csv
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/csv.h"
+#include "sim/colocation_sim.h"
+#include "workloads/be/be_suite.h"
+
+using namespace mtat;
+
+namespace {
+
+struct Args {
+  std::string policy = "mtat_full";
+  std::string lc = "redis";
+  int n_be = 4;
+  int be_cores = 4;
+  std::string pattern = "fig7";  // fig7 | constant
+  double load_fraction = 0.5;    // of max load, for --pattern=constant
+  double seconds_total = 240;
+  double fmem_mib = 128;
+  double smem_mib = 2048;
+  int train_epochs = 5;
+  bool bandwidth = true;
+  bool zipf = false;
+  std::string csv_path;
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "mtat_sim — tiered-memory co-location runner\n\n"
+      "  --policy=P        mtat_full|mtat_lc_only|memtis|memtis_hp|tpp|vtmm|damon|fmem_all|smem_all\n"
+      "  --lc=W            redis|memcached|mongodb|silo\n"
+      "  --be=N            number of BE workloads (1-4, from {sssp,bfs,pr,xsbench})\n"
+      "  --be-cores=N      cores per BE workload (default 4)\n"
+      "  --pattern=T       fig7 (paper trapezoid) or constant\n"
+      "  --load=F          fraction of LC max load for --pattern=constant\n"
+      "  --seconds=S       simulated duration (default 240)\n"
+      "  --fmem-mib=M      fast tier size (default 128)\n"
+      "  --smem-mib=M      slow tier size (default 2048)\n"
+      "  --train-epochs=N  RL training passes before measuring (MTAT only)\n"
+      "  --no-bandwidth    disable the tier-bandwidth contention model\n"
+      "  --zipf            zipfian LC requests instead of uniform\n"
+      "  --csv=PATH        write the per-interval series to PATH\n"
+      "  --seed=N          simulation seed\n");
+  std::exit(code);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--help" || key == "-h") usage(0);
+    else if (key == "--policy") a.policy = val;
+    else if (key == "--lc") a.lc = val;
+    else if (key == "--be") a.n_be = std::atoi(val.c_str());
+    else if (key == "--be-cores") a.be_cores = std::atoi(val.c_str());
+    else if (key == "--pattern") a.pattern = val;
+    else if (key == "--load") a.load_fraction = std::atof(val.c_str());
+    else if (key == "--seconds") a.seconds_total = std::atof(val.c_str());
+    else if (key == "--fmem-mib") a.fmem_mib = std::atof(val.c_str());
+    else if (key == "--smem-mib") a.smem_mib = std::atof(val.c_str());
+    else if (key == "--train-epochs") a.train_epochs = std::atoi(val.c_str());
+    else if (key == "--no-bandwidth") a.bandwidth = false;
+    else if (key == "--zipf") a.zipf = true;
+    else if (key == "--csv") a.csv_path = val;
+    else if (key == "--seed") a.seed = std::strtoull(val.c_str(), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n\n", arg.c_str());
+      usage(2);
+    }
+  }
+  return a;
+}
+
+PolicyKind policy_from(const std::string& s) {
+  static const std::map<std::string, PolicyKind> kMap = {
+      {"mtat_full", PolicyKind::kMtatFull}, {"mtat_lc_only", PolicyKind::kMtatLcOnly},
+      {"memtis", PolicyKind::kMemtis},      {"memtis_hp", PolicyKind::kMemtisHp},
+      {"tpp", PolicyKind::kTpp},
+      {"vtmm", PolicyKind::kVtmm},          {"damon", PolicyKind::kDamon},
+      {"fmem_all", PolicyKind::kFmemAll},
+      {"smem_all", PolicyKind::kSmemAll}};
+  const auto it = kMap.find(s);
+  if (it == kMap.end()) {
+    std::fprintf(stderr, "unknown policy: %s\n", s.c_str());
+    usage(2);
+  }
+  return it->second;
+}
+
+LCConfig lc_from(const Args& a) {
+  LCConfig c;
+  if (a.lc == "redis") c = redis_config();
+  else if (a.lc == "memcached") c = memcached_config();
+  else if (a.lc == "mongodb") c = mongodb_config();
+  else if (a.lc == "silo") c = silo_config();
+  else {
+    std::fprintf(stderr, "unknown LC workload: %s\n", a.lc.c_str());
+    usage(2);
+  }
+  // Size the footprint to ~1.05x FMem, as in the paper.
+  const Bytes fmem = static_cast<Bytes>(a.fmem_mib * 1024 * 1024);
+  c.n_records = static_cast<std::uint64_t>(1.05 * static_cast<double>(fmem) /
+                                           static_cast<double>(c.record_size));
+  if (a.zipf) c.dist = RequestDist::kZipfian;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+
+  SimConfig cfg;
+  cfg.fmem = static_cast<Bytes>(a.fmem_mib * 1024 * 1024);
+  cfg.smem = static_cast<Bytes>(a.smem_mib * 1024 * 1024);
+  cfg.lc = lc_from(a);
+  cfg.be = be_suite(BEScale::kDefault, cfg.fmem + cfg.fmem / 10, a.be_cores, a.n_be);
+  cfg.policy = policy_from(a.policy);
+  cfg.seed = a.seed;
+  if (a.bandwidth) {
+    cfg.bandwidth.enabled = true;
+    cfg.bandwidth.fmem_accesses_per_sec = 150e6 * a.n_be;
+    cfg.bandwidth.smem_accesses_per_sec = 25e6 * a.n_be;
+  }
+
+  ColocationSim sim(cfg);
+  const double max_rps = cfg.lc.max_load_krps * 1000.0;
+  const LoadPattern pattern = a.pattern == "constant"
+                                  ? LoadPattern::constant(a.load_fraction * max_rps)
+                                  : LoadPattern::figure7(max_rps);
+  const auto duration = static_cast<Duration>(a.seconds_total * 1e9);
+
+  if (cfg.policy == PolicyKind::kMtatFull || cfg.policy == PolicyKind::kMtatLcOnly) {
+    std::fprintf(stderr, "training %d epochs...\n", a.train_epochs);
+    for (int e = 0; e < a.train_epochs; ++e)
+      sim.run(pattern, pattern.total_length(), /*measure=*/false);
+    sim.reset_stats();
+  }
+  std::fprintf(stderr, "measuring %.0f s under %s...\n", a.seconds_total, a.policy.c_str());
+  const SimTime t0 = sim.now();
+  sim.run(pattern, duration);
+  const SimResult r = sim.result();
+
+  // --- series ---------------------------------------------------------------
+  std::vector<std::string> cols = {"t_sec", "offered_rps", "lc_p99_ms", "lc_tput_rps",
+                                   "lc_fmem_share"};
+  for (std::size_t i = 0; i < sim.be_count(); ++i) {
+    cols.push_back(sim.be(i).config().name + "_share");
+    cols.push_back(sim.be(i).config().name + "_rate");
+  }
+  std::unique_ptr<CsvWriter> csv;
+  if (!a.csv_path.empty()) csv = std::make_unique<CsvWriter>(a.csv_path, cols);
+  for (const TimePoint& tp : r.series) {
+    std::vector<double> row = {tp.t_sec - to_seconds(t0), tp.offered_rps, tp.lc_p99_ms,
+                               tp.lc_throughput_rps, tp.lc_fmem_share};
+    for (std::size_t i = 0; i < sim.be_count(); ++i) {
+      row.push_back(tp.be_fmem_share[i]);
+      row.push_back(tp.be_throughput[i]);
+    }
+    if (csv) csv->row(row);
+  }
+
+  // --- summary ----------------------------------------------------------------
+  std::printf("policy          %s\n", policy_name(cfg.policy));
+  std::printf("lc              %s (%d threads, SLO %.0f ms, max %.1f KRPS)\n",
+              cfg.lc.name.c_str(), cfg.lc.threads, static_cast<double>(cfg.lc.slo) / 1e6,
+              cfg.lc.max_load_krps);
+  std::printf("lc p99          %.2f ms\n", r.lc_p99_ms);
+  std::printf("slo violations  %.2f %%\n", 100.0 * r.slo_violation_rate);
+  std::printf("lc completed    %llu requests\n", (unsigned long long)r.lc_completed);
+  for (std::size_t i = 0; i < sim.be_count(); ++i)
+    std::printf("be %-9s    %.3e iters/s (NP %.3f)\n", sim.be(i).config().name.c_str(),
+                r.be_rate[i], r.be_np[i]);
+  std::printf("fairness        %.3f (min NP)\n", r.fairness);
+  std::printf("migration       %.1f MB/s\n", r.migration_bytes_per_sec / 1e6);
+  if (!a.csv_path.empty()) std::printf("series          %s\n", a.csv_path.c_str());
+  return 0;
+}

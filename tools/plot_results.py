@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the benchmark binaries emit.
+
+Usage (from the directory containing the CSVs, typically build/bench):
+
+    python3 tools/plot_results.py fig1   # P99-vs-load curves per workload
+    python3 tools/plot_results.py fig2   # load / P99 / residency over time
+    python3 tools/plot_results.py fig5   # per-policy P99 + FMem-share series
+    python3 tools/plot_results.py fig8   # normalized max-load bars
+
+Requires matplotlib (not needed by the build or the benches themselves);
+figures are written as <name>.png next to the CSVs.
+"""
+import argparse
+import collections
+import csv
+import sys
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        sys.exit(f"{path}: empty")
+    return rows
+
+
+def fig1(plt):
+    rows = read_csv("fig1_lc_latency_curves.csv")
+    by_wl = collections.defaultdict(lambda: collections.defaultdict(list))
+    for r in rows:
+        by_wl[r["workload"]][float(r["fmem_pct"])].append(
+            (float(r["offered_krps"]), float(r["p99_ms"])))
+    fig, axes = plt.subplots(1, len(by_wl), figsize=(4 * len(by_wl), 3.2), sharey=False)
+    for ax, (wl, curves) in zip(axes, sorted(by_wl.items())):
+        for pct in sorted(curves):
+            pts = sorted(curves[pct])
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                    label=f"FMem {pct:.0f}%")
+        ax.set_yscale("log")
+        ax.set_title(wl)
+        ax.set_xlabel("offered KRPS")
+        ax.set_ylabel("P99 (ms)")
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig("fig1.png", dpi=150)
+    print("wrote fig1.png")
+
+
+def fig2(plt):
+    rows = read_csv("fig2_memtis_colocation.csv")
+    t = [float(r["t_sec"]) for r in rows]
+    fig, axes = plt.subplots(3, 1, figsize=(7, 6), sharex=True)
+    axes[0].plot(t, [float(r["offered_krps"]) for r in rows])
+    axes[0].set_ylabel("load (KRPS)")
+    axes[1].plot(t, [float(r["p99_ms"]) for r in rows])
+    axes[1].set_yscale("log")
+    axes[1].set_ylabel("P99 (ms)")
+    axes[2].plot(t, [float(r["redis_fmem_ratio"]) for r in rows])
+    axes[2].set_ylabel("Redis FMem ratio")
+    axes[2].set_xlabel("time (s)")
+    fig.tight_layout()
+    fig.savefig("fig2.png", dpi=150)
+    print("wrote fig2.png")
+
+
+def fig5(plt):
+    rows = read_csv("fig5_series.csv")
+    workloads = sorted({r["lc"] for r in rows})
+    policies = sorted({r["policy"] for r in rows})
+    for wl in workloads:
+        fig, axes = plt.subplots(2, 1, figsize=(8, 5), sharex=True)
+        for pol in policies:
+            series = [r for r in rows if r["lc"] == wl and r["policy"] == pol]
+            t = [float(r["t_sec"]) for r in series]
+            axes[0].plot(t, [float(r["p99_ms"]) for r in series], label=pol)
+            axes[1].plot(t, [float(r["lc_fmem_share"]) for r in series], label=pol)
+        axes[0].set_yscale("log")
+        axes[0].set_ylabel("P99 (ms)")
+        axes[0].legend(fontsize=7, ncol=3)
+        axes[1].set_ylabel("LC share of FMem")
+        axes[1].set_xlabel("time (s)")
+        fig.suptitle(wl)
+        fig.tight_layout()
+        fig.savefig(f"fig5_{wl}.png", dpi=150)
+        print(f"wrote fig5_{wl}.png")
+
+
+def fig8(plt):
+    rows = read_csv("fig8_max_load.csv")
+    workloads = sorted({r["lc"] for r in rows})
+    policies = [p for p in ["fmem_all", "mtat_full", "memtis", "tpp", "smem_all"]
+                if any(r["policy"] == p for r in rows)]
+    width = 0.8 / len(policies)
+    fig, ax = plt.subplots(figsize=(7, 3.5))
+    for i, pol in enumerate(policies):
+        vals = []
+        for wl in workloads:
+            match = [r for r in rows if r["lc"] == wl and r["policy"] == pol]
+            vals.append(float(match[0]["normalized_to_fmem_all"]) if match else 0.0)
+        ax.bar([x + i * width for x in range(len(workloads))], vals, width, label=pol)
+    ax.set_xticks([x + 0.4 for x in range(len(workloads))])
+    ax.set_xticklabels(workloads)
+    ax.set_ylabel("max load / FMEM_ALL")
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig("fig8.png", dpi=150)
+    print("wrote fig8.png")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", choices=["fig1", "fig2", "fig5", "fig8"])
+    args = parser.parse_args()
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+    {"fig1": fig1, "fig2": fig2, "fig5": fig5, "fig8": fig8}[args.figure](plt)
+
+
+if __name__ == "__main__":
+    main()
