@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mtat.dir/ablation_mtat.cc.o"
+  "CMakeFiles/ablation_mtat.dir/ablation_mtat.cc.o.d"
+  "ablation_mtat"
+  "ablation_mtat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mtat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bandwidth_baselines.dir/ext_bandwidth_baselines.cc.o"
+  "CMakeFiles/ext_bandwidth_baselines.dir/ext_bandwidth_baselines.cc.o.d"
+  "ext_bandwidth_baselines"
+  "ext_bandwidth_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bandwidth_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

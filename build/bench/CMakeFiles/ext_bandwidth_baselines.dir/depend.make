@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_bandwidth_baselines.
+# This may be replaced when dependencies are built.

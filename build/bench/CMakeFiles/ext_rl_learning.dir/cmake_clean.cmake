@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rl_learning.dir/ext_rl_learning.cc.o"
+  "CMakeFiles/ext_rl_learning.dir/ext_rl_learning.cc.o.d"
+  "ext_rl_learning"
+  "ext_rl_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rl_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_zipf_lc.dir/ext_zipf_lc.cc.o"
+  "CMakeFiles/ext_zipf_lc.dir/ext_zipf_lc.cc.o.d"
+  "ext_zipf_lc"
+  "ext_zipf_lc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_zipf_lc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_lc_latency_curves.dir/fig1_lc_latency_curves.cc.o"
+  "CMakeFiles/fig1_lc_latency_curves.dir/fig1_lc_latency_curves.cc.o.d"
+  "fig1_lc_latency_curves"
+  "fig1_lc_latency_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_lc_latency_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_lc_latency_curves.
+# This may be replaced when dependencies are built.

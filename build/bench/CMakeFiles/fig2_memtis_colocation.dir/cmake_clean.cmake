@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_memtis_colocation.dir/fig2_memtis_colocation.cc.o"
+  "CMakeFiles/fig2_memtis_colocation.dir/fig2_memtis_colocation.cc.o.d"
+  "fig2_memtis_colocation"
+  "fig2_memtis_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_memtis_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

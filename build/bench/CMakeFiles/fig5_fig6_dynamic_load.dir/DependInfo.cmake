@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_fig6_dynamic_load.cc" "bench/CMakeFiles/fig5_fig6_dynamic_load.dir/fig5_fig6_dynamic_load.cc.o" "gcc" "bench/CMakeFiles/fig5_fig6_dynamic_load.dir/fig5_fig6_dynamic_load.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mtat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mtat_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadgen/CMakeFiles/mtat_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mtat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mtat_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mtat_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fig6_dynamic_load.dir/fig5_fig6_dynamic_load.cc.o"
+  "CMakeFiles/fig5_fig6_dynamic_load.dir/fig5_fig6_dynamic_load.cc.o.d"
+  "fig5_fig6_dynamic_load"
+  "fig5_fig6_dynamic_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fig6_dynamic_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_load_pattern.dir/fig7_load_pattern.cc.o"
+  "CMakeFiles/fig7_load_pattern.dir/fig7_load_pattern.cc.o.d"
+  "fig7_load_pattern"
+  "fig7_load_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_load_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

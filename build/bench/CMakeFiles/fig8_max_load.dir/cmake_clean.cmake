@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_max_load.dir/fig8_max_load.cc.o"
+  "CMakeFiles/fig8_max_load.dir/fig8_max_load.cc.o.d"
+  "fig8_max_load"
+  "fig8_max_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_max_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

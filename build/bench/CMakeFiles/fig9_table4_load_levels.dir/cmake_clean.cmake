@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_table4_load_levels.dir/fig9_table4_load_levels.cc.o"
+  "CMakeFiles/fig9_table4_load_levels.dir/fig9_table4_load_levels.cc.o.d"
+  "fig9_table4_load_levels"
+  "fig9_table4_load_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_table4_load_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

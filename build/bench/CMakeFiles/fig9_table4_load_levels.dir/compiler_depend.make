@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_table4_load_levels.
+# This may be replaced when dependencies are built.

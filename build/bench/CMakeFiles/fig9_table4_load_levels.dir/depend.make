@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_table4_load_levels.
+# This may be replaced when dependencies are built.

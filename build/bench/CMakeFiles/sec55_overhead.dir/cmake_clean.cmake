@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_overhead.dir/sec55_overhead.cc.o"
+  "CMakeFiles/sec55_overhead.dir/sec55_overhead.cc.o.d"
+  "sec55_overhead"
+  "sec55_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

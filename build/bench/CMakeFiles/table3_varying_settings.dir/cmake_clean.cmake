@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_varying_settings.dir/table3_varying_settings.cc.o"
+  "CMakeFiles/table3_varying_settings.dir/table3_varying_settings.cc.o.d"
+  "table3_varying_settings"
+  "table3_varying_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_varying_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

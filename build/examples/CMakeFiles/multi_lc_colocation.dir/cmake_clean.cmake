@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_lc_colocation.dir/multi_lc_colocation.cpp.o"
+  "CMakeFiles/multi_lc_colocation.dir/multi_lc_colocation.cpp.o.d"
+  "multi_lc_colocation"
+  "multi_lc_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_lc_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_playground.dir/rl_playground.cpp.o"
+  "CMakeFiles/rl_playground.dir/rl_playground.cpp.o.d"
+  "rl_playground"
+  "rl_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

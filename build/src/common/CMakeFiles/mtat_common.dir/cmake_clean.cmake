@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_common.dir/latency_histogram.cc.o"
+  "CMakeFiles/mtat_common.dir/latency_histogram.cc.o.d"
+  "CMakeFiles/mtat_common.dir/rng.cc.o"
+  "CMakeFiles/mtat_common.dir/rng.cc.o.d"
+  "libmtat_common.a"
+  "libmtat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/vtmm_policy.cc" "src/core/CMakeFiles/mtat_core.dir/__/policy/vtmm_policy.cc.o" "gcc" "src/core/CMakeFiles/mtat_core.dir/__/policy/vtmm_policy.cc.o.d"
+  "/root/repo/src/core/mtat_policy.cc" "src/core/CMakeFiles/mtat_core.dir/mtat_policy.cc.o" "gcc" "src/core/CMakeFiles/mtat_core.dir/mtat_policy.cc.o.d"
+  "/root/repo/src/core/multi_lc_mtat.cc" "src/core/CMakeFiles/mtat_core.dir/multi_lc_mtat.cc.o" "gcc" "src/core/CMakeFiles/mtat_core.dir/multi_lc_mtat.cc.o.d"
+  "/root/repo/src/core/ppe.cc" "src/core/CMakeFiles/mtat_core.dir/ppe.cc.o" "gcc" "src/core/CMakeFiles/mtat_core.dir/ppe.cc.o.d"
+  "/root/repo/src/core/ppm.cc" "src/core/CMakeFiles/mtat_core.dir/ppm.cc.o" "gcc" "src/core/CMakeFiles/mtat_core.dir/ppm.cc.o.d"
+  "/root/repo/src/core/sa_partitioner.cc" "src/core/CMakeFiles/mtat_core.dir/sa_partitioner.cc.o" "gcc" "src/core/CMakeFiles/mtat_core.dir/sa_partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/mtat_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mtat_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mtat_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_core.dir/__/policy/vtmm_policy.cc.o"
+  "CMakeFiles/mtat_core.dir/__/policy/vtmm_policy.cc.o.d"
+  "CMakeFiles/mtat_core.dir/mtat_policy.cc.o"
+  "CMakeFiles/mtat_core.dir/mtat_policy.cc.o.d"
+  "CMakeFiles/mtat_core.dir/multi_lc_mtat.cc.o"
+  "CMakeFiles/mtat_core.dir/multi_lc_mtat.cc.o.d"
+  "CMakeFiles/mtat_core.dir/ppe.cc.o"
+  "CMakeFiles/mtat_core.dir/ppe.cc.o.d"
+  "CMakeFiles/mtat_core.dir/ppm.cc.o"
+  "CMakeFiles/mtat_core.dir/ppm.cc.o.d"
+  "CMakeFiles/mtat_core.dir/sa_partitioner.cc.o"
+  "CMakeFiles/mtat_core.dir/sa_partitioner.cc.o.d"
+  "libmtat_core.a"
+  "libmtat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loadgen/load_pattern.cc" "src/loadgen/CMakeFiles/mtat_loadgen.dir/load_pattern.cc.o" "gcc" "src/loadgen/CMakeFiles/mtat_loadgen.dir/load_pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/mtat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtat_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

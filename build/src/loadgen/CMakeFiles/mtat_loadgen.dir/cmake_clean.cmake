@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_loadgen.dir/load_pattern.cc.o"
+  "CMakeFiles/mtat_loadgen.dir/load_pattern.cc.o.d"
+  "libmtat_loadgen.a"
+  "libmtat_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

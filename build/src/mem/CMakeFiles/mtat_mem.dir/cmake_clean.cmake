@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_mem.dir/tiered_memory.cc.o"
+  "CMakeFiles/mtat_mem.dir/tiered_memory.cc.o.d"
+  "libmtat_mem.a"
+  "libmtat_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/damon_policy.cc" "src/policy/CMakeFiles/mtat_policy.dir/damon_policy.cc.o" "gcc" "src/policy/CMakeFiles/mtat_policy.dir/damon_policy.cc.o.d"
+  "/root/repo/src/policy/memtis_hp_policy.cc" "src/policy/CMakeFiles/mtat_policy.dir/memtis_hp_policy.cc.o" "gcc" "src/policy/CMakeFiles/mtat_policy.dir/memtis_hp_policy.cc.o.d"
+  "/root/repo/src/policy/memtis_policy.cc" "src/policy/CMakeFiles/mtat_policy.dir/memtis_policy.cc.o" "gcc" "src/policy/CMakeFiles/mtat_policy.dir/memtis_policy.cc.o.d"
+  "/root/repo/src/policy/tpp_policy.cc" "src/policy/CMakeFiles/mtat_policy.dir/tpp_policy.cc.o" "gcc" "src/policy/CMakeFiles/mtat_policy.dir/tpp_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/mtat_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

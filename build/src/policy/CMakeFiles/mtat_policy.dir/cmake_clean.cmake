@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_policy.dir/damon_policy.cc.o"
+  "CMakeFiles/mtat_policy.dir/damon_policy.cc.o.d"
+  "CMakeFiles/mtat_policy.dir/memtis_hp_policy.cc.o"
+  "CMakeFiles/mtat_policy.dir/memtis_hp_policy.cc.o.d"
+  "CMakeFiles/mtat_policy.dir/memtis_policy.cc.o"
+  "CMakeFiles/mtat_policy.dir/memtis_policy.cc.o.d"
+  "CMakeFiles/mtat_policy.dir/tpp_policy.cc.o"
+  "CMakeFiles/mtat_policy.dir/tpp_policy.cc.o.d"
+  "libmtat_policy.a"
+  "libmtat_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

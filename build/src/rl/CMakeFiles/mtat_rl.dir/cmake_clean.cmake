@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_rl.dir/mlp.cc.o"
+  "CMakeFiles/mtat_rl.dir/mlp.cc.o.d"
+  "CMakeFiles/mtat_rl.dir/sac.cc.o"
+  "CMakeFiles/mtat_rl.dir/sac.cc.o.d"
+  "libmtat_rl.a"
+  "libmtat_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

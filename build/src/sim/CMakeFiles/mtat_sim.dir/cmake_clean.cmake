@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_sim.dir/colocation_sim.cc.o"
+  "CMakeFiles/mtat_sim.dir/colocation_sim.cc.o.d"
+  "CMakeFiles/mtat_sim.dir/experiments.cc.o"
+  "CMakeFiles/mtat_sim.dir/experiments.cc.o.d"
+  "libmtat_sim.a"
+  "libmtat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

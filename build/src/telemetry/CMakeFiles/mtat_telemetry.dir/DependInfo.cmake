@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/page_hotness.cc" "src/telemetry/CMakeFiles/mtat_telemetry.dir/page_hotness.cc.o" "gcc" "src/telemetry/CMakeFiles/mtat_telemetry.dir/page_hotness.cc.o.d"
+  "/root/repo/src/telemetry/region_monitor.cc" "src/telemetry/CMakeFiles/mtat_telemetry.dir/region_monitor.cc.o" "gcc" "src/telemetry/CMakeFiles/mtat_telemetry.dir/region_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/mtat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

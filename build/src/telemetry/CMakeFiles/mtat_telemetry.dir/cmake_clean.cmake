@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_telemetry.dir/page_hotness.cc.o"
+  "CMakeFiles/mtat_telemetry.dir/page_hotness.cc.o.d"
+  "CMakeFiles/mtat_telemetry.dir/region_monitor.cc.o"
+  "CMakeFiles/mtat_telemetry.dir/region_monitor.cc.o.d"
+  "libmtat_telemetry.a"
+  "libmtat_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

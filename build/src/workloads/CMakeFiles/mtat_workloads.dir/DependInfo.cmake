@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/be/be_suite.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/be/be_suite.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/be/be_suite.cc.o.d"
+  "/root/repo/src/workloads/be/be_workload.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/be/be_workload.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/be/be_workload.cc.o.d"
+  "/root/repo/src/workloads/be/page_profile.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/be/page_profile.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/be/page_profile.cc.o.d"
+  "/root/repo/src/workloads/graph/graph.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/graph/graph.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/graph/graph.cc.o.d"
+  "/root/repo/src/workloads/graph/kernels.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/graph/kernels.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/graph/kernels.cc.o.d"
+  "/root/repo/src/workloads/kv/btree_store.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/kv/btree_store.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/kv/btree_store.cc.o.d"
+  "/root/repo/src/workloads/kv/hash_store.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/kv/hash_store.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/kv/hash_store.cc.o.d"
+  "/root/repo/src/workloads/lc/lc_workload.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/lc/lc_workload.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/lc/lc_workload.cc.o.d"
+  "/root/repo/src/workloads/trace/trace_io.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/trace/trace_io.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/workloads/xsbench/xsbench.cc" "src/workloads/CMakeFiles/mtat_workloads.dir/xsbench/xsbench.cc.o" "gcc" "src/workloads/CMakeFiles/mtat_workloads.dir/xsbench/xsbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/mtat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

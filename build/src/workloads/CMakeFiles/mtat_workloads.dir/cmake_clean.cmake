@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_workloads.dir/be/be_suite.cc.o"
+  "CMakeFiles/mtat_workloads.dir/be/be_suite.cc.o.d"
+  "CMakeFiles/mtat_workloads.dir/be/be_workload.cc.o"
+  "CMakeFiles/mtat_workloads.dir/be/be_workload.cc.o.d"
+  "CMakeFiles/mtat_workloads.dir/be/page_profile.cc.o"
+  "CMakeFiles/mtat_workloads.dir/be/page_profile.cc.o.d"
+  "CMakeFiles/mtat_workloads.dir/graph/graph.cc.o"
+  "CMakeFiles/mtat_workloads.dir/graph/graph.cc.o.d"
+  "CMakeFiles/mtat_workloads.dir/graph/kernels.cc.o"
+  "CMakeFiles/mtat_workloads.dir/graph/kernels.cc.o.d"
+  "CMakeFiles/mtat_workloads.dir/kv/btree_store.cc.o"
+  "CMakeFiles/mtat_workloads.dir/kv/btree_store.cc.o.d"
+  "CMakeFiles/mtat_workloads.dir/kv/hash_store.cc.o"
+  "CMakeFiles/mtat_workloads.dir/kv/hash_store.cc.o.d"
+  "CMakeFiles/mtat_workloads.dir/lc/lc_workload.cc.o"
+  "CMakeFiles/mtat_workloads.dir/lc/lc_workload.cc.o.d"
+  "CMakeFiles/mtat_workloads.dir/trace/trace_io.cc.o"
+  "CMakeFiles/mtat_workloads.dir/trace/trace_io.cc.o.d"
+  "CMakeFiles/mtat_workloads.dir/xsbench/xsbench.cc.o"
+  "CMakeFiles/mtat_workloads.dir/xsbench/xsbench.cc.o.d"
+  "libmtat_workloads.a"
+  "libmtat_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtat_workloads.a"
+)

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/mtat_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/mtat_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/mtat_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/kv_test.cc" "tests/CMakeFiles/mtat_tests.dir/kv_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/kv_test.cc.o.d"
+  "/root/repo/tests/loadgen_test.cc" "tests/CMakeFiles/mtat_tests.dir/loadgen_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/loadgen_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/mtat_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/multi_lc_test.cc" "tests/CMakeFiles/mtat_tests.dir/multi_lc_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/multi_lc_test.cc.o.d"
+  "/root/repo/tests/policy_test.cc" "tests/CMakeFiles/mtat_tests.dir/policy_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/policy_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/mtat_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/region_monitor_test.cc" "tests/CMakeFiles/mtat_tests.dir/region_monitor_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/region_monitor_test.cc.o.d"
+  "/root/repo/tests/rl_test.cc" "tests/CMakeFiles/mtat_tests.dir/rl_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/rl_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/mtat_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/telemetry_test.cc" "tests/CMakeFiles/mtat_tests.dir/telemetry_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/telemetry_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/mtat_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/mtat_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/mtat_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mtat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mtat_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadgen/CMakeFiles/mtat_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mtat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/mtat_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mtat_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mtat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

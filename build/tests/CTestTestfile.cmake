@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mtat_tests[1]_include.cmake")
+add_test(mtat_sim_cli_help "/root/repo/build/tools/mtat_sim" "--help")
+set_tests_properties(mtat_sim_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;25;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mtat_sim_cli_smoke "/root/repo/build/tools/mtat_sim" "--policy=fmem_all" "--lc=redis" "--be=1" "--pattern=constant" "--load=0.3" "--seconds=5" "--fmem-mib=32" "--smem-mib=512" "--no-bandwidth")
+set_tests_properties(mtat_sim_cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")

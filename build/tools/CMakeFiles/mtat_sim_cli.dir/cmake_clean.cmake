@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtat_sim_cli.dir/mtat_sim.cc.o"
+  "CMakeFiles/mtat_sim_cli.dir/mtat_sim.cc.o.d"
+  "mtat_sim"
+  "mtat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtat_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
