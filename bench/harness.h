@@ -6,18 +6,64 @@
 // small (default; DESIGN.md's miniature preset, minutes for the whole suite)
 // or large (the §5-scaled preset, substantially slower). MTAT_EPOCHS
 // overrides the RL training epochs run before each measured MTAT phase.
+// Observability (ISSUE: src/obs): setting MTAT_TRACE=path.json makes any
+// bench binary record a Chrome trace_event file (open in chrome://tracing or
+// Perfetto) without per-binary changes; MTAT_TRACE_EVENTS overrides the ring
+// capacity. banner() additionally writes a `<experiment>.manifest.json`
+// sidecar so every CSV in the working directory carries its provenance.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "sim/colocation_sim.h"
 #include "sim/experiments.h"
 #include "workloads/be/be_suite.h"
 
 namespace mtat::bench {
+
+/// Process-lifetime hook: constructed before main() in every binary that
+/// includes this header, it enables tracing when MTAT_TRACE names an output
+/// path and writes the file when the process exits normally.
+struct TraceEnvHook {
+  std::string path;
+
+  TraceEnvHook() {
+    const char* p = std::getenv("MTAT_TRACE");
+    if (p == nullptr || *p == '\0') return;
+    path = p;
+    std::size_t capacity = obs::TraceRecorder::kDefaultCapacity;
+    if (const char* n = std::getenv("MTAT_TRACE_EVENTS")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(n, &end, 10);
+      if (end != n && *end == '\0' && v > 0) capacity = static_cast<std::size_t>(v);
+    }
+    obs::trace().enable(capacity);
+  }
+
+  ~TraceEnvHook() {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "MTAT_TRACE: cannot open %s\n", path.c_str());
+      return;
+    }
+    obs::trace().write_chrome_json(out);
+    out << '\n';
+    std::fprintf(stderr, "MTAT_TRACE: wrote %zu events to %s (%llu dropped)\n",
+                 obs::trace().size(), path.c_str(),
+                 (unsigned long long)obs::trace().dropped());
+  }
+};
+
+inline TraceEnvHook g_trace_env_hook;
 
 struct Scale {
   Bytes fmem;
@@ -29,9 +75,22 @@ struct Scale {
   Duration measure_window;     ///< measured span for steady-state probes
 };
 
-inline Scale scale_from_env() {
+/// The scale preset in effect: "small" or "large". Unknown MTAT_SCALE values
+/// are rejected with a warning instead of silently running the small preset.
+inline std::string scale_preset_from_env() {
   const char* s = std::getenv("MTAT_SCALE");
-  const bool large = s != nullptr && std::string(s) == "large";
+  if (s == nullptr || *s == '\0') return "small";
+  const std::string preset(s);
+  if (preset != "small" && preset != "large") {
+    std::fprintf(stderr, "warning: unknown MTAT_SCALE=%s (expected small|large); using small\n",
+                 s);
+    return "small";
+  }
+  return preset;
+}
+
+inline Scale scale_from_env() {
+  const bool large = scale_preset_from_env() == "large";
   Scale out;
   if (large) {
     out.fmem = Bytes{2} * 1024 * 1024 * 1024;
@@ -46,7 +105,21 @@ inline Scale scale_from_env() {
   out.lc_oversubscription = 1.05;
   out.train_epochs = 5;
   out.measure_window = seconds(30);
-  if (const char* e = std::getenv("MTAT_EPOCHS")) out.train_epochs = std::atoi(e);
+  if (const char* e = std::getenv("MTAT_EPOCHS")) {
+    // Bare atoi would turn "abc" or "-3" into 0/negative training epochs and
+    // silently skew every MTAT result; validate and fall back instead.
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(e, &end, 10);
+    if (end == e || *end != '\0' || errno == ERANGE || v < 0 || v > 1'000'000) {
+      std::fprintf(stderr,
+                   "warning: invalid MTAT_EPOCHS=%s (expected a non-negative integer); "
+                   "using default %d\n",
+                   e, out.train_epochs);
+    } else {
+      out.train_epochs = static_cast<int>(v);
+    }
+  }
   return out;
 }
 
@@ -126,11 +199,19 @@ inline std::vector<PolicyKind> all_policies() {
 }
 
 inline void banner(const char* experiment, const char* paper_ref) {
+  const std::string preset = scale_preset_from_env();
   std::printf("================================================================\n");
   std::printf("%s  —  reproduces %s\n", experiment, paper_ref);
-  std::printf("scale: %s (MTAT_SCALE=small|large)\n",
-              std::getenv("MTAT_SCALE") ? std::getenv("MTAT_SCALE") : "small");
+  std::printf("scale: %s (MTAT_SCALE=small|large)\n", preset.c_str());
   std::printf("================================================================\n");
+  // Provenance sidecar next to the CSVs this binary writes: which binary,
+  // which scale preset, which build. See DESIGN.md "Observability".
+  obs::RunManifest m;
+  m.tool = experiment;
+  m.scale = preset;
+  m.train_epochs = scale_from_env().train_epochs;
+  m.add("paper_ref", paper_ref);
+  m.write_file(std::string(experiment) + ".manifest.json");
 }
 
 }  // namespace mtat::bench

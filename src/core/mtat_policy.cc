@@ -1,5 +1,7 @@
 #include "core/mtat_policy.h"
 
+#include "obs/trace.h"
+
 namespace mtat {
 
 MtatPolicy::MtatPolicy(const PolicyContext& ctx, Duration interval, Duration lc_slo,
@@ -23,12 +25,31 @@ std::uint64_t MtatPolicy::lc_quota() const { return ppe_->quota(lc_idx_); }
 
 void MtatPolicy::on_tick(SimTime, Duration) { ppe_->on_tick(); }
 
+void MtatPolicy::set_metrics(obs::MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    decide_wall_h_ = nullptr;
+    lc_quota_g_ = nullptr;
+  } else {
+    decide_wall_h_ = &reg->histogram("ppm.decide_wall_us");
+    lc_quota_g_ = &reg->gauge("mtat.lc_quota_pages");
+  }
+  ppm_->set_metrics(reg);
+  ppe_->set_metrics(reg);
+}
+
 void MtatPolicy::on_interval(SimTime, Duration, Duration lc_p99) {
   const TenantInfo& lc = ctx_.tenants[lc_idx_];
   const IntervalCounters counters = ctx_.sampler->collect(lc.id);
   const double usage = ctx_.mem->fmem_usage_ratio(lc.id);
-  const auto decision =
-      ppm_->decide(ppe_->quota(lc_idx_), usage, counters, lc_p99);
+  PartitionPolicyMaker::Decision decision;
+  {
+    // PP-M's wall cost (state build + SAC training + SA search) is the §5.5
+    // overhead number; the span's sim placement vs wall duration convention
+    // is described in obs/trace.h.
+    obs::WallSpan span("ppm.decide", "policy", nullptr, decide_wall_h_);
+    decision = ppm_->decide(ppe_->quota(lc_idx_), usage, counters, lc_p99);
+  }
+  if (lc_quota_g_ != nullptr) lc_quota_g_->set(static_cast<double>(decision.lc_pages));
 
   // Assemble the quota plan in tenant order: LC slot from the RL decision,
   // BE slots from the SA split (Full) or left to competition (LC-Only).

@@ -42,12 +42,18 @@ class MtatPolicy : public TieringPolicy {
   /// Current LC reservation in pages (for the Figure 5 allocation series).
   std::uint64_t lc_quota() const;
 
+  /// Register MTAT decision metrics with `reg` and forward to PP-M (and its
+  /// agent) and PP-E; nullptr detaches. The registry must outlive the policy.
+  void set_metrics(obs::MetricsRegistry* reg);
+
  private:
   PolicyContext ctx_;
   bool full_;
   std::size_t lc_idx_ = 0;
   std::unique_ptr<PartitionEnforcer> ppe_;
   std::unique_ptr<PartitionPolicyMaker> ppm_;
+  obs::Histogram* decide_wall_h_ = nullptr;
+  obs::Gauge* lc_quota_g_ = nullptr;
 };
 
 }  // namespace mtat

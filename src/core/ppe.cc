@@ -1,7 +1,10 @@
 #include "core/ppe.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "obs/trace.h"
 
 namespace mtat {
 
@@ -36,6 +39,27 @@ void PartitionEnforcer::set_plan(const std::vector<std::uint64_t>& quotas) {
                 static_cast<std::int64_t>(
                     ctx_.mem->workload_pages(ctx_.tenants[i].id, Tier::kFMem));
   }
+  double backlog = 0.0;
+  for (const std::int64_t d : delta_) backlog += std::abs(static_cast<double>(d));
+  if (plans_c_ != nullptr) {
+    plans_c_->inc();
+    plan_pages_g_->set(backlog);
+  }
+  plan_start_ts_ = obs::trace().now();
+  plan_start_pages_ = backlog;
+  plan_was_active_ = backlog > 0.0;
+  obs::trace().instant("ppe.plan", "policy", "lc_quota",
+                       static_cast<double>(quota_[lc_idx_]), "backlog_pages", backlog);
+}
+
+void PartitionEnforcer::set_metrics(obs::MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    plans_c_ = nullptr;
+    plan_pages_g_ = nullptr;
+    return;
+  }
+  plans_c_ = &reg->counter("ppe.plans");
+  plan_pages_g_ = &reg->gauge("ppe.plan_pages");
 }
 
 PageId PartitionEnforcer::promote_candidate(std::size_t idx) const {
@@ -237,10 +261,19 @@ void PartitionEnforcer::refine() {
 }
 
 void PartitionEnforcer::on_tick() {
-  if (plan_active())
+  if (plan_active()) {
     execute_plan_slice();
-  else
+    // Plan drained this tick: emit the whole execution as one sim-time span
+    // (set_plan -> drain), the "plan execution" lane of the trace.
+    if (plan_was_active_ && !plan_active()) {
+      plan_was_active_ = false;
+      obs::trace().complete("ppe.plan_exec", "policy", plan_start_ts_,
+                            obs::trace().now() - plan_start_ts_, "pages",
+                            plan_start_pages_);
+    }
+  } else {
     refine();
+  }
 }
 
 void PartitionEnforcer::age_histograms() {

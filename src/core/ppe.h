@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "policy/policy.h"
 #include "telemetry/page_hotness.h"
 
@@ -83,6 +84,10 @@ class PartitionEnforcer {
   std::int64_t remaining_delta(std::size_t idx) const { return delta_[idx]; }
   PageHotness& histogram(std::size_t idx) { return *hist_[idx]; }
 
+  /// Register enforcement metrics (plans installed, relocation backlog) with
+  /// `reg`; nullptr detaches. The registry must outlive PP-E.
+  void set_metrics(obs::MetricsRegistry* reg);
+
  private:
   // Candidate selection within one tenant's pages.
   PageId promote_candidate(std::size_t idx) const;  // SMem page worth promoting
@@ -104,6 +109,11 @@ class PartitionEnforcer {
   std::vector<std::int64_t> delta_;
   int intervals_since_aging_ = 0;
   std::vector<std::unique_ptr<PageHotness>> hist_;
+  SimTime plan_start_ts_ = 0;
+  double plan_start_pages_ = 0.0;
+  bool plan_was_active_ = false;
+  obs::Counter* plans_c_ = nullptr;
+  obs::Gauge* plan_pages_g_ = nullptr;
 };
 
 }  // namespace mtat

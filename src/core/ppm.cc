@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace mtat {
 
 PartitionPolicyMaker::PartitionPolicyMaker(std::uint64_t fmem_capacity,
@@ -46,6 +48,10 @@ PartitionPolicyMaker::Decision PartitionPolicyMaker::decide(std::uint64_t curren
     const bool compliant = lc_p99 <= slo_;
     const double reward = compliant ? 1.0 - fmem_usage_ratio : opt_.violation_penalty;
     rewards_.push_back(reward);
+    if (reward_g_ != nullptr) {
+      reward_g_->set(reward);
+      if (!compliant) violations_c_->inc();
+    }
     agent_->observe(prev_state_, prev_action_, reward, state, /*done=*/false);
     if (agent_->ready_to_update()) agent_->update(opt_.gradient_steps_per_interval);
   }
@@ -65,6 +71,8 @@ PartitionPolicyMaker::Decision PartitionPolicyMaker::decide(std::uint64_t curren
     if (p99 > opt_.guard_trip * static_cast<double>(slo_)) {
       action[0] = 1.0;
       cooldown_left_ = opt_.guard_cooldown_intervals;
+      if (guard_trips_c_ != nullptr) guard_trips_c_->inc();
+      obs::trace().instant("ppm.guard_trip", "policy", "p99_ms", p99 / 1e6);
     } else if (std::max(p99, p99_smooth_) > opt_.guard_hold * static_cast<double>(slo_) ||
                cooldown_left_ > 0) {
       action[0] = std::max(action[0], 0.0);
@@ -122,7 +130,23 @@ PartitionPolicyMaker::Decision PartitionPolicyMaker::decide(std::uint64_t curren
       d.sa_objective = sa.objective;
     }
   }
+  if (decisions_c_ != nullptr) decisions_c_->inc();
+  obs::trace().instant("ppm.decision", "policy", "lc_pages",
+                       static_cast<double>(d.lc_pages), "alpha", action[0]);
   return d;
+}
+
+void PartitionPolicyMaker::set_metrics(obs::MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    decisions_c_ = violations_c_ = guard_trips_c_ = nullptr;
+    reward_g_ = nullptr;
+  } else {
+    decisions_c_ = &reg->counter("ppm.decisions");
+    violations_c_ = &reg->counter("ppm.violations");
+    guard_trips_c_ = &reg->counter("ppm.guard_trips");
+    reward_g_ = &reg->gauge("ppm.reward");
+  }
+  agent_->set_metrics(reg);
 }
 
 }  // namespace mtat

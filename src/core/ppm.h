@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/sa_partitioner.h"
+#include "obs/metrics.h"
 #include "rl/sac.h"
 #include "telemetry/access_sampler.h"
 
@@ -107,6 +108,11 @@ class PartitionPolicyMaker {
   /// Rewards observed so far (diagnostics / learning curves).
   const std::vector<double>& reward_history() const { return rewards_; }
 
+  /// Register decision metrics (decision/violation/guard-trip counts, last
+  /// reward) with `reg` and forward to the agent; nullptr detaches. The
+  /// registry must outlive PP-M.
+  void set_metrics(obs::MetricsRegistry* reg);
+
  private:
   std::vector<double> build_state(double usage_ratio, const IntervalCounters& c);
 
@@ -130,6 +136,10 @@ class PartitionPolicyMaker {
   std::vector<double> prev_action_;
   std::uint64_t decisions_ = 0;
   std::vector<double> rewards_;
+  obs::Counter* decisions_c_ = nullptr;
+  obs::Counter* violations_c_ = nullptr;
+  obs::Counter* guard_trips_c_ = nullptr;
+  obs::Gauge* reward_g_ = nullptr;
 };
 
 }  // namespace mtat

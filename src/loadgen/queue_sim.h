@@ -23,6 +23,8 @@
 #include "common/rng.h"
 #include "loadgen/latency_recorder.h"
 #include "loadgen/load_pattern.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workloads/lc/lc_workload.h"
 
 namespace mtat {
@@ -35,6 +37,19 @@ class QueueSim {
         rng_(seed),
         free_at_(static_cast<std::size_t>(wl.config().threads), 0) {
     std::make_heap(free_at_.begin(), free_at_.end(), std::greater<>());
+  }
+
+  /// Register queue metrics (arrivals, completions, backlog watermark) with
+  /// `reg`; nullptr detaches. The registry must outlive the queue.
+  void set_metrics(obs::MetricsRegistry* reg) {
+    if (reg == nullptr) {
+      arrivals_c_ = completed_c_ = nullptr;
+      backlog_peak_g_ = nullptr;
+      return;
+    }
+    arrivals_c_ = &reg->counter("queue.arrivals");
+    completed_c_ = &reg->counter("queue.completed");
+    backlog_peak_g_ = &reg->gauge("queue.backlog_peak");
   }
 
   /// Install (or replace) the offered-load pattern, (re)starting it at
@@ -66,6 +81,21 @@ class QueueSim {
       recorder_.record(arrival, done - arrival);
       pending_done_.push(done);
       last_arrival_ = arrival;
+      if (arrivals_c_ != nullptr) {
+        arrivals_c_->inc();
+        const auto backlog = static_cast<double>(pending_done_.size());
+        backlog_peak_g_->set_max(backlog);
+        // Overload edge: an open-loop backlog deeper than many requests per
+        // server means sojourn times are diverging; record the onset once
+        // per episode so traces show *when* the knee was crossed.
+        const double threshold = 64.0 * static_cast<double>(free_at_.size());
+        if (!in_overload_ && backlog > threshold) {
+          in_overload_ = true;
+          obs::trace().instant("queue.overload", "queue", "backlog", backlog);
+        } else if (in_overload_ && backlog < threshold / 2.0) {
+          in_overload_ = false;
+        }
+      }
       schedule_next_arrival(arrival);
     }
     // Completions are counted at their completion time, not at dispatch —
@@ -74,6 +104,7 @@ class QueueSim {
     while (!pending_done_.empty() && pending_done_.top() <= until) {
       pending_done_.pop();
       ++completed_;
+      if (completed_c_ != nullptr) completed_c_->inc();
     }
   }
 
@@ -115,6 +146,10 @@ class QueueSim {
   bool idle_probe_ = false;
   std::uint64_t completed_ = 0;
   std::uint64_t interval_mark_ = 0;
+  bool in_overload_ = false;
+  obs::Counter* arrivals_c_ = nullptr;
+  obs::Counter* completed_c_ = nullptr;
+  obs::Gauge* backlog_peak_g_ = nullptr;
 };
 
 }  // namespace mtat

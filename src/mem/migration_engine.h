@@ -14,6 +14,8 @@
 #include "common/types.h"
 #include "common/units.h"
 #include "mem/tiered_memory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mtat {
 
@@ -30,10 +32,35 @@ class MigrationEngine {
       throw std::invalid_argument("MigrationEngine: bandwidth must be positive");
   }
 
+  /// Register migration counters (pages moved, promotions/demotions/
+  /// exchanges) with `reg`; nullptr detaches. The caller guarantees the
+  /// registry outlives the engine.
+  void set_metrics(obs::MetricsRegistry* reg) {
+    if (reg == nullptr) {
+      moved_c_ = promoted_c_ = demoted_c_ = exchanged_c_ = nullptr;
+      moved_per_tick_h_ = nullptr;
+      return;
+    }
+    moved_c_ = &reg->counter("migration.pages_moved");
+    promoted_c_ = &reg->counter("migration.promotions");
+    demoted_c_ = &reg->counter("migration.demotions");
+    exchanged_c_ = &reg->counter("migration.exchanges");
+    moved_per_tick_h_ = &reg->histogram("migration.pages_per_tick");
+  }
+
   /// Refills the page budget for an interval of length `dt`. Fractional pages
   /// carry over so long-run throughput matches the configured bandwidth
   /// regardless of tick size.
   void begin_interval(Duration dt) {
+    // Close out the previous slice for observability: a span in the trace
+    // when any pages moved (the ring stays quiet across idle slices), and a
+    // distribution sample either way.
+    if (moved_per_tick_h_ != nullptr) moved_per_tick_h_->record(moved_this_interval_);
+    if (moved_this_interval_ > 0 && obs::trace().enabled())
+      obs::trace().complete("migration", "mem", last_begin_ts_, last_dt_, "pages",
+                            static_cast<double>(moved_this_interval_));
+    last_begin_ts_ = obs::trace().now();
+    last_dt_ = dt;
     carry_ += cfg_.bandwidth_bytes_per_sec * to_seconds(dt) / static_cast<double>(kPageSize);
     const auto whole = static_cast<std::uint64_t>(carry_);
     budget_ = whole;
@@ -66,6 +93,7 @@ class MigrationEngine {
       return false;
     mem_->exchange(promote_page, demote_page);
     spend(2);
+    if (exchanged_c_ != nullptr) exchanged_c_->inc();
     return true;
   }
 
@@ -79,6 +107,11 @@ class MigrationEngine {
     if (budget_ < cost) return false;
     if (!mem_->migrate(p, to)) return false;
     spend(cost);
+    if (to == Tier::kFMem) {
+      if (promoted_c_ != nullptr) promoted_c_->inc();
+    } else {
+      if (demoted_c_ != nullptr) demoted_c_->inc();
+    }
     return true;
   }
 
@@ -86,6 +119,7 @@ class MigrationEngine {
     budget_ -= pages;
     moved_this_interval_ += pages;
     total_moved_ += pages;
+    if (moved_c_ != nullptr) moved_c_->inc(static_cast<double>(pages));
   }
 
   TieredMemory* mem_;
@@ -94,6 +128,13 @@ class MigrationEngine {
   double carry_ = 0.0;
   std::uint64_t moved_this_interval_ = 0;
   std::uint64_t total_moved_ = 0;
+  SimTime last_begin_ts_ = 0;
+  Duration last_dt_ = 0;
+  obs::Counter* moved_c_ = nullptr;
+  obs::Counter* promoted_c_ = nullptr;
+  obs::Counter* demoted_c_ = nullptr;
+  obs::Counter* exchanged_c_ = nullptr;
+  obs::Histogram* moved_per_tick_h_ = nullptr;
 };
 
 }  // namespace mtat

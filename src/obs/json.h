@@ -1,0 +1,58 @@
+// Minimal JSON emission helpers shared by the obs exporters (metrics dumps,
+// Chrome trace_event files, run manifests). Only what the exporters need:
+// string escaping and a finite-number formatter — no DOM, no parsing.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mtat::obs {
+
+/// Escape `s` for embedding inside a JSON string literal (quotes excluded).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Emit a double as valid JSON (JSON has no NaN/Inf; map them to null/huge).
+inline void json_number(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "null";
+    return;
+  }
+  if (std::isinf(v)) {
+    os << (v > 0 ? "1e308" : "-1e308");
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  os << tmp.str();
+}
+
+inline void json_string(std::ostream& os, std::string_view s) {
+  os << '"' << json_escape(s) << '"';
+}
+
+}  // namespace mtat::obs

@@ -1,0 +1,85 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace mtat::obs {
+
+TraceRecorder& trace() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+void TraceRecorder::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  if (capacity != capacity_) {
+    ring_.assign(capacity, TraceEvent{});
+    capacity_ = capacity;
+    written_ = 0;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::clear() {
+  written_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = written_ > capacity_ ? written_ - capacity_ : 0;
+  for (std::uint64_t i = first; i < written_; ++i) out.push_back(ring_[i % capacity_]);
+  return out;
+}
+
+namespace {
+
+void write_event(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":";
+  json_string(os, e.name != nullptr ? e.name : "?");
+  os << ",\"cat\":";
+  json_string(os, e.cat != nullptr ? e.cat : "sim");
+  os << ",\"ph\":\"" << e.phase << "\"";
+  // trace_event timestamps are microseconds; sim time is nanoseconds.
+  os << ",\"ts\":";
+  json_number(os, static_cast<double>(e.ts) / 1e3);
+  if (e.phase == 'X') {
+    os << ",\"dur\":";
+    json_number(os, static_cast<double>(e.dur) / 1e3);
+  }
+  if (e.phase == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
+  os << ",\"pid\":1,\"tid\":" << e.track;
+  if (e.arg1_name != nullptr || e.arg2_name != nullptr) {
+    os << ",\"args\":{";
+    bool first = true;
+    if (e.arg1_name != nullptr) {
+      json_string(os, e.arg1_name);
+      os << ':';
+      json_number(os, e.arg1);
+      first = false;
+    }
+    if (e.arg2_name != nullptr) {
+      if (!first) os << ',';
+      json_string(os, e.arg2_name);
+      os << ':';
+      json_number(os, e.arg2);
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  const std::uint64_t first = written_ > capacity_ ? written_ - capacity_ : 0;
+  for (std::uint64_t i = first; i < written_; ++i) {
+    if (i != first) os << ",\n";
+    write_event(os, ring_[i % capacity_]);
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":" << dropped()
+     << "}}";
+}
+
+}  // namespace mtat::obs

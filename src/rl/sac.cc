@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace mtat {
 namespace {
 
@@ -95,6 +97,26 @@ double SacAgent::q_value(const std::vector<double>& state,
 void SacAgent::update(int steps) {
   if (!ready_to_update()) return;
   for (int i = 0; i < steps; ++i) update_once();
+  if (updates_c_ != nullptr) {
+    updates_c_->inc(steps);
+    critic_loss_g_->set(last_critic_loss_);
+    actor_loss_g_->set(last_actor_loss_);
+    alpha_g_->set(alpha());
+    obs::trace().instant("rl.update", "rl", "critic_loss", last_critic_loss_, "actor_loss",
+                         last_actor_loss_);
+  }
+}
+
+void SacAgent::set_metrics(obs::MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    updates_c_ = nullptr;
+    critic_loss_g_ = actor_loss_g_ = alpha_g_ = nullptr;
+    return;
+  }
+  updates_c_ = &reg->counter("rl.updates");
+  critic_loss_g_ = &reg->gauge("rl.critic_loss");
+  actor_loss_g_ = &reg->gauge("rl.actor_loss");
+  alpha_g_ = &reg->gauge("rl.alpha");
 }
 
 void SacAgent::update_once() {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "rl/mlp.h"
 #include "rl/replay_buffer.h"
 
@@ -51,6 +52,10 @@ class SacAgent {
   /// Run `steps` gradient updates (critic, actor, temperature, targets).
   void update(int steps = 1);
 
+  /// Register training metrics (update count, losses, temperature) with
+  /// `reg`; nullptr detaches. The registry must outlive the agent.
+  void set_metrics(obs::MetricsRegistry* reg);
+
   double alpha() const;
   std::size_t buffer_size() const { return buffer_.size(); }
   double last_critic_loss() const { return last_critic_loss_; }
@@ -84,6 +89,10 @@ class SacAgent {
   double last_critic_loss_ = 0.0;
   double last_actor_loss_ = 0.0;
   std::uint64_t updates_ = 0;
+  obs::Counter* updates_c_ = nullptr;
+  obs::Gauge* critic_loss_g_ = nullptr;
+  obs::Gauge* actor_loss_g_ = nullptr;
+  obs::Gauge* alpha_g_ = nullptr;
 };
 
 }  // namespace mtat

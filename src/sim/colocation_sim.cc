@@ -1,7 +1,8 @@
 #include "sim/colocation_sim.h"
 
-#include <chrono>
 #include <stdexcept>
+
+#include "obs/trace.h"
 
 namespace mtat {
 
@@ -30,7 +31,19 @@ ColocationSim::ColocationSim(const SimConfig& cfg) : cfg_(cfg) {
   mem_ = std::make_unique<TieredMemory>(mc);
   engine_ = std::make_unique<MigrationEngine>(
       *mem_, MigrationEngine::Config{cfg.migration_bandwidth});
+  engine_->set_metrics(&metrics_);
   sampler_ = std::make_unique<AccessSampler>(*mem_, cfg.lc.sample_period);
+
+  // Registry handles for the sim's own signals; everything else registers in
+  // the component that owns the signal (engine above, queue/policy below).
+  policy_wall_c_ = &metrics_.counter("policy.wall_us");
+  policy_wall_h_ = &metrics_.histogram("policy.wall_us_hist");
+  intervals_c_ = &metrics_.counter("sim.intervals");
+  measured_intervals_c_ = &metrics_.counter("sim.measured_intervals");
+  pages_moved_c_ = &metrics_.counter("migration.pages_moved");
+  bw_factor_g_[0] = &metrics_.gauge("bw.fmem_factor");
+  bw_factor_g_[1] = &metrics_.gauge("bw.smem_factor");
+  trace_track_ = obs::trace().allocate_track();
 
   // --- Tenants: LC allocates first (paper Figure 2 setup) ---------------------
   AllocPolicy lc_alloc = AllocPolicy::kFMemFirst;
@@ -48,6 +61,7 @@ ColocationSim::ColocationSim(const SimConfig& cfg) : cfg_(cfg) {
                                                seeder.next_u64()));
 
   queue_ = std::make_unique<QueueSim>(*lc_, cfg.latency_window, seeder.next_u64());
+  queue_->set_metrics(&metrics_);
   be_measured_iters_.assign(be_.size(), 0.0);
 
   // --- Policy -------------------------------------------------------------------
@@ -135,6 +149,7 @@ ColocationSim::ColocationSim(const SimConfig& cfg) : cfg_(cfg) {
       auto mtat = std::make_unique<MtatPolicy>(ctx, cfg.interval, cfg.lc.slo,
                                                std::move(models), opt, cfg.shared_agent);
       mtat_ = mtat.get();
+      mtat_->set_metrics(&metrics_);
       policy_ = std::move(mtat);
       break;
     }
@@ -150,10 +165,13 @@ void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool meas
   // Measured phases run the RL policy on its mean action (no exploration
   // noise); training phases explore. Learning continues in both.
   if (mtat_ != nullptr) mtat_->ppm().set_deterministic(measure);
+  obs::trace().set_track(trace_track_);
   queue_->set_pattern(&pattern, now_);
   const SimTime end = now_ + duration;
   double offered_now = pattern.rate_at(0);
+  SimTime interval_start = now_;
   while (now_ < end) {
+    obs::trace().set_now(now_);
     const Duration dt = std::min<Duration>(cfg_.tick, end - now_);
     if (cfg_.bandwidth.enabled)
       apply_bandwidth_model(pattern.rate_at(now_ - (end - duration)));
@@ -163,25 +181,31 @@ void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool meas
     queue_->run_until(now_ + dt);
     now_ += dt;
     if (now_ >= next_interval_) {
+      obs::trace().set_now(now_);
       offered_now = pattern.rate_at(now_ - (end - duration));
       LatencyHistogram h = queue_->recorder().collect_interval();
       const Duration p99 = h.percentile(99.0);
-      const auto wall0 = std::chrono::steady_clock::now();
-      policy_->on_interval(now_, cfg_.interval, p99);
-      const auto wall1 = std::chrono::steady_clock::now();
-      policy_wall_us_ +=
-          std::chrono::duration<double, std::micro>(wall1 - wall0).count();
+      {
+        obs::WallSpan span("policy.on_interval", "policy", policy_wall_c_, policy_wall_h_);
+        policy_->on_interval(now_, cfg_.interval, p99);
+      }
+      intervals_c_->inc();
+      obs::trace().complete("interval", "sim", interval_start, now_ - interval_start,
+                            "p99_ms", static_cast<double>(p99) / 1e6, "offered_rps",
+                            offered_now);
       if (measure) {
         measured_lat_.merge(h);
         record_interval(offered_now, p99, cfg_.interval);
         measured_time_ += cfg_.interval;
-        ++measured_intervals_;
+        measured_intervals_c_->inc();
+        update_derived_gauges();
       } else {
         // Drain per-interval counters so the measured phase starts clean.
         queue_->take_interval_completed();
         for (auto& bw : be_) bw->take_interval_iterations();
       }
       next_interval_ = now_ + cfg_.interval;
+      interval_start = now_;
     }
   }
 }
@@ -204,6 +228,7 @@ void ColocationSim::apply_bandwidth_model(double lc_offered_rps) {
     const double target = bandwidth_factor(bw, demand[t] / cap[t]);
     bw_factor_[t] = (1.0 - bw.damping) * bw_factor_[t] + bw.damping * target;
     mem_->set_contention_factor(t == 0 ? Tier::kFMem : Tier::kSMem, bw_factor_[t]);
+    bw_factor_g_[t]->set(bw_factor_[t]);
   }
 }
 
@@ -225,8 +250,27 @@ void ColocationSim::record_interval(double offered_rps, Duration lc_p99, Duratio
     be_measured_iters_[i] += iters;
     tp.be_throughput.push_back(iters / interval_s);
   }
+  const double lc_p99_ms = tp.lc_p99_ms;
   series_.push_back(std::move(tp));
-  pages_moved_measured_ = engine_->total_pages_moved() - measured_pages_moved_mark_;
+  pages_moved_measured_ = pages_moved_c_->value() - pages_moved_mark_;
+
+  // Per-interval occupancy/latency samples, visible as counter charts in the
+  // trace and as last-value gauges in metric dumps.
+  metrics_.gauge("lc.fmem_ratio").set(series_.back().lc_fmem_ratio);
+  metrics_.gauge("lc.fmem_share").set(series_.back().lc_fmem_share);
+  obs::trace().counter("lc_fmem_share", "mem", "share", series_.back().lc_fmem_share);
+  obs::trace().counter("lc_p99_ms", "sim", "ms", lc_p99_ms);
+}
+
+void ColocationSim::update_derived_gauges() {
+  // The §5.5 overhead aggregates as derived views over the registry — kept
+  // in lockstep with result() so a metrics dump is self-describing.
+  const double secs = to_seconds(measured_time_);
+  metrics_.gauge("derived.migration_bytes_per_sec")
+      .set(secs > 0 ? pages_moved_measured_ * static_cast<double>(kPageSize) / secs : 0.0);
+  const double intervals = measured_intervals_c_->value() - measured_intervals_mark_;
+  metrics_.gauge("derived.policy_wall_us_per_interval")
+      .set(intervals > 0 ? (policy_wall_c_->value() - policy_wall_mark_) / intervals : 0.0);
 }
 
 void ColocationSim::reset_stats() {
@@ -238,10 +282,11 @@ void ColocationSim::reset_stats() {
   queue_->take_interval_completed();
   be_measured_iters_.assign(be_.size(), 0.0);
   measured_time_ = 0;
-  measured_pages_moved_mark_ = engine_->total_pages_moved();
+  pages_moved_mark_ = pages_moved_c_->value();
   pages_moved_measured_ = 0;
-  policy_wall_us_ = 0;
-  measured_intervals_ = 0;
+  policy_wall_mark_ = policy_wall_c_->value();
+  measured_intervals_mark_ = measured_intervals_c_->value();
+  update_derived_gauges();
 }
 
 SimResult ColocationSim::result() const {
@@ -265,10 +310,12 @@ SimResult ColocationSim::result() const {
     min_np = std::min(min_np, np);
   }
   r.fairness = min_np;
+  // Derived views over the metrics registry (see SimResult's field comment).
   r.migration_bytes_per_sec =
-      secs > 0 ? static_cast<double>(pages_moved_measured_) * kPageSize / secs : 0.0;
+      secs > 0 ? pages_moved_measured_ * static_cast<double>(kPageSize) / secs : 0.0;
+  const double intervals = measured_intervals_c_->value() - measured_intervals_mark_;
   r.policy_wall_us_per_interval =
-      measured_intervals_ > 0 ? policy_wall_us_ / static_cast<double>(measured_intervals_) : 0.0;
+      intervals > 0 ? (policy_wall_c_->value() - policy_wall_mark_) / intervals : 0.0;
   return r;
 }
 

@@ -23,6 +23,7 @@
 #include "loadgen/queue_sim.h"
 #include "mem/migration_engine.h"
 #include "mem/tiered_memory.h"
+#include "obs/metrics.h"
 #include "policy/memtis_policy.h"
 #include "policy/vtmm_policy.h"
 #include "policy/damon_policy.h"
@@ -114,7 +115,11 @@ struct SimResult {
   double fairness = 0;             ///< min_i NP_i (§5.1's fairness metric)
   double be_total_throughput = 0;  ///< sum of mean BE rates (Figure 6b)
   double be_mean_np = 0;           ///< scale-free alternative aggregate
-  double migration_bytes_per_sec = 0;  ///< PP-E overhead proxy (§5.5)
+  /// §5.5 overhead proxies. Both are derived views over the sim's
+  /// MetricsRegistry ("migration.pages_moved", "policy.wall_us",
+  /// "sim.measured_intervals"), not separate bookkeeping — the registry's
+  /// "derived.*" gauges carry the same values.
+  double migration_bytes_per_sec = 0;      ///< PP-E overhead proxy (§5.5)
   double policy_wall_us_per_interval = 0;  ///< PP-M overhead proxy (§5.5)
 };
 
@@ -146,11 +151,21 @@ class ColocationSim {
   const SimConfig& config() const { return cfg_; }
   SimTime now() const { return now_; }
 
+  /// Every signal the sim and its components record (migration counters,
+  /// policy wall time, queue depth, RL losses, bandwidth factors). Always on;
+  /// export with obs::MetricsRegistry::write_json/write_csv.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   void record_interval(double offered_rps, Duration lc_p99, Duration interval);
   void apply_bandwidth_model(double lc_offered_rps);
+  void update_derived_gauges();
 
   SimConfig cfg_;
+  // Declared before the components so it is destroyed after them: engine,
+  // queue, and policy cache pointers into this registry.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<TieredMemory> mem_;
   std::unique_ptr<MigrationEngine> engine_;
   std::unique_ptr<AccessSampler> sampler_;
@@ -162,18 +177,28 @@ class ColocationSim {
 
   SimTime now_ = 0;
   SimTime next_interval_ = 0;
+  std::uint32_t trace_track_ = 0;
 
-  // Measurement phase bookkeeping.
+  // Cached registry handles (stable for the registry's lifetime).
+  obs::Counter* policy_wall_c_ = nullptr;      // "policy.wall_us"
+  obs::Histogram* policy_wall_h_ = nullptr;    // "policy.wall_us_hist"
+  obs::Counter* intervals_c_ = nullptr;        // "sim.intervals"
+  obs::Counter* measured_intervals_c_ = nullptr;  // "sim.measured_intervals"
+  obs::Counter* pages_moved_c_ = nullptr;      // "migration.pages_moved" (engine-fed)
+  obs::Gauge* bw_factor_g_[2] = {nullptr, nullptr};
+
+  // Measurement phase bookkeeping. The §5.5 overhead aggregates are derived
+  // from registry counters relative to marks captured at reset_stats().
   std::vector<TimePoint> series_;
   LatencyHistogram measured_lat_;
   std::uint64_t measured_requests_ = 0;
   std::uint64_t measured_violations_ = 0;
   std::vector<double> be_measured_iters_;
   Duration measured_time_ = 0;
-  std::uint64_t measured_pages_moved_mark_ = 0;
-  std::uint64_t pages_moved_measured_ = 0;
-  double policy_wall_us_ = 0;
-  std::uint64_t measured_intervals_ = 0;
+  double pages_moved_mark_ = 0;      // counter value at reset_stats
+  double pages_moved_measured_ = 0;  // counter delta as of the last interval
+  double policy_wall_mark_ = 0;
+  double measured_intervals_mark_ = 0;
   double bw_factor_[2] = {1.0, 1.0};  // damped contention factors per tier
 };
 

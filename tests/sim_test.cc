@@ -3,6 +3,8 @@
 // metric consistency).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/colocation_sim.h"
 #include "sim/experiments.h"
 #include "workloads/be/be_suite.h"
@@ -207,6 +209,64 @@ TEST(BandwidthModel, SaturationInflatesLatency) {
             0.8 * baseline.result().be_total_throughput);
   // LC requests also slow down: its P99 must be higher under contention.
   EXPECT_GT(contended.result().lc_p99_ms, baseline.result().lc_p99_ms);
+}
+
+TEST(BandwidthModel, FactorEdgeCases) {
+  BandwidthModel bw;  // saturation 0.8, max_factor 4.0
+  EXPECT_DOUBLE_EQ(bandwidth_factor(bw, 0.0), 1.0);
+  // Monotone non-decreasing in utilization.
+  double prev = 1.0;
+  for (double rho = 0.05; rho <= 0.95; rho += 0.05) {
+    const double f = bandwidth_factor(bw, rho);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, bw.max_factor);
+    prev = f;
+  }
+  // rho >= 1 clamps at r=0.999: 1/(1-0.8*0.999) ~ 4.98, capped at max_factor.
+  EXPECT_DOUBLE_EQ(bandwidth_factor(bw, 1.0), bw.max_factor);
+  EXPECT_DOUBLE_EQ(bandwidth_factor(bw, 100.0), bw.max_factor);
+  // With a higher cap the clamp itself becomes visible.
+  bw.max_factor = 10.0;
+  EXPECT_NEAR(bandwidth_factor(bw, 1.0), 1.0 / (1.0 - 0.8 * 0.999), 1e-12);
+  EXPECT_DOUBLE_EQ(bandwidth_factor(bw, 1.0), bandwidth_factor(bw, 2.0));
+  // saturation = 0 disables inflation at any utilization; the factor is also
+  // floored at 1 so it can never *speed up* a tier.
+  bw.saturation = 0.0;
+  EXPECT_DOUBLE_EQ(bandwidth_factor(bw, 0.9), 1.0);
+  bw.saturation = 0.8;
+  EXPECT_DOUBLE_EQ(bandwidth_factor(bw, -0.5), 1.0);
+}
+
+TEST(BandwidthModel, EwmaFactorConvergesUnderConstantLoad) {
+  // The per-tick EWMA (damping 0.1) must approach the contention fixed point
+  // smoothly: sampled via the "bw.smem_factor" gauge, successive steps shrink
+  // and the factor stays inside [1, max_factor].
+  SimConfig cfg = tiny_config(PolicyKind::kSmemAll);
+  cfg.bandwidth.enabled = true;
+  cfg.bandwidth.smem_accesses_per_sec = 1e6;  // well under BE demand
+  ColocationSim sim(cfg);
+  const LoadPattern pat = LoadPattern::constant(500.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 10; ++i) {
+    sim.run(pat, milliseconds(50), /*measure=*/false);  // 5 ticks per sample
+    const obs::Gauge* g = sim.metrics().find_gauge("bw.smem_factor");
+    ASSERT_NE(g, nullptr);
+    samples.push_back(g->value());
+  }
+  for (double v : samples) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, cfg.bandwidth.max_factor);
+  }
+  EXPECT_GT(samples.back(), 1.5);  // saturated tier really inflates
+  // Damped convergence: the first step dominates, later steps die out.
+  // (Demand is elastic in latency, so the tail keeps drifting slightly — the
+  // fixed point moves with the inflated demand; bound it loosely.)
+  const double first_step = std::abs(samples[1] - samples[0]);
+  const double last_step = std::abs(samples[9] - samples[8]);
+  EXPECT_LT(last_step, 0.5 * first_step);
+  EXPECT_LT(last_step, 0.05);
+  // ... and the tail is settled: last three samples agree to within 2%.
+  EXPECT_NEAR(samples[9], samples[7], 0.02 * samples[9]);
 }
 
 TEST(BandwidthModel, UncontendedTiersKeepBaseLatency) {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and run the test suite in Release and under
+# ASan and UBSan (via the MTAT_SANITIZE cache option in the top-level
+# CMakeLists.txt). Build trees live under build-check/ so the default ./build
+# tree is left alone.
+#
+# Usage: tools/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_config() {
+  local name="$1" sanitize="$2"
+  shift 2
+  local dir="build-check/${name}"
+  echo "==== ${name} (MTAT_SANITIZE='${sanitize}') ===="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DMTAT_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j "${jobs}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" "$@"
+}
+
+run_config release "" "$@"
+run_config asan address "$@"
+run_config ubsan undefined "$@"
+
+echo "==== all checks passed ===="

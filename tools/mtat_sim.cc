@@ -12,10 +12,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "common/csv.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "sim/colocation_sim.h"
 #include "workloads/be/be_suite.h"
 
@@ -37,6 +41,8 @@ struct Args {
   bool bandwidth = true;
   bool zipf = false;
   std::string csv_path;
+  std::string trace_path;
+  std::string metrics_path;
   std::uint64_t seed = 42;
 };
 
@@ -56,6 +62,8 @@ struct Args {
       "  --no-bandwidth    disable the tier-bandwidth contention model\n"
       "  --zipf            zipfian LC requests instead of uniform\n"
       "  --csv=PATH        write the per-interval series to PATH\n"
+      "  --trace-out=PATH  write a Chrome trace_event JSON (chrome://tracing, Perfetto)\n"
+      "  --metrics-out=PATH  write the metrics registry + run manifest as JSON\n"
       "  --seed=N          simulation seed\n");
   std::exit(code);
 }
@@ -81,6 +89,8 @@ Args parse(int argc, char** argv) {
     else if (key == "--no-bandwidth") a.bandwidth = false;
     else if (key == "--zipf") a.zipf = true;
     else if (key == "--csv") a.csv_path = val;
+    else if (key == "--trace-out") a.trace_path = val;
+    else if (key == "--metrics-out") a.metrics_path = val;
     else if (key == "--seed") a.seed = std::strtoull(val.c_str(), nullptr, 10);
     else {
       std::fprintf(stderr, "unknown flag: %s\n\n", arg.c_str());
@@ -128,6 +138,8 @@ LCConfig lc_from(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  // Enable before the sim exists so construction-time events are captured.
+  if (!a.trace_path.empty()) obs::trace().enable();
 
   SimConfig cfg;
   cfg.fmem = static_cast<Bytes>(a.fmem_mib * 1024 * 1024);
@@ -192,6 +204,65 @@ int main(int argc, char** argv) {
                 r.be_rate[i], r.be_np[i]);
   std::printf("fairness        %.3f (min NP)\n", r.fairness);
   std::printf("migration       %.1f MB/s\n", r.migration_bytes_per_sec / 1e6);
+  std::printf("policy wall     %.1f us/interval\n", r.policy_wall_us_per_interval);
   if (!a.csv_path.empty()) std::printf("series          %s\n", a.csv_path.c_str());
-  return 0;
+
+  // --- observability sidecars -------------------------------------------------
+  int rc = 0;
+  if (!a.trace_path.empty()) {
+    std::ofstream out(a.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", a.trace_path.c_str());
+      rc = 1;
+    } else {
+      obs::trace().write_chrome_json(out);
+      out << '\n';
+      std::printf("trace           %s (%zu events, %llu dropped)\n", a.trace_path.c_str(),
+                  obs::trace().size(), (unsigned long long)obs::trace().dropped());
+    }
+  }
+  if (!a.metrics_path.empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = "mtat_sim";
+    manifest.seed = a.seed;
+    const bool mtat = cfg.policy == PolicyKind::kMtatFull || cfg.policy == PolicyKind::kMtatLcOnly;
+    manifest.train_epochs = mtat ? a.train_epochs : -1;
+    manifest.add("policy", a.policy);
+    manifest.add("lc", a.lc);
+    manifest.add("n_be", std::to_string(a.n_be));
+    manifest.add("be_cores", std::to_string(a.be_cores));
+    manifest.add("pattern", a.pattern);
+    manifest.add("load_fraction", std::to_string(a.load_fraction));
+    manifest.add("seconds", std::to_string(a.seconds_total));
+    manifest.add("fmem_mib", std::to_string(a.fmem_mib));
+    manifest.add("smem_mib", std::to_string(a.smem_mib));
+    manifest.add("bandwidth_model", a.bandwidth ? "on" : "off");
+    manifest.add("zipf", a.zipf ? "on" : "off");
+    std::ofstream out(a.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", a.metrics_path.c_str());
+      return 1;
+    }
+    out << "{\"manifest\":";
+    manifest.write_json(out);
+    out << ",\"metrics\":";
+    sim.metrics().write_json(out);
+    // json_number keeps full precision so the summary values are bit-equal
+    // to the registry's derived.* gauges (they are the same numbers).
+    out << ",\"summary\":{\"lc_p99_ms\":";
+    obs::json_number(out, r.lc_p99_ms);
+    out << ",\"slo_violation_rate\":";
+    obs::json_number(out, r.slo_violation_rate);
+    out << ",\"lc_completed\":" << r.lc_completed << ",\"fairness\":";
+    obs::json_number(out, r.fairness);
+    out << ",\"be_total_throughput\":";
+    obs::json_number(out, r.be_total_throughput);
+    out << ",\"migration_bytes_per_sec\":";
+    obs::json_number(out, r.migration_bytes_per_sec);
+    out << ",\"policy_wall_us_per_interval\":";
+    obs::json_number(out, r.policy_wall_us_per_interval);
+    out << "}}\n";
+    std::printf("metrics         %s\n", a.metrics_path.c_str());
+  }
+  return rc;
 }
