@@ -216,8 +216,9 @@ TEST(PageProfile, BestPlacementPrefixIsMonotoneConcave) {
   EXPECT_DOUBLE_EQ(prefix[1], 0.4);  // hottest first
   for (std::size_t i = 1; i < prefix.size(); ++i) {
     EXPECT_GE(prefix[i], prefix[i - 1]);
-    if (i >= 2)  // marginal gains shrink
+    if (i >= 2) {  // marginal gains shrink
       EXPECT_LE(prefix[i] - prefix[i - 1], prefix[i - 1] - prefix[i - 2] + 1e-12);
+    }
   }
 }
 
