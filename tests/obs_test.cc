@@ -59,7 +59,13 @@ TEST(Metrics, RegistryReferencesAreStable) {
   obs::Counter& c = reg.counter("pages");
   obs::Gauge& g = reg.gauge("factor");
   // Registering many more metrics must not invalidate earlier references.
-  for (int i = 0; i < 200; ++i) reg.counter("c" + std::to_string(i));
+  // (Built with += rather than operator+: GCC 12's -Wrestrict false-positives
+  // on inlined string operator+ chains at -O3.)
+  for (int i = 0; i < 200; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    reg.counter(name);
+  }
   c.inc(7.0);
   g.set(3.0);
   EXPECT_EQ(reg.find_counter("pages")->value(), 7.0);
