@@ -25,10 +25,10 @@ void TraceRecorder::clear() {
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
   std::vector<TraceEvent> out;
-  const std::size_t n = size();
-  out.reserve(n);
-  const std::uint64_t first = written_ > capacity_ ? written_ - capacity_ : 0;
-  for (std::uint64_t i = first; i < written_; ++i) out.push_back(ring_[i % capacity_]);
+  out.reserve(size());
+  const std::uint64_t w = written_.load(std::memory_order_relaxed);
+  const std::uint64_t first = w > capacity_ ? w - capacity_ : 0;
+  for (std::uint64_t i = first; i < w; ++i) out.push_back(ring_[i % capacity_]);
   return out;
 }
 
@@ -73,8 +73,9 @@ void write_event(std::ostream& os, const TraceEvent& e) {
 
 void TraceRecorder::write_chrome_json(std::ostream& os) const {
   os << "{\"traceEvents\":[";
-  const std::uint64_t first = written_ > capacity_ ? written_ - capacity_ : 0;
-  for (std::uint64_t i = first; i < written_; ++i) {
+  const std::uint64_t w = written_.load(std::memory_order_relaxed);
+  const std::uint64_t first = w > capacity_ ? w - capacity_ : 0;
+  for (std::uint64_t i = first; i < w; ++i) {
     if (i != first) os << ",\n";
     write_event(os, ring_[i % capacity_]);
   }

@@ -20,8 +20,16 @@
 // DESIGN.md "Observability").
 //
 // Event names and categories must be string literals (or otherwise outlive
-// the recorder): events store the pointers, never copies. Single-threaded by
-// design, like the simulator; only the enabled flag is atomic.
+// the recorder): events store the pointers, never copies.
+//
+// Threading: the *record* calls (instant/complete/counter) are safe to issue
+// concurrently — the enabled flag and the write cursor are atomic, so each
+// recorder claims a distinct ring slot. Two writers can still collide on one
+// slot if they are more than `capacity` claims apart (ring-mode overwrite
+// semantics, mangling at most that slot, never memory safety). Everything
+// else — enable/disable/clear/set_now/set_track/snapshot/write_chrome_json —
+// is a control or export operation and must run while no recorder is active
+// (quiescent), which the simulator's tick loop guarantees.
 #pragma once
 
 #include <atomic>
@@ -93,10 +101,16 @@ class TraceRecorder {
     push(TraceEvent{name, cat, 'C', now_, 0, track_, key, value, nullptr, 0.0});
   }
 
-  std::size_t size() const { return written_ < capacity_ ? written_ : capacity_; }
+  std::size_t size() const {
+    const std::uint64_t w = written_.load(std::memory_order_relaxed);
+    return w < capacity_ ? w : capacity_;
+  }
   std::size_t capacity() const { return capacity_; }
   /// Events overwritten because the ring was full.
-  std::uint64_t dropped() const { return written_ > capacity_ ? written_ - capacity_ : 0; }
+  std::uint64_t dropped() const {
+    const std::uint64_t w = written_.load(std::memory_order_relaxed);
+    return w > capacity_ ? w - capacity_ : 0;
+  }
 
   /// Events in chronological (insertion) order, oldest surviving first.
   std::vector<TraceEvent> snapshot() const;
@@ -109,14 +123,17 @@ class TraceRecorder {
  private:
   void push(const TraceEvent& e) {
     if (capacity_ == 0) return;
-    ring_[written_ % capacity_] = e;
-    ++written_;
+    // Claim a slot first, then fill it: concurrent recorders get distinct
+    // slots (relaxed is enough — no recorder reads another's slot, and the
+    // exporters only run quiescent).
+    const std::uint64_t slot = written_.fetch_add(1, std::memory_order_relaxed);
+    ring_[slot % capacity_] = e;
   }
 
   std::atomic<bool> enabled_{false};
   std::vector<TraceEvent> ring_;
   std::size_t capacity_ = 0;
-  std::uint64_t written_ = 0;
+  std::atomic<std::uint64_t> written_{0};
   SimTime now_ = 0;
   std::uint32_t track_ = 0;
   std::uint32_t next_track_ = 1;
