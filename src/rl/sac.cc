@@ -15,8 +15,13 @@ constexpr double kTanhEps = 1e-6;
 constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5 * log(2*pi)
 
 std::vector<int> net_sizes(int in, const std::vector<int>& hidden, int out) {
-  std::vector<int> s{in};
-  s.insert(s.end(), hidden.begin(), hidden.end());
+  // Appended element-wise rather than via insert(range): GCC 12 with
+  // -fsanitize=undefined false-positives -Warray-bounds on the memmove
+  // inlined out of vector range-insert.
+  std::vector<int> s;
+  s.reserve(hidden.size() + 2);
+  s.push_back(in);
+  for (int h : hidden) s.push_back(h);
   s.push_back(out);
   return s;
 }
