@@ -8,13 +8,22 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.h"
 #include "workloads/graph/graph_layout.h"
 #include "workloads/graph/kernels.h"
 
 using namespace mtat;
 
 int main(int argc, char** argv) {
-  const int scale = argc > 1 ? std::atoi(argv[1]) : 14;
+  int scale = 14;
+  if (argc > 1) {
+    const auto parsed = parse_int(argv[1]);
+    if (!parsed || *parsed < 1 || *parsed > 24) {
+      std::fprintf(stderr, "usage: %s [scale 1-24]\n", argv[0]);
+      return 2;
+    }
+    scale = *parsed;
+  }
   Rng rng(2024);
   std::printf("generating R-MAT graph, scale %d...\n", scale);
   const Graph g = make_rmat_graph(scale, 16, rng);

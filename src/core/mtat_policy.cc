@@ -1,5 +1,6 @@
 #include "core/mtat_policy.h"
 
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace mtat {
@@ -30,8 +31,8 @@ void MtatPolicy::set_metrics(obs::MetricsRegistry* reg) {
     decide_wall_h_ = nullptr;
     lc_quota_g_ = nullptr;
   } else {
-    decide_wall_h_ = &reg->histogram("ppm.decide_wall_us");
-    lc_quota_g_ = &reg->gauge("mtat.lc_quota_pages");
+    decide_wall_h_ = &reg->histogram(obs::names::kPpmDecideWallUs);
+    lc_quota_g_ = &reg->gauge(obs::names::kMtatLcQuotaPages);
   }
   ppm_->set_metrics(reg);
   ppe_->set_metrics(reg);
@@ -46,7 +47,8 @@ void MtatPolicy::on_interval(SimTime, Duration, Duration lc_p99) {
     // PP-M's wall cost (state build + SAC training + SA search) is the §5.5
     // overhead number; the span's sim placement vs wall duration convention
     // is described in obs/trace.h.
-    obs::WallSpan span("ppm.decide", "policy", nullptr, decide_wall_h_);
+    obs::WallSpan span(obs::names::kEvPpmDecide, obs::names::kCatPolicy, nullptr,
+                       decide_wall_h_);
     decision = ppm_->decide(ppe_->quota(lc_idx_), usage, counters, lc_p99);
   }
   if (lc_quota_g_ != nullptr) lc_quota_g_->set(static_cast<double>(decision.lc_pages));

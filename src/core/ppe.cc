@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace mtat {
@@ -48,7 +49,7 @@ void PartitionEnforcer::set_plan(const std::vector<std::uint64_t>& quotas) {
   plan_start_ts_ = obs::trace().now();
   plan_start_pages_ = backlog;
   plan_was_active_ = backlog > 0.0;
-  obs::trace().instant("ppe.plan", "policy", "lc_quota",
+  obs::trace().instant(obs::names::kEvPpePlan, obs::names::kCatPolicy, "lc_quota",
                        static_cast<double>(quota_[lc_idx_]), "backlog_pages", backlog);
 }
 
@@ -58,8 +59,8 @@ void PartitionEnforcer::set_metrics(obs::MetricsRegistry* reg) {
     plan_pages_g_ = nullptr;
     return;
   }
-  plans_c_ = &reg->counter("ppe.plans");
-  plan_pages_g_ = &reg->gauge("ppe.plan_pages");
+  plans_c_ = &reg->counter(obs::names::kPpePlans);
+  plan_pages_g_ = &reg->gauge(obs::names::kPpePlanPages);
 }
 
 PageId PartitionEnforcer::promote_candidate(std::size_t idx) const {
@@ -267,7 +268,7 @@ void PartitionEnforcer::on_tick() {
     // (set_plan -> drain), the "plan execution" lane of the trace.
     if (plan_was_active_ && !plan_active()) {
       plan_was_active_ = false;
-      obs::trace().complete("ppe.plan_exec", "policy", plan_start_ts_,
+      obs::trace().complete(obs::names::kEvPpePlanExec, obs::names::kCatPolicy, plan_start_ts_,
                             obs::trace().now() - plan_start_ts_, "pages",
                             plan_start_pages_);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace mtat {
@@ -72,7 +73,8 @@ PartitionPolicyMaker::Decision PartitionPolicyMaker::decide(std::uint64_t curren
       action[0] = 1.0;
       cooldown_left_ = opt_.guard_cooldown_intervals;
       if (guard_trips_c_ != nullptr) guard_trips_c_->inc();
-      obs::trace().instant("ppm.guard_trip", "policy", "p99_ms", p99 / 1e6);
+      obs::trace().instant(obs::names::kEvPpmGuardTrip, obs::names::kCatPolicy, "p99_ms",
+                           p99 / 1e6);
     } else if (std::max(p99, p99_smooth_) > opt_.guard_hold * static_cast<double>(slo_) ||
                cooldown_left_ > 0) {
       action[0] = std::max(action[0], 0.0);
@@ -131,7 +133,7 @@ PartitionPolicyMaker::Decision PartitionPolicyMaker::decide(std::uint64_t curren
     }
   }
   if (decisions_c_ != nullptr) decisions_c_->inc();
-  obs::trace().instant("ppm.decision", "policy", "lc_pages",
+  obs::trace().instant(obs::names::kEvPpmDecision, obs::names::kCatPolicy, "lc_pages",
                        static_cast<double>(d.lc_pages), "alpha", action[0]);
   return d;
 }
@@ -141,10 +143,10 @@ void PartitionPolicyMaker::set_metrics(obs::MetricsRegistry* reg) {
     decisions_c_ = violations_c_ = guard_trips_c_ = nullptr;
     reward_g_ = nullptr;
   } else {
-    decisions_c_ = &reg->counter("ppm.decisions");
-    violations_c_ = &reg->counter("ppm.violations");
-    guard_trips_c_ = &reg->counter("ppm.guard_trips");
-    reward_g_ = &reg->gauge("ppm.reward");
+    decisions_c_ = &reg->counter(obs::names::kPpmDecisions);
+    violations_c_ = &reg->counter(obs::names::kPpmViolations);
+    guard_trips_c_ = &reg->counter(obs::names::kPpmGuardTrips);
+    reward_g_ = &reg->gauge(obs::names::kPpmReward);
   }
   agent_->set_metrics(reg);
 }

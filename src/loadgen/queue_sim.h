@@ -24,6 +24,7 @@
 #include "loadgen/latency_recorder.h"
 #include "loadgen/load_pattern.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 #include "workloads/lc/lc_workload.h"
 
@@ -47,9 +48,9 @@ class QueueSim {
       backlog_peak_g_ = nullptr;
       return;
     }
-    arrivals_c_ = &reg->counter("queue.arrivals");
-    completed_c_ = &reg->counter("queue.completed");
-    backlog_peak_g_ = &reg->gauge("queue.backlog_peak");
+    arrivals_c_ = &reg->counter(obs::names::kQueueArrivals);
+    completed_c_ = &reg->counter(obs::names::kQueueCompleted);
+    backlog_peak_g_ = &reg->gauge(obs::names::kQueueBacklogPeak);
   }
 
   /// Install (or replace) the offered-load pattern, (re)starting it at
@@ -91,7 +92,8 @@ class QueueSim {
         const double threshold = 64.0 * static_cast<double>(free_at_.size());
         if (!in_overload_ && backlog > threshold) {
           in_overload_ = true;
-          obs::trace().instant("queue.overload", "queue", "backlog", backlog);
+          obs::trace().instant(obs::names::kEvQueueOverload, obs::names::kCatQueue, "backlog",
+                               backlog);
         } else if (in_overload_ && backlog < threshold / 2.0) {
           in_overload_ = false;
         }

@@ -15,6 +15,7 @@
 #include "common/units.h"
 #include "mem/tiered_memory.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace mtat {
@@ -41,11 +42,11 @@ class MigrationEngine {
       moved_per_tick_h_ = nullptr;
       return;
     }
-    moved_c_ = &reg->counter("migration.pages_moved");
-    promoted_c_ = &reg->counter("migration.promotions");
-    demoted_c_ = &reg->counter("migration.demotions");
-    exchanged_c_ = &reg->counter("migration.exchanges");
-    moved_per_tick_h_ = &reg->histogram("migration.pages_per_tick");
+    moved_c_ = &reg->counter(obs::names::kMigrationPagesMoved);
+    promoted_c_ = &reg->counter(obs::names::kMigrationPromotions);
+    demoted_c_ = &reg->counter(obs::names::kMigrationDemotions);
+    exchanged_c_ = &reg->counter(obs::names::kMigrationExchanges);
+    moved_per_tick_h_ = &reg->histogram(obs::names::kMigrationPagesPerTick);
   }
 
   /// Refills the page budget for an interval of length `dt`. Fractional pages
@@ -57,8 +58,8 @@ class MigrationEngine {
     // distribution sample either way.
     if (moved_per_tick_h_ != nullptr) moved_per_tick_h_->record(moved_this_interval_);
     if (moved_this_interval_ > 0 && obs::trace().enabled())
-      obs::trace().complete("migration", "mem", last_begin_ts_, last_dt_, "pages",
-                            static_cast<double>(moved_this_interval_));
+      obs::trace().complete(obs::names::kEvMigration, obs::names::kCatMem, last_begin_ts_,
+                            last_dt_, "pages", static_cast<double>(moved_this_interval_));
     last_begin_ts_ = obs::trace().now();
     last_dt_ = dt;
     carry_ += cfg_.bandwidth_bytes_per_sec * to_seconds(dt) / static_cast<double>(kPageSize);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace mtat {
@@ -107,8 +108,8 @@ void SacAgent::update(int steps) {
     critic_loss_g_->set(last_critic_loss_);
     actor_loss_g_->set(last_actor_loss_);
     alpha_g_->set(alpha());
-    obs::trace().instant("rl.update", "rl", "critic_loss", last_critic_loss_, "actor_loss",
-                         last_actor_loss_);
+    obs::trace().instant(obs::names::kEvRlUpdate, obs::names::kCatRl, "critic_loss",
+                         last_critic_loss_, "actor_loss", last_actor_loss_);
   }
 }
 
@@ -118,10 +119,10 @@ void SacAgent::set_metrics(obs::MetricsRegistry* reg) {
     critic_loss_g_ = actor_loss_g_ = alpha_g_ = nullptr;
     return;
   }
-  updates_c_ = &reg->counter("rl.updates");
-  critic_loss_g_ = &reg->gauge("rl.critic_loss");
-  actor_loss_g_ = &reg->gauge("rl.actor_loss");
-  alpha_g_ = &reg->gauge("rl.alpha");
+  updates_c_ = &reg->counter(obs::names::kRlUpdates);
+  critic_loss_g_ = &reg->gauge(obs::names::kRlCriticLoss);
+  actor_loss_g_ = &reg->gauge(obs::names::kRlActorLoss);
+  alpha_g_ = &reg->gauge(obs::names::kRlAlpha);
 }
 
 void SacAgent::update_once() {

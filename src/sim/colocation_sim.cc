@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace mtat {
@@ -36,13 +37,13 @@ ColocationSim::ColocationSim(const SimConfig& cfg) : cfg_(cfg) {
 
   // Registry handles for the sim's own signals; everything else registers in
   // the component that owns the signal (engine above, queue/policy below).
-  policy_wall_c_ = &metrics_.counter("policy.wall_us");
-  policy_wall_h_ = &metrics_.histogram("policy.wall_us_hist");
-  intervals_c_ = &metrics_.counter("sim.intervals");
-  measured_intervals_c_ = &metrics_.counter("sim.measured_intervals");
-  pages_moved_c_ = &metrics_.counter("migration.pages_moved");
-  bw_factor_g_[0] = &metrics_.gauge("bw.fmem_factor");
-  bw_factor_g_[1] = &metrics_.gauge("bw.smem_factor");
+  policy_wall_c_ = &metrics_.counter(obs::names::kPolicyWallUs);
+  policy_wall_h_ = &metrics_.histogram(obs::names::kPolicyWallUsHist);
+  intervals_c_ = &metrics_.counter(obs::names::kSimIntervals);
+  measured_intervals_c_ = &metrics_.counter(obs::names::kSimMeasuredIntervals);
+  pages_moved_c_ = &metrics_.counter(obs::names::kMigrationPagesMoved);
+  bw_factor_g_[0] = &metrics_.gauge(obs::names::kBwFmemFactor);
+  bw_factor_g_[1] = &metrics_.gauge(obs::names::kBwSmemFactor);
   trace_track_ = obs::trace().allocate_track();
 
   // --- Tenants: LC allocates first (paper Figure 2 setup) ---------------------
@@ -186,13 +187,14 @@ void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool meas
       LatencyHistogram h = queue_->recorder().collect_interval();
       const Duration p99 = h.percentile(99.0);
       {
-        obs::WallSpan span("policy.on_interval", "policy", policy_wall_c_, policy_wall_h_);
+        obs::WallSpan span(obs::names::kEvPolicyOnInterval, obs::names::kCatPolicy,
+                           policy_wall_c_, policy_wall_h_);
         policy_->on_interval(now_, cfg_.interval, p99);
       }
       intervals_c_->inc();
-      obs::trace().complete("interval", "sim", interval_start, now_ - interval_start,
-                            "p99_ms", static_cast<double>(p99) / 1e6, "offered_rps",
-                            offered_now);
+      obs::trace().complete(obs::names::kEvInterval, obs::names::kCatSim, interval_start,
+                            now_ - interval_start, "p99_ms", static_cast<double>(p99) / 1e6,
+                            "offered_rps", offered_now);
       if (measure) {
         measured_lat_.merge(h);
         record_interval(offered_now, p99, cfg_.interval);
@@ -256,20 +258,21 @@ void ColocationSim::record_interval(double offered_rps, Duration lc_p99, Duratio
 
   // Per-interval occupancy/latency samples, visible as counter charts in the
   // trace and as last-value gauges in metric dumps.
-  metrics_.gauge("lc.fmem_ratio").set(series_.back().lc_fmem_ratio);
-  metrics_.gauge("lc.fmem_share").set(series_.back().lc_fmem_share);
-  obs::trace().counter("lc_fmem_share", "mem", "share", series_.back().lc_fmem_share);
-  obs::trace().counter("lc_p99_ms", "sim", "ms", lc_p99_ms);
+  metrics_.gauge(obs::names::kLcFmemRatio).set(series_.back().lc_fmem_ratio);
+  metrics_.gauge(obs::names::kLcFmemShare).set(series_.back().lc_fmem_share);
+  obs::trace().counter(obs::names::kEvLcFmemShare, obs::names::kCatMem, "share",
+                       series_.back().lc_fmem_share);
+  obs::trace().counter(obs::names::kEvLcP99Ms, obs::names::kCatSim, "ms", lc_p99_ms);
 }
 
 void ColocationSim::update_derived_gauges() {
   // The §5.5 overhead aggregates as derived views over the registry — kept
   // in lockstep with result() so a metrics dump is self-describing.
   const double secs = to_seconds(measured_time_);
-  metrics_.gauge("derived.migration_bytes_per_sec")
+  metrics_.gauge(obs::names::kDerivedMigrationBytesPerSec)
       .set(secs > 0 ? pages_moved_measured_ * static_cast<double>(kPageSize) / secs : 0.0);
   const double intervals = measured_intervals_c_->value() - measured_intervals_mark_;
-  metrics_.gauge("derived.policy_wall_us_per_interval")
+  metrics_.gauge(obs::names::kDerivedPolicyWallUsPerInterval)
       .set(intervals > 0 ? (policy_wall_c_->value() - policy_wall_mark_) / intervals : 0.0);
 }
 

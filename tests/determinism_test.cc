@@ -1,0 +1,133 @@
+// Seed-determinism regression: two ColocationSim runs with identical configs
+// and seeds must be bit-identical — same SimResult, same metric registries.
+// This is the property the mtat_lint `nondet` rule exists to protect; the test
+// catches what a banned-token scan cannot (e.g. iteration over a container
+// with nondeterministic order feeding a decision).
+//
+// The only sanctioned exception is the wall-clock domain: policy wall time is
+// measured with steady_clock on the host, so "*wall*" metrics (and the
+// SimResult field derived from them) legitimately differ between runs.
+// obs::names::is_wall_time_metric() names exactly that set.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/names.h"
+#include "sim/colocation_sim.h"
+#include "workloads/be/be_suite.h"
+
+namespace mtat {
+namespace {
+
+SimConfig tiny_config(PolicyKind policy) {
+  SimConfig cfg;
+  cfg.fmem = 32_MiB;
+  cfg.smem = 512_MiB;
+  cfg.lc = redis_config();
+  cfg.lc.n_records = 30'000;
+  cfg.be = be_suite(BEScale::kTest, 36_MiB, 4, 2);
+  cfg.policy = policy;
+  cfg.bandwidth.enabled = true;  // the contention fixed point must replay too
+  cfg.seed = 20240806;
+  return cfg;
+}
+
+SimResult run_once(const SimConfig& cfg, obs::MetricsRegistry** registry_out,
+                   ColocationSim& sim) {
+  const LoadPattern pat = LoadPattern::constant(cfg.lc.max_load_krps * 1000.0 * 0.5);
+  sim.run(pat, seconds(8));
+  *registry_out = &sim.metrics();
+  return sim.result();
+}
+
+void expect_identical_results(const SimResult& a, const SimResult& b) {
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    const TimePoint& x = a.series[i];
+    const TimePoint& y = b.series[i];
+    EXPECT_EQ(x.t_sec, y.t_sec) << "interval " << i;
+    EXPECT_EQ(x.offered_rps, y.offered_rps) << "interval " << i;
+    EXPECT_EQ(x.lc_p99_ms, y.lc_p99_ms) << "interval " << i;
+    EXPECT_EQ(x.lc_throughput_rps, y.lc_throughput_rps) << "interval " << i;
+    EXPECT_EQ(x.lc_fmem_ratio, y.lc_fmem_ratio) << "interval " << i;
+    EXPECT_EQ(x.lc_fmem_share, y.lc_fmem_share) << "interval " << i;
+    EXPECT_EQ(x.be_fmem_share, y.be_fmem_share) << "interval " << i;
+    EXPECT_EQ(x.be_throughput, y.be_throughput) << "interval " << i;
+  }
+  EXPECT_EQ(a.lc_p99_ms, b.lc_p99_ms);
+  EXPECT_EQ(a.slo_violation_rate, b.slo_violation_rate);
+  EXPECT_EQ(a.lc_completed, b.lc_completed);
+  EXPECT_EQ(a.be_rate, b.be_rate);
+  EXPECT_EQ(a.be_np, b.be_np);
+  EXPECT_EQ(a.fairness, b.fairness);
+  EXPECT_EQ(a.be_total_throughput, b.be_total_throughput);
+  EXPECT_EQ(a.be_mean_np, b.be_mean_np);
+  EXPECT_EQ(a.migration_bytes_per_sec, b.migration_bytes_per_sec);
+  // a.policy_wall_us_per_interval is host wall time — exempt by design.
+}
+
+void expect_identical_registries(const obs::MetricsRegistry& a,
+                                 const obs::MetricsRegistry& b) {
+  for (const char* name : obs::names::kAllMetricNames) {
+    if (obs::names::is_wall_time_metric(name)) continue;
+    SCOPED_TRACE(name);
+    const obs::Counter* ca = a.find_counter(name);
+    const obs::Counter* cb = b.find_counter(name);
+    ASSERT_EQ(ca == nullptr, cb == nullptr);
+    if (ca != nullptr) {
+      EXPECT_EQ(ca->value(), cb->value());
+    }
+    const obs::Gauge* ga = a.find_gauge(name);
+    const obs::Gauge* gb = b.find_gauge(name);
+    ASSERT_EQ(ga == nullptr, gb == nullptr);
+    if (ga != nullptr) {
+      EXPECT_EQ(ga->value(), gb->value());
+    }
+    const obs::Histogram* ha = a.find_histogram(name);
+    const obs::Histogram* hb = b.find_histogram(name);
+    ASSERT_EQ(ha == nullptr, hb == nullptr);
+    if (ha != nullptr) {
+      EXPECT_EQ(ha->count(), hb->count());
+      EXPECT_EQ(ha->mean(), hb->mean());
+      EXPECT_EQ(ha->min(), hb->min());
+      EXPECT_EQ(ha->max(), hb->max());
+      EXPECT_EQ(ha->percentile(99.0), hb->percentile(99.0));
+    }
+  }
+}
+
+class SameSeedRuns : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(SameSeedRuns, AreBitIdentical) {
+  const SimConfig cfg = tiny_config(GetParam());
+  ColocationSim sim1(cfg);
+  ColocationSim sim2(cfg);
+  obs::MetricsRegistry* reg1 = nullptr;
+  obs::MetricsRegistry* reg2 = nullptr;
+  const SimResult r1 = run_once(cfg, &reg1, sim1);
+  const SimResult r2 = run_once(cfg, &reg2, sim2);
+  expect_identical_results(r1, r2);
+  expect_identical_registries(*reg1, *reg2);
+}
+
+// kMtatFull exercises the full stack (SAC updates, PP-M/PP-E, migration);
+// kMemtis covers the frequency-threshold baseline path.
+INSTANTIATE_TEST_SUITE_P(Policies, SameSeedRuns,
+                         ::testing::Values(PolicyKind::kMtatFull, PolicyKind::kMemtis),
+                         [](const auto& info) { return policy_name(info.param); });
+
+// A different seed must actually change behaviour — otherwise the test above
+// would pass trivially with the seed being ignored.
+TEST(SameSeedRuns, DifferentSeedDiverges) {
+  SimConfig cfg = tiny_config(PolicyKind::kMtatFull);
+  ColocationSim sim1(cfg);
+  cfg.seed = 999;
+  ColocationSim sim2(cfg);
+  const LoadPattern pat = LoadPattern::constant(cfg.lc.max_load_krps * 1000.0 * 0.5);
+  sim1.run(pat, seconds(8));
+  sim2.run(pat, seconds(8));
+  EXPECT_NE(sim1.result().lc_p99_ms, sim2.result().lc_p99_ms);
+}
+
+}  // namespace
+}  // namespace mtat

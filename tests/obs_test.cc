@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 #include "sim/colocation_sim.h"
 #include "sim/experiments.h"
@@ -84,9 +88,9 @@ TEST(Metrics, FindReturnsNullWhenMissing) {
 
 TEST(Metrics, WriteJsonCoversAllKinds) {
   obs::MetricsRegistry reg;
-  reg.counter("migration.pages_moved").inc(42.0);
-  reg.gauge("bw.fmem_factor").set(1.5);
-  reg.histogram("ppm.decide_wall_us").record(10);
+  reg.counter(obs::names::kMigrationPagesMoved).inc(42.0);
+  reg.gauge(obs::names::kBwFmemFactor).set(1.5);
+  reg.histogram(obs::names::kPpmDecideWallUs).record(10);
   std::ostringstream os;
   reg.write_json(os);
   const std::string s = os.str();
@@ -178,6 +182,32 @@ TEST_F(TraceTest, RingOverwritesOldestAndCountsDropped) {
     EXPECT_EQ(events[i].arg1, static_cast<double>(12 + i));
 }
 
+TEST_F(TraceTest, ConcurrentRecordersClaimDistinctSlots) {
+  // Record calls are the one TraceRecorder operation documented as
+  // thread-safe: each push claims a distinct ring slot via the atomic write
+  // cursor. Run under TSan (tools/check.sh tsan lane) this is the regression
+  // test for that contract.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  obs::trace().enable(kThreads * kPerThread);  // no wrap: every event survives
+  obs::trace().clear();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        obs::trace().instant("e", "t", "thread", static_cast<double>(t));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(obs::trace().size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(obs::trace().dropped(), 0u);
+  // Every thread's events all landed: no slot was lost to a torn index.
+  std::array<int, kThreads> per_thread{};
+  for (const auto& e : obs::trace().snapshot())
+    ++per_thread[static_cast<int>(e.arg1)];
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kPerThread);
+}
+
 TEST_F(TraceTest, ChromeJsonUsesMicrosecondTimestamps) {
   obs::trace().complete("mig", "mem", /*ts=*/2000, /*dur=*/3000, "pages", 4.0);
   obs::trace().set_now(5000);
@@ -197,8 +227,8 @@ TEST_F(TraceTest, ChromeJsonUsesMicrosecondTimestamps) {
 
 TEST_F(TraceTest, WallSpanFeedsMetricsAndTrace) {
   obs::MetricsRegistry reg;
-  obs::Counter& sum = reg.counter("policy.wall_us");
-  obs::Histogram& hist = reg.histogram("policy.wall_us_hist");
+  obs::Counter& sum = reg.counter(obs::names::kPolicyWallUs);
+  obs::Histogram& hist = reg.histogram(obs::names::kPolicyWallUsHist);
   obs::trace().set_now(7000);
   { obs::WallSpan span("work", "policy", &sum, &hist); }
   EXPECT_GT(sum.value(), 0.0);
@@ -261,19 +291,19 @@ TEST(SimObservability, RegistryDerivedValuesMatchSimResult) {
   const obs::MetricsRegistry& reg = sim.metrics();
   // The SimResult overhead fields are views over the registry: the derived.*
   // gauges must carry exactly the same numbers.
-  ASSERT_NE(reg.find_gauge("derived.migration_bytes_per_sec"), nullptr);
-  ASSERT_NE(reg.find_gauge("derived.policy_wall_us_per_interval"), nullptr);
-  EXPECT_DOUBLE_EQ(reg.find_gauge("derived.migration_bytes_per_sec")->value(),
+  ASSERT_NE(reg.find_gauge(obs::names::kDerivedMigrationBytesPerSec), nullptr);
+  ASSERT_NE(reg.find_gauge(obs::names::kDerivedPolicyWallUsPerInterval), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_gauge(obs::names::kDerivedMigrationBytesPerSec)->value(),
                    r.migration_bytes_per_sec);
-  EXPECT_DOUBLE_EQ(reg.find_gauge("derived.policy_wall_us_per_interval")->value(),
+  EXPECT_DOUBLE_EQ(reg.find_gauge(obs::names::kDerivedPolicyWallUsPerInterval)->value(),
                    r.policy_wall_us_per_interval);
   // And the raw signals behind them are populated.
-  ASSERT_NE(reg.find_counter("sim.intervals"), nullptr);
-  EXPECT_EQ(reg.find_counter("sim.intervals")->value(), 5.0);
-  EXPECT_EQ(reg.find_counter("sim.measured_intervals")->value(), 5.0);
-  EXPECT_GT(reg.find_counter("policy.wall_us")->value(), 0.0);
-  EXPECT_GT(reg.find_counter("migration.pages_moved")->value(), 0.0);  // displacement
-  EXPECT_GT(reg.find_counter("queue.arrivals")->value(), 0.0);
+  ASSERT_NE(reg.find_counter(obs::names::kSimIntervals), nullptr);
+  EXPECT_EQ(reg.find_counter(obs::names::kSimIntervals)->value(), 5.0);
+  EXPECT_EQ(reg.find_counter(obs::names::kSimMeasuredIntervals)->value(), 5.0);
+  EXPECT_GT(reg.find_counter(obs::names::kPolicyWallUs)->value(), 0.0);
+  EXPECT_GT(reg.find_counter(obs::names::kMigrationPagesMoved)->value(), 0.0);  // displacement
+  EXPECT_GT(reg.find_counter(obs::names::kQueueArrivals)->value(), 0.0);
   EXPECT_GT(r.policy_wall_us_per_interval, 0.0);
 }
 
@@ -286,10 +316,10 @@ TEST(SimObservability, ResetStatsRebasesDerivedMetrics) {
   const SimResult r = sim.result();
   // Counters keep the warmup, but the derived per-interval view is rebased to
   // the measured phase: 3 measured intervals out of 6 total.
-  EXPECT_EQ(sim.metrics().find_counter("sim.intervals")->value(), 6.0);
-  EXPECT_EQ(sim.metrics().find_counter("sim.measured_intervals")->value(), 3.0);
+  EXPECT_EQ(sim.metrics().find_counter(obs::names::kSimIntervals)->value(), 6.0);
+  EXPECT_EQ(sim.metrics().find_counter(obs::names::kSimMeasuredIntervals)->value(), 3.0);
   EXPECT_GT(r.policy_wall_us_per_interval, 0.0);
-  EXPECT_DOUBLE_EQ(sim.metrics().find_gauge("derived.policy_wall_us_per_interval")->value(),
+  EXPECT_DOUBLE_EQ(sim.metrics().find_gauge(obs::names::kDerivedPolicyWallUsPerInterval)->value(),
                    r.policy_wall_us_per_interval);
 }
 
@@ -300,15 +330,15 @@ TEST(SimObservability, MtatPolicyPublishesRlAndPpmMetrics) {
   // samples (one per interval), so run past that warmup.
   sim.run(LoadPattern::constant(cfg.lc.max_load_krps * 200.0), seconds(55));
   const obs::MetricsRegistry& reg = sim.metrics();
-  ASSERT_NE(reg.find_counter("ppm.decisions"), nullptr);
-  EXPECT_GT(reg.find_counter("ppm.decisions")->value(), 0.0);
-  ASSERT_NE(reg.find_counter("ppe.plans"), nullptr);
-  EXPECT_GT(reg.find_counter("ppe.plans")->value(), 0.0);
-  ASSERT_NE(reg.find_counter("rl.updates"), nullptr);
-  EXPECT_GT(reg.find_counter("rl.updates")->value(), 0.0);
-  ASSERT_NE(reg.find_histogram("ppm.decide_wall_us"), nullptr);
-  EXPECT_GT(reg.find_histogram("ppm.decide_wall_us")->count(), 0u);
-  ASSERT_NE(reg.find_gauge("mtat.lc_quota_pages"), nullptr);
+  ASSERT_NE(reg.find_counter(obs::names::kPpmDecisions), nullptr);
+  EXPECT_GT(reg.find_counter(obs::names::kPpmDecisions)->value(), 0.0);
+  ASSERT_NE(reg.find_counter(obs::names::kPpePlans), nullptr);
+  EXPECT_GT(reg.find_counter(obs::names::kPpePlans)->value(), 0.0);
+  ASSERT_NE(reg.find_counter(obs::names::kRlUpdates), nullptr);
+  EXPECT_GT(reg.find_counter(obs::names::kRlUpdates)->value(), 0.0);
+  ASSERT_NE(reg.find_histogram(obs::names::kPpmDecideWallUs), nullptr);
+  EXPECT_GT(reg.find_histogram(obs::names::kPpmDecideWallUs)->count(), 0u);
+  ASSERT_NE(reg.find_gauge(obs::names::kMtatLcQuotaPages), nullptr);
 }
 
 TEST_F(TraceTest, InstrumentedRunEmitsMigrationPolicyAndIntervalSpans) {
@@ -325,9 +355,9 @@ TEST_F(TraceTest, InstrumentedRunEmitsMigrationPolicyAndIntervalSpans) {
       return std::string(e.name) == name;
     });
   };
-  EXPECT_GE(count_named("interval"), 5);           // one 'X' span per interval
-  EXPECT_GE(count_named("policy.on_interval"), 5); // wall span per rollover
-  EXPECT_GT(count_named("migration"), 0);          // displacement moved pages
+  EXPECT_GE(count_named(obs::names::kEvInterval), 5);           // one 'X' span per interval
+  EXPECT_GE(count_named(obs::names::kEvPolicyOnInterval), 5); // wall span per rollover
+  EXPECT_GT(count_named(obs::names::kEvMigration), 0);          // displacement moved pages
   // And the export of a real run is well-formed Chrome JSON.
   std::ostringstream os;
   obs::trace().write_chrome_json(os);

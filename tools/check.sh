@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build and run the test suite in Release and under
-# ASan and UBSan (via the MTAT_SANITIZE cache option in the top-level
-# CMakeLists.txt). Build trees live under build-check/ so the default ./build
-# tree is left alone.
+# ASan, UBSan, and TSan (via the MTAT_SANITIZE cache option in the top-level
+# CMakeLists.txt), all with -Werror (MTAT_WERROR=ON). Every lane's ctest run
+# includes the mtat_lint tree scan (the `lint_tree` test), so a lint
+# violation fails the suite the same way a broken test does. When clang-tidy
+# is installed, a tidy pass over src/ runs as a final lane; when it is not
+# (e.g. the minimal CI container), that lane is skipped with a notice.
+#
+# Build trees live under build-check/ so the default ./build tree is left
+# alone.
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
@@ -14,9 +20,9 @@ run_config() {
   local name="$1" sanitize="$2"
   shift 2
   local dir="build-check/${name}"
-  echo "==== ${name} (MTAT_SANITIZE='${sanitize}') ===="
+  echo "==== ${name} (MTAT_SANITIZE='${sanitize}', MTAT_WERROR=ON) ===="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release \
-        -DMTAT_SANITIZE="${sanitize}" >/dev/null
+        -DMTAT_SANITIZE="${sanitize}" -DMTAT_WERROR=ON >/dev/null
   cmake --build "${dir}" -j "${jobs}"
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" "$@"
 }
@@ -24,5 +30,17 @@ run_config() {
 run_config release "" "$@"
 run_config asan address "$@"
 run_config ubsan undefined "$@"
+run_config tsan thread "$@"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==== clang-tidy (src/) ===="
+  # The release lane's compile_commands.json drives the tidy pass.
+  cmake -B build-check/release -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cc' -print0 |
+    xargs -0 -P "${jobs}" -n 4 clang-tidy -p build-check/release --quiet \
+      --warnings-as-errors='*'
+else
+  echo "==== clang-tidy not installed; skipping tidy lane ===="
+fi
 
 echo "==== all checks passed ===="

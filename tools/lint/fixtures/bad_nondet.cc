@@ -1,0 +1,16 @@
+// Fixture: every banned nondeterminism source. Any one of these makes a
+// same-seed rerun diverge.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned bad_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+long bad_clocks() {
+  const auto wall = std::chrono::system_clock::now().time_since_epoch().count();
+  return wall + time(nullptr) + rand();
+}

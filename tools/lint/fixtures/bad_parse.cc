@@ -1,0 +1,12 @@
+// Fixture: unchecked number parsing. atoi collapses errors to 0; std::stoi
+// throws on bad input.
+#include <cstdlib>
+#include <string>
+
+int bad(const char* s) {
+  const int a = atoi(s);
+  const double b = std::atof(s);
+  const int c = std::stoi(std::string(s));
+  const unsigned long d = std::stoul(std::string(s));
+  return a + static_cast<int>(b) + c + static_cast<int>(d);
+}

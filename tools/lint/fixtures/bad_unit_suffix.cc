@@ -1,0 +1,7 @@
+// Fixture: non-canonical unit suffixes. _usec should be _us, _percent _pct,
+// _kb _bytes.
+void bad(mtat::obs::MetricsRegistry& reg) {
+  reg.histogram("policy.wall_usec").record(1);
+  reg.gauge("lc.violation_percent").set(0.1);
+  reg.counter("migration.moved_kb").inc();
+}

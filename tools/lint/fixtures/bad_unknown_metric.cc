@@ -1,0 +1,6 @@
+// Fixture: a typo'd metric name — the exact failure mode the metric-name rule
+// exists for. "queue.arivals" is not in src/obs/names.h, so this registers a
+// fresh series nobody reads.
+void bad(mtat::obs::MetricsRegistry& reg) {
+  reg.counter("queue.arivals").inc();
+}

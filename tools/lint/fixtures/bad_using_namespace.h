@@ -1,0 +1,7 @@
+// Fixture: namespace directive in a header.
+#pragma once
+#include <string>
+
+using namespace std;
+
+inline string shout(const string& s) { return s + "!"; }

@@ -1,0 +1,18 @@
+// Clean fixture: every rule passes. Call sites use obs::names constants,
+// randomness comes from the seeded Rng, parsing is checked.
+#include <cstdlib>
+
+#include "obs/names.h"
+
+void good(mtat::obs::MetricsRegistry& reg) {
+  reg.counter(mtat::obs::names::kQueueArrivals).inc();
+  reg.gauge(mtat::obs::names::kBwFmemFactor).set(1.0);
+  mtat::obs::trace().instant(mtat::obs::names::kEvQueueOverload,
+                             mtat::obs::names::kCatQueue, "backlog", 3.0);
+  // A string mentioning rand() or atoi( must not trip the token rules, and
+  // neither must this comment: std::random_device, system_clock, time(0).
+  const char* text = "calling rand() or atoi(x) inside a string is fine";
+  (void)text;
+  char* end = nullptr;
+  (void)std::strtol("42", &end, 10);  // the checked primitive is allowed
+}

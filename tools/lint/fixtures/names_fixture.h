@@ -1,0 +1,18 @@
+// Fixture: a miniature names header for load_name_table tests — two metric
+// sections' worth of constants, one with a bad unit suffix, one duplicate,
+// and one literal outside any section.
+#pragma once
+
+inline constexpr const char* kStray = "stray.name";
+
+namespace fixture {
+// mtat-lint: section=metric
+inline constexpr const char* kGood = "queue.arrivals";
+inline constexpr const char* kBadSuffix = "policy.wall_usec";
+inline constexpr const char* kDupe = "queue.arrivals";
+// mtat-lint: section=trace-event
+inline constexpr const char* kEv = "queue.overload";
+// mtat-lint: section=trace-category
+inline constexpr const char* kCat = "queue";
+// mtat-lint: section=end
+}  // namespace fixture

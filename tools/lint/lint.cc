@@ -1,0 +1,558 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <regex>
+#include <sstream>
+
+namespace mtat::lint {
+
+namespace {
+
+// ------------------------------------------------------------- file reading --
+
+bool read_file(const std::filesystem::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// ------------------------------------------------------- comment/string strip --
+//
+// One pass over the file produces two same-shape views (comments and literal
+// contents are replaced by spaces so column offsets line up between them):
+//   code: comments blanked, string/char literals kept verbatim
+//   scan: comments blanked AND literal contents blanked
+// Token rules run on `scan` (so a banned word inside a comment or a string
+// never fires); call-site name extraction finds the call in `scan` and reads
+// the literal out of `code` at the same offset.
+
+struct StrippedFile {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> scan;
+};
+
+StrippedFile strip(const std::string& text) {
+  enum class St { kNormal, kLine, kBlock, kString, kChar, kRaw };
+  St st = St::kNormal;
+  std::string code, scan, raw_delim;
+  code.reserve(text.size());
+  scan.reserve(text.size());
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto put = [&](char c, char s) {
+    code.push_back(c);
+    scan.push_back(s);
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      // Newlines always pass through so line numbers stay aligned; a line
+      // comment ends here, everything else continues.
+      if (st == St::kLine) st = St::kNormal;
+      put('\n', '\n');
+      ++i;
+      continue;
+    }
+    switch (st) {
+      case St::kNormal:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          st = St::kLine;
+          put(' ', ' ');
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          st = St::kBlock;
+          put(' ', ' ');
+          put(' ', ' ');
+          ++i;
+        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
+          // Raw string literal R"delim( ... )delim".
+          raw_delim = ")";
+          std::size_t j = i + 1;
+          while (j < n && text[j] != '(') raw_delim.push_back(text[j++]);
+          raw_delim.push_back('"');
+          st = St::kRaw;
+          put('"', '"');
+        } else if (c == '"') {
+          st = St::kString;
+          put('"', '"');
+        } else if (c == '\'') {
+          st = St::kChar;
+          put('\'', '\'');
+        } else {
+          put(c, c);
+        }
+        ++i;
+        break;
+      case St::kLine:
+        put(' ', ' ');
+        ++i;
+        break;
+      case St::kBlock:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          put(' ', ' ');
+          put(' ', ' ');
+          i += 2;
+          st = St::kNormal;
+        } else {
+          put(' ', ' ');
+          ++i;
+        }
+        break;
+      case St::kString:
+        if (c == '\\' && i + 1 < n) {
+          put(c, ' ');
+          put(text[i + 1], ' ');
+          i += 2;
+        } else if (c == '"') {
+          put('"', '"');
+          ++i;
+          st = St::kNormal;
+        } else {
+          put(c, ' ');
+          ++i;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && i + 1 < n) {
+          put(c, ' ');
+          put(text[i + 1], ' ');
+          i += 2;
+        } else if (c == '\'') {
+          put('\'', '\'');
+          ++i;
+          st = St::kNormal;
+        } else {
+          put(c, ' ');
+          ++i;
+        }
+        break;
+      case St::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (char d : raw_delim) {
+            put(d, d == '"' ? '"' : ' ');
+          }
+          i += raw_delim.size();
+          st = St::kNormal;
+        } else {
+          put(c, ' ');
+          ++i;
+        }
+        break;
+    }
+  }
+
+  StrippedFile out;
+  auto split = [](const std::string& s, std::vector<std::string>& lines) {
+    std::size_t start = 0;
+    for (std::size_t p = 0; p <= s.size(); ++p) {
+      if (p == s.size() || s[p] == '\n') {
+        lines.push_back(s.substr(start, p - start));
+        start = p + 1;
+      }
+    }
+  };
+  split(text, out.raw);
+  split(code, out.code);
+  split(scan, out.scan);
+  return out;
+}
+
+// ------------------------------------------------------------------- helpers --
+
+bool inline_allowed(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("mtat-lint: allow(" + rule + ")") != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+/// Extract the string literal starting at code[pos] (which must be '"').
+/// Returns false when the literal does not close on this line.
+bool extract_literal(const std::string& code_line, std::size_t pos, std::string& out) {
+  if (pos >= code_line.size() || code_line[pos] != '"') return false;
+  out.clear();
+  for (std::size_t i = pos + 1; i < code_line.size(); ++i) {
+    const char c = code_line[i];
+    if (c == '\\' && i + 1 < code_line.size()) {
+      out.push_back(code_line[i + 1]);
+      ++i;
+    } else if (c == '"') {
+      return true;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return false;
+}
+
+const std::regex& call_token_re() {
+  static const std::regex re(R"(\b(counter|gauge|histogram|instant|complete|WallSpan)\b)");
+  return re;
+}
+
+struct TokenRule {
+  const char* rule;
+  std::regex re;
+  const char* what;
+};
+
+const std::vector<TokenRule>& nondet_rules() {
+  // Determinism wall: every one of these either reads the host environment or
+  // wall clock. Simulation randomness must come from the seeded common/rng.h;
+  // wall timing from std::chrono::steady_clock (obs::WallSpan).
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> v;
+    v.push_back({"nondet", std::regex(R"(\brand\s*\()"), "rand()"});
+    v.push_back({"nondet", std::regex(R"(\bsrand\s*\()"), "srand()"});
+    v.push_back({"nondet", std::regex(R"(\brandom_device\b)"), "std::random_device"});
+    v.push_back({"nondet", std::regex(R"(\bsystem_clock\b)"), "std::chrono::system_clock"});
+    v.push_back({"nondet", std::regex(R"(\btime\s*\()"), "time()"});
+    v.push_back({"nondet", std::regex(R"(\bclock\s*\()"), "clock()"});
+    v.push_back({"nondet", std::regex(R"(\bgettimeofday\s*\()"), "gettimeofday()"});
+    v.push_back({"nondet", std::regex(R"(\blocaltime\b)"), "localtime"});
+    v.push_back({"nondet", std::regex(R"(\bgmtime\b)"), "gmtime"});
+    return v;
+  }();
+  return rules;
+}
+
+const std::vector<TokenRule>& parse_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> v;
+    v.push_back({"unsafe-parse", std::regex(R"(\bato(?:i|f|l|ll)\s*\()"),
+                 "atoi/atof family (errors collapse to 0)"});
+    v.push_back({"unsafe-parse", std::regex(R"(\bsto(?:i|l|ul|ll|ull|f|d|ld)\s*\()"),
+                 "std::sto* family (throws on bad input)"});
+    return v;
+  }();
+  return rules;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- unit suffix --
+
+const char* bad_unit_suffix(const std::string& name) {
+  static const std::map<std::string, const char*> kBad = {
+      {"usec", "us"},         {"micros", "us"},       {"microsecs", "us"},
+      {"microseconds", "us"}, {"msec", "ms"},         {"millis", "ms"},
+      {"milliseconds", "ms"}, {"nsec", "ns"},         {"nanos", "ns"},
+      {"nanoseconds", "ns"},  {"secs", "us"},         {"seconds", "us"},
+      {"byte", "bytes"},      {"kb", "bytes"},        {"mb", "bytes"},
+      {"gb", "bytes"},        {"kib", "bytes"},       {"mib", "bytes"},
+      {"gib", "bytes"},       {"percent", "pct"},     {"percentage", "pct"},
+      {"bps", "bytes_per_sec"}};
+  // Examine the final _token of the last dot-component; a structural "_hist"
+  // tail is transparent ("x.wall_usec_hist" is judged on "usec").
+  const std::size_t dot = name.rfind('.');
+  std::string last = dot == std::string::npos ? name : name.substr(dot + 1);
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  for (std::size_t p = 0; p <= last.size(); ++p) {
+    if (p == last.size() || last[p] == '_') {
+      tokens.push_back(last.substr(start, p - start));
+      start = p + 1;
+    }
+  }
+  if (tokens.empty()) return nullptr;
+  std::string tail = tokens.back();
+  if (tail == "hist" && tokens.size() >= 2) tail = tokens[tokens.size() - 2];
+  const auto it = kBad.find(tail);
+  return it == kBad.end() ? nullptr : it->second;
+}
+
+// ---------------------------------------------------------------- name table --
+
+NameTable load_name_table(const std::filesystem::path& header, std::vector<Finding>& out) {
+  NameTable table;
+  std::string text;
+  const std::string rel = header.generic_string();
+  if (!read_file(header, text)) {
+    out.push_back({rel, 0, "doc-sync", "cannot read names header " + rel});
+    return table;
+  }
+  static const std::regex section_re(R"(mtat-lint:\s*section=([a-z-]+))");
+  static const std::regex literal_re(R"re("([^"]*)")re");
+  std::string section;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  bool pending = false;  // previous line was a `constexpr ... =` continuation
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::smatch m;
+    if (std::regex_search(line, m, section_re)) {
+      section = m[1];
+      pending = false;
+      continue;
+    }
+    const bool declares = line.find("constexpr") != std::string::npos;
+    if (!std::regex_search(line, m, literal_re)) {
+      // `constexpr const char* kVeryLongName =` with the literal wrapped to
+      // the next line.
+      const auto last = line.find_last_not_of(" \t\r");
+      pending = declares && last != std::string::npos && line[last] == '=';
+      continue;
+    }
+    if (!declares && !pending) continue;
+    pending = false;
+    const std::string name = m[1];
+    if (section.empty() || section == "end") {
+      out.push_back({rel, lineno, "doc-sync",
+                     "name literal \"" + name + "\" outside a mtat-lint section marker"});
+      continue;
+    }
+    std::set<std::string>* dest = nullptr;
+    if (section == "metric") dest = &table.metrics;
+    else if (section == "trace-event") dest = &table.trace_events;
+    else if (section == "trace-category") dest = &table.categories;
+    if (dest == nullptr) {
+      out.push_back({rel, lineno, "doc-sync", "unknown mtat-lint section \"" + section + "\""});
+      continue;
+    }
+    if (!dest->insert(name).second)
+      out.push_back({rel, lineno, "doc-sync", "duplicate name \"" + name + "\""});
+    if (section == "metric") {
+      if (const char* canon = bad_unit_suffix(name))
+        out.push_back({rel, lineno, "unit-suffix",
+                       "metric name \"" + name + "\" uses a non-canonical unit suffix; use _" +
+                           canon});
+    }
+  }
+  return table;
+}
+
+// ----------------------------------------------------------------- allowlist --
+
+Allowlist load_allowlist(const std::filesystem::path& file, std::vector<Finding>& out) {
+  Allowlist allow;
+  std::string text;
+  if (!read_file(file, text)) return allow;  // optional file
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string rule, path;
+    if (!(ls >> rule)) continue;  // blank line
+    if (!(ls >> path)) {
+      out.push_back({file.generic_string(), lineno, "doc-sync",
+                     "allowlist entry needs `<rule> <path>`"});
+      continue;
+    }
+    std::replace(path.begin(), path.end(), '\\', '/');
+    allow.files_by_rule[rule].insert(path);
+  }
+  return allow;
+}
+
+// --------------------------------------------------------------- lint_source --
+
+void lint_source(const std::string& rel_path, const std::string& contents,
+                 const NameTable& names, const Allowlist& allow, std::vector<Finding>& out) {
+  const StrippedFile f = strip(contents);
+  const bool header = is_header(rel_path);
+
+  auto report = [&](int line, const std::string& rule, const std::string& msg) {
+    if (allow.allows(rule, rel_path)) return;
+    if (inline_allowed(f.raw[static_cast<std::size_t>(line - 1)], rule)) return;
+    out.push_back({rel_path, line, rule, msg});
+  };
+
+  for (std::size_t li = 0; li < f.scan.size(); ++li) {
+    const std::string& scan = f.scan[li];
+    const std::string& code = f.code[li];
+    const int lineno = static_cast<int>(li) + 1;
+
+    // -- metric/trace name call sites ---------------------------------------
+    for (auto it = std::sregex_iterator(scan.begin(), scan.end(), call_token_re());
+         it != std::sregex_iterator(); ++it) {
+      std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+      const bool wallspan = (*it)[1] == "WallSpan";
+      auto skip_ws = [&] {
+        while (pos < scan.size() && std::isspace(static_cast<unsigned char>(scan[pos]))) ++pos;
+      };
+      skip_ws();
+      if (wallspan && pos < scan.size() &&
+          (std::isalpha(static_cast<unsigned char>(scan[pos])) || scan[pos] == '_')) {
+        // `obs::WallSpan span(...)` — skip the variable name.
+        while (pos < scan.size() &&
+               (std::isalnum(static_cast<unsigned char>(scan[pos])) || scan[pos] == '_'))
+          ++pos;
+        skip_ws();
+      }
+      if (pos >= scan.size() || scan[pos] != '(') continue;
+      ++pos;
+      skip_ws();
+      std::string name;
+      if (!extract_literal(code, pos, name)) continue;
+      if (!names.contains(name)) {
+        report(lineno, "metric-name",
+               "unknown metric/trace name \"" + name +
+                   "\": not declared in src/obs/names.h (declare it there and add it to the "
+                   "DESIGN.md name table)");
+      } else {
+        report(lineno, "metric-name",
+               "metric/trace name literal \"" + name +
+                   "\": use the obs::names:: constant from src/obs/names.h");
+      }
+      if (const char* canon = bad_unit_suffix(name))
+        report(lineno, "unit-suffix",
+               "metric name \"" + name + "\" uses a non-canonical unit suffix; use _" + canon);
+    }
+
+    // -- banned tokens ------------------------------------------------------
+    for (const TokenRule& r : nondet_rules())
+      if (std::regex_search(scan, r.re))
+        report(lineno, r.rule,
+               std::string("nondeterminism source ") + r.what +
+                   ": use the seeded common/rng.h (randomness) or steady_clock (wall time)");
+    for (const TokenRule& r : parse_rules())
+      if (std::regex_search(scan, r.re))
+        report(lineno, r.rule,
+               std::string("unchecked number parse ") + r.what +
+                   ": use common/parse.h or a checked strtol/strtoull pattern");
+
+    // -- using namespace in headers -----------------------------------------
+    static const std::regex using_ns_re(R"(^\s*using\s+namespace\b)");
+    if (header && std::regex_search(scan, using_ns_re))
+      report(lineno, "ns-header",
+             "`using namespace` in a header leaks into every includer; qualify names or move "
+             "the directive into a .cc file");
+  }
+}
+
+// ------------------------------------------------------------------ doc sync --
+
+namespace {
+
+/// Backticked names from the first column of the marker-delimited table.
+std::set<std::string> doc_table_names(const std::vector<std::string>& lines,
+                                      const std::string& table, const std::string& doc_rel,
+                                      std::vector<Finding>& out) {
+  const std::string begin_marker = "<!-- mtat-lint: " + table + " begin -->";
+  const std::string end_marker = "<!-- mtat-lint: " + table + " end -->";
+  std::set<std::string> found;
+  static const std::regex name_re(R"(`([a-z][a-z0-9_.]*)`)");
+  bool inside = false, seen = false;
+  for (const std::string& line : lines) {
+    if (line.find(begin_marker) != std::string::npos) {
+      inside = seen = true;
+      continue;
+    }
+    if (line.find(end_marker) != std::string::npos) inside = false;
+    if (!inside || line.empty() || line[0] != '|') continue;
+    const std::size_t second_bar = line.find('|', 1);
+    if (second_bar == std::string::npos) continue;
+    const std::string first_cell = line.substr(0, second_bar);
+    for (auto it = std::sregex_iterator(first_cell.begin(), first_cell.end(), name_re);
+         it != std::sregex_iterator(); ++it)
+      found.insert((*it)[1]);
+  }
+  if (!seen)
+    out.push_back({doc_rel, 0, "doc-sync", "marker `" + begin_marker + "` not found"});
+  return found;
+}
+
+}  // namespace
+
+void crosscheck_design(const std::filesystem::path& design_doc, const std::string& doc_rel_path,
+                       const NameTable& names, std::vector<Finding>& out) {
+  std::string text;
+  if (!read_file(design_doc, text)) {
+    out.push_back({doc_rel_path, 0, "doc-sync", "cannot read " + doc_rel_path});
+    return;
+  }
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  const std::set<std::string> doc_metrics =
+      doc_table_names(lines, "metric-table", doc_rel_path, out);
+  const std::set<std::string> doc_traces =
+      doc_table_names(lines, "trace-table", doc_rel_path, out);
+
+  auto diff = [&](const std::set<std::string>& code, const std::set<std::string>& doc,
+                  const char* kind) {
+    for (const std::string& n : code)
+      if (doc.count(n) == 0)
+        out.push_back({doc_rel_path, 0, "doc-sync",
+                       std::string(kind) + " \"" + n +
+                           "\" is declared in src/obs/names.h but missing from the DESIGN.md " +
+                           "table"});
+    for (const std::string& n : doc)
+      if (code.count(n) == 0)
+        out.push_back({doc_rel_path, 0, "doc-sync",
+                       std::string("DESIGN.md lists ") + kind + " \"" + n +
+                           "\" but src/obs/names.h does not declare it"});
+  };
+  diff(names.metrics, doc_metrics, "metric");
+  diff(names.trace_events, doc_traces, "trace event");
+}
+
+// ------------------------------------------------------------------ tree run --
+
+std::vector<Finding> run(const Options& opt) {
+  std::vector<Finding> out;
+  const NameTable names = load_name_table(opt.root / opt.names_header, out);
+  if (names.empty())
+    out.push_back({opt.names_header, 0, "doc-sync",
+                   "no names parsed from " + opt.names_header + " (missing section markers?)"});
+  const Allowlist allow = load_allowlist(opt.root / opt.allowlist_file, out);
+
+  const std::set<std::string> exts = {".h", ".hpp", ".cc", ".cpp"};
+  for (const std::string& dir : opt.dirs) {
+    const std::filesystem::path base = opt.root / dir;
+    if (!std::filesystem::exists(base)) continue;
+    for (auto it = std::filesystem::recursive_directory_iterator(base);
+         it != std::filesystem::recursive_directory_iterator(); ++it) {
+      const std::filesystem::path& p = it->path();
+      const std::string fname = p.filename().string();
+      if (it->is_directory()) {
+        // Lint fixtures are violations by design; build trees are generated.
+        if (fname == "fixtures" || fname.rfind("build", 0) == 0 || fname.front() == '.')
+          it.disable_recursion_pending();
+        continue;
+      }
+      if (exts.count(p.extension().string()) == 0) continue;
+      std::string contents;
+      if (!read_file(p, contents)) continue;
+      const std::string rel =
+          std::filesystem::relative(p, opt.root).generic_string();
+      lint_source(rel, contents, names, allow, out);
+    }
+  }
+  if (opt.check_docs)
+    crosscheck_design(opt.root / opt.design_doc, opt.design_doc, names, out);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+int run_and_report(const Options& opt, std::ostream& diag) {
+  const std::vector<Finding> findings = run(opt);
+  for (const Finding& f : findings)
+    diag << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message << '\n';
+  if (findings.empty())
+    diag << "mtat_lint: clean\n";
+  else
+    diag << "mtat_lint: " << findings.size() << " finding(s)\n";
+  return static_cast<int>(findings.size());
+}
+
+}  // namespace mtat::lint

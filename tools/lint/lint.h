@@ -1,0 +1,123 @@
+// mtat_lint — repo-specific static analysis for the MTAT reproduction.
+//
+// clang-tidy knows C++; it does not know that "queue.arivals" is a typo that
+// silently forks a metric series, or that one std::random_device call breaks
+// the seed-determinism every experiment in this repo depends on. mtat_lint
+// encodes those domain invariants as a small line-oriented checker, built and
+// tested in-tree, and run over the real tree as a ctest. Rules:
+//
+//  metric-name   String literals passed to MetricsRegistry::counter()/
+//                gauge()/histogram(), TraceRecorder::instant()/complete()/
+//                counter(), or WallSpan must not appear at call sites: names
+//                live in src/obs/names.h and call sites use the constants.
+//                A literal that is not even in the table is reported as an
+//                unknown name (the typo case); a known name spelled inline is
+//                reported as a literal to migrate.
+//  unit-suffix   Metric names use the canonical unit suffixes (_us, _ms, _ns,
+//                _bytes, _pages, _pct, _per_sec). Variants like _usec, _msec,
+//                _percent, _kb are rejected with the canonical suggestion.
+//                Checked for every names.h entry and every literal found.
+//  nondet        Nondeterminism sources are banned from simulation code:
+//                rand(), srand(), std::random_device, std::chrono::
+//                system_clock, time(), gettimeofday(), localtime/gmtime.
+//                Randomness must come from the seeded common/rng.h; wall
+//                timing from steady_clock (obs::WallSpan).
+//  unsafe-parse  atoi/atof/atol/atoll and the throwing std::sto* family are
+//                banned: they either hide errors (atoi("abc") == 0) or turn
+//                bad input into exceptions. Use common/parse.h or the checked
+//                strtol/strtoull pattern.
+//  ns-header     `using namespace` in a header leaks into every includer.
+//  doc-sync      The metric section of src/obs/names.h must match the
+//                DESIGN.md §9 metric table name-for-name (and the trace-event
+//                section the §9 trace table), so code, docs, and dumps
+//                cannot drift.
+//
+// Suppression: a finding on a line containing `mtat-lint: allow(<rule>)` (in
+// a comment) is suppressed; whole files are exempted per-rule in
+// tools/lint/allowlist.txt (`<rule> <repo-relative-path>` lines).
+//
+// The scanner is line-oriented and token-based, not a C++ parser: comments
+// and string/char literal contents are blanked before token rules run, and
+// call-site name extraction only sees a literal when it opens on the same
+// line as the call — which the one-name-per-line style of names.h call sites
+// guarantees in this tree.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mtat::lint {
+
+struct Finding {
+  std::string file;     ///< repo-relative path (forward slashes)
+  int line = 0;         ///< 1-based; 0 for file-level findings
+  std::string rule;     ///< rule id, e.g. "metric-name"
+  std::string message;  ///< human-readable, actionable
+};
+
+/// The name table parsed from src/obs/names.h's `mtat-lint: section=` blocks.
+struct NameTable {
+  std::set<std::string> metrics;
+  std::set<std::string> trace_events;
+  std::set<std::string> categories;
+
+  bool contains(const std::string& name) const {
+    return metrics.count(name) != 0 || trace_events.count(name) != 0 ||
+           categories.count(name) != 0;
+  }
+  bool empty() const { return metrics.empty() && trace_events.empty() && categories.empty(); }
+};
+
+/// Per-rule file exemptions loaded from tools/lint/allowlist.txt.
+struct Allowlist {
+  std::map<std::string, std::set<std::string>> files_by_rule;
+
+  bool allows(const std::string& rule, const std::string& rel_path) const {
+    const auto it = files_by_rule.find(rule);
+    return it != files_by_rule.end() && it->second.count(rel_path) != 0;
+  }
+};
+
+struct Options {
+  std::filesystem::path root;  ///< repo root; all defaults are relative to it
+  std::vector<std::string> dirs = {"src", "bench", "tests", "tools", "examples"};
+  std::string names_header = "src/obs/names.h";
+  std::string design_doc = "DESIGN.md";
+  std::string allowlist_file = "tools/lint/allowlist.txt";
+  bool check_docs = true;
+};
+
+/// Canonical replacement for a non-canonical unit suffix on `name`, or
+/// nullptr when the name is fine ("x.wall_usec" -> "us").
+const char* bad_unit_suffix(const std::string& name);
+
+/// Parse the `mtat-lint: section=` blocks of a names header. Parse errors
+/// (missing file, literal outside a section) are appended to `out`.
+NameTable load_name_table(const std::filesystem::path& header, std::vector<Finding>& out);
+
+/// Parse an allowlist file; missing file is fine (empty allowlist).
+Allowlist load_allowlist(const std::filesystem::path& file, std::vector<Finding>& out);
+
+/// Lint one source file's contents. `rel_path` appears in findings and is
+/// what allowlist entries match against.
+void lint_source(const std::string& rel_path, const std::string& contents,
+                 const NameTable& names, const Allowlist& allow, std::vector<Finding>& out);
+
+/// Cross-check names.h against the DESIGN.md marker-delimited name tables.
+void crosscheck_design(const std::filesystem::path& design_doc, const std::string& doc_rel_path,
+                       const NameTable& names, std::vector<Finding>& out);
+
+/// Walk `opt.dirs` under `opt.root`, lint every .h/.hpp/.cc/.cpp file
+/// (skipping fixtures/, build trees, and hidden directories), and cross-check
+/// the docs. Findings come back sorted by file then line.
+std::vector<Finding> run(const Options& opt);
+
+/// run() + print findings as `file:line: [rule] message` to `diag`.
+/// Returns the number of findings (0 == clean).
+int run_and_report(const Options& opt, std::ostream& diag);
+
+}  // namespace mtat::lint

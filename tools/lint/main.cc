@@ -1,0 +1,57 @@
+// mtat_lint CLI — see lint.h for the rule set.
+//
+//   mtat_lint --root=/path/to/repo              lint the whole tree
+//   mtat_lint --root=. src tools                lint a subset of directories
+//   mtat_lint --root=. --no-doc-sync bad_dir    skip the DESIGN.md cross-check
+//
+// Exit status: 0 clean, 1 findings, 2 usage error. Findings print as
+// `file:line: [rule] message`, one per line, compiler-style.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "mtat_lint — MTAT repo-specific static analysis\n\n"
+      "  --root=DIR       repo root (default: current directory)\n"
+      "  --names=FILE     name table header, relative to root (default src/obs/names.h)\n"
+      "  --design=FILE    design doc for the doc-sync rule (default DESIGN.md)\n"
+      "  --allowlist=FILE per-rule file exemptions (default tools/lint/allowlist.txt)\n"
+      "  --no-doc-sync    skip the DESIGN.md name-table cross-check\n"
+      "  [DIR...]         directories to scan, relative to root\n"
+      "                   (default: src bench tests tools examples)\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mtat::lint::Options opt;
+  opt.root = ".";
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--help" || key == "-h") usage(0);
+    else if (key == "--root") opt.root = val;
+    else if (key == "--names") opt.names_header = val;
+    else if (key == "--design") opt.design_doc = val;
+    else if (key == "--allowlist") opt.allowlist_file = val;
+    else if (key == "--no-doc-sync") opt.check_docs = false;
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n\n", arg.c_str());
+      usage(2);
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (!dirs.empty()) opt.dirs = dirs;
+  return mtat::lint::run_and_report(opt, std::cout) == 0 ? 0 : 1;
+}

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/csv.h"
+#include "common/parse.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/trace.h"
@@ -68,6 +69,18 @@ struct Args {
   std::exit(code);
 }
 
+// Parse a numeric flag value or die with usage(2) — a malformed count or
+// duration should stop the run, not silently become 0 (the old atoi behaviour).
+template <typename T, typename Parser>
+T num_flag(const std::string& key, const std::string& val, Parser parse_fn) {
+  const std::optional<T> v = parse_fn(val);
+  if (!v) {
+    std::fprintf(stderr, "bad value for %s: '%s'\n\n", key.c_str(), val.c_str());
+    usage(2);
+  }
+  return *v;
+}
+
 Args parse(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
@@ -78,20 +91,20 @@ Args parse(int argc, char** argv) {
     if (key == "--help" || key == "-h") usage(0);
     else if (key == "--policy") a.policy = val;
     else if (key == "--lc") a.lc = val;
-    else if (key == "--be") a.n_be = std::atoi(val.c_str());
-    else if (key == "--be-cores") a.be_cores = std::atoi(val.c_str());
+    else if (key == "--be") a.n_be = num_flag<int>(key, val, parse_int);
+    else if (key == "--be-cores") a.be_cores = num_flag<int>(key, val, parse_int);
     else if (key == "--pattern") a.pattern = val;
-    else if (key == "--load") a.load_fraction = std::atof(val.c_str());
-    else if (key == "--seconds") a.seconds_total = std::atof(val.c_str());
-    else if (key == "--fmem-mib") a.fmem_mib = std::atof(val.c_str());
-    else if (key == "--smem-mib") a.smem_mib = std::atof(val.c_str());
-    else if (key == "--train-epochs") a.train_epochs = std::atoi(val.c_str());
+    else if (key == "--load") a.load_fraction = num_flag<double>(key, val, parse_double);
+    else if (key == "--seconds") a.seconds_total = num_flag<double>(key, val, parse_double);
+    else if (key == "--fmem-mib") a.fmem_mib = num_flag<double>(key, val, parse_double);
+    else if (key == "--smem-mib") a.smem_mib = num_flag<double>(key, val, parse_double);
+    else if (key == "--train-epochs") a.train_epochs = num_flag<int>(key, val, parse_int);
     else if (key == "--no-bandwidth") a.bandwidth = false;
     else if (key == "--zipf") a.zipf = true;
     else if (key == "--csv") a.csv_path = val;
     else if (key == "--trace-out") a.trace_path = val;
     else if (key == "--metrics-out") a.metrics_path = val;
-    else if (key == "--seed") a.seed = std::strtoull(val.c_str(), nullptr, 10);
+    else if (key == "--seed") a.seed = num_flag<std::uint64_t>(key, val, parse_u64);
     else {
       std::fprintf(stderr, "unknown flag: %s\n\n", arg.c_str());
       usage(2);
