@@ -14,8 +14,9 @@ using namespace mtat::bench;
 int main() {
   const Scale sc = scale_from_env();
   banner("ablation_mtat", "DESIGN.md §6 (ablations of §3's design choices)");
+  experiments::ParallelRunner runner = make_runner();
   const LCConfig redis = scaled_lc_config(redis_config(), sc);
-  const double peak = fmem_all_peak_krps(sc, redis);
+  const double peak = fmem_all_peak_krps(sc, redis, &runner);
 
   struct Variant {
     const char* name;
@@ -46,19 +47,33 @@ int main() {
 
   CsvWriter csv("ablation_mtat.csv",
                 {"variant", "p99_ms", "slo_violation_pct", "fairness", "be_throughput"});
+
+  // One independent run per ablated variant — fan across the runner, report
+  // in the variant list's order.
+  std::vector<SimResult> results(variants.size());
+  std::vector<experiments::RunSpec> specs;
+  specs.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    specs.push_back({variants[i].name, [&sc, &redis, peak, &variants, &results,
+                                        i](obs::RunContext& ctx) {
+                       SimConfig cfg = make_sim_config(sc, redis, PolicyKind::kMtatFull);
+                       cfg.mtat = variants[i].opt;
+                       ColocationSim sim(cfg, &ctx);
+                       train_if_mtat(sim, sc.train_epochs, peak);
+                       const LoadPattern pattern = LoadPattern::figure7(peak * 1000.0);
+                       sim.run(pattern, pattern.total_length());
+                       results[i] = sim.result();
+                     }});
+  }
+  runner.run_all(specs);
+
   std::printf("%-12s %10s %9s %10s %13s\n", "variant", "P99(ms)", "viol%", "fairness",
               "BE tput");
-  for (const Variant& v : variants) {
-    SimConfig cfg = make_sim_config(sc, redis, PolicyKind::kMtatFull);
-    cfg.mtat = v.opt;
-    ColocationSim sim(cfg);
-    train_if_mtat(sim, sc.train_epochs, peak);
-    const LoadPattern pattern = LoadPattern::figure7(peak * 1000.0);
-    sim.run(pattern, pattern.total_length());
-    const SimResult r = sim.result();
-    csv.row(v.name, {r.lc_p99_ms, 100.0 * r.slo_violation_rate, r.fairness,
-                     r.be_total_throughput});
-    std::printf("%-12s %10.2f %8.1f%% %10.3f %13.3e\n", v.name, r.lc_p99_ms,
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const SimResult& r = results[i];
+    csv.row(variants[i].name, {r.lc_p99_ms, 100.0 * r.slo_violation_rate, r.fairness,
+                               r.be_total_throughput});
+    std::printf("%-12s %10.2f %8.1f%% %10.3f %13.3e\n", variants[i].name, r.lc_p99_ms,
                 100.0 * r.slo_violation_rate, r.fairness, r.be_total_throughput);
   }
   std::printf("\nexpected: no_guard raises violations (slow surge response); even_split\n"

@@ -1,0 +1,107 @@
+// The benchmark suite's environment knobs, parsed once.
+//
+// Every MTAT_* environment variable the bench binaries honour is read here —
+// exactly once per process, through common/parse.h's checked parsers — and
+// exposed as a plain struct. Malformed values are rejected with a stderr
+// warning and the documented default, never silently coerced (bare atoi
+// would turn MTAT_EPOCHS=abc into zero training epochs). This file is the
+// only place in the tree allowed to call std::getenv (mtat_lint's `getenv`
+// rule enforces that); everything else asks bench::Env.
+//
+// Knobs:
+//   MTAT_SCALE        smoke|small|large scale preset (default small; smoke is
+//                                      a seconds-long CI preset)
+//   MTAT_EPOCHS       non-negative int RL training epochs override
+//   MTAT_TRACE        path             write a Chrome trace_event file
+//   MTAT_TRACE_EVENTS positive int     trace ring capacity override
+//   MTAT_JOBS         non-negative int experiment parallelism; 0 = one job
+//                                      per hardware thread (the default)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/parse.h"
+#include "obs/trace.h"
+
+namespace mtat::bench {
+
+struct Env {
+  std::string scale = "small";        ///< MTAT_SCALE
+  std::optional<int> epochs;          ///< MTAT_EPOCHS (unset: preset default)
+  std::string trace_path;             ///< MTAT_TRACE (empty: tracing off)
+  std::size_t trace_events =
+      obs::TraceRecorder::kDefaultCapacity;  ///< MTAT_TRACE_EVENTS
+  int jobs = 0;                       ///< MTAT_JOBS; 0 = hardware concurrency
+
+  /// The process's parsed environment (parsed on first use, then cached).
+  static const Env& get();
+};
+
+namespace internal {
+
+inline std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+inline Env parse_env() {
+  Env e;
+  if (const auto s = env_string("MTAT_SCALE")) {
+    if (*s == "smoke" || *s == "small" || *s == "large") {
+      e.scale = *s;
+    } else {
+      std::fprintf(stderr,
+                   "warning: invalid MTAT_SCALE=%s (expected smoke|small|large); "
+                   "using small\n",
+                   s->c_str());
+    }
+  }
+  if (const auto s = env_string("MTAT_EPOCHS")) {
+    const auto v = parse_int(*s);
+    if (v && *v >= 0 && *v <= 1'000'000) {
+      e.epochs = *v;
+    } else {
+      std::fprintf(stderr,
+                   "warning: invalid MTAT_EPOCHS=%s (expected a non-negative integer); "
+                   "using the preset default\n",
+                   s->c_str());
+    }
+  }
+  if (const auto s = env_string("MTAT_TRACE")) e.trace_path = *s;
+  if (const auto s = env_string("MTAT_TRACE_EVENTS")) {
+    const auto v = parse_u64(*s);
+    if (v && *v > 0) {
+      e.trace_events = static_cast<std::size_t>(*v);
+    } else {
+      std::fprintf(stderr,
+                   "warning: invalid MTAT_TRACE_EVENTS=%s (expected a positive integer); "
+                   "using default %zu\n",
+                   s->c_str(), e.trace_events);
+    }
+  }
+  if (const auto s = env_string("MTAT_JOBS")) {
+    const auto v = parse_int(*s);
+    if (v && *v >= 0 && *v <= 4096) {
+      e.jobs = *v;
+    } else {
+      std::fprintf(stderr,
+                   "warning: invalid MTAT_JOBS=%s (expected a non-negative integer); "
+                   "using hardware concurrency\n",
+                   s->c_str());
+    }
+  }
+  return e;
+}
+
+}  // namespace internal
+
+inline const Env& Env::get() {
+  static const Env parsed = internal::parse_env();
+  return parsed;
+}
+
+}  // namespace mtat::bench

@@ -14,32 +14,49 @@ using namespace mtat::bench;
 int main() {
   const Scale sc = scale_from_env();
   banner("ext_zipf_lc", "extension (skewed LC requests; paper §5 uses uniform)");
+  experiments::ParallelRunner runner = make_runner();
   CsvWriter csv("ext_zipf_lc.csv",
                 {"dist", "policy", "p99_ms", "viol_pct", "mean_lc_share", "be_tput"});
+  const std::vector<PolicyKind> policies = {PolicyKind::kMtatFull, PolicyKind::kMemtis,
+                                            PolicyKind::kTpp};
   for (bool zipf : {false, true}) {
     LCConfig lc = scaled_lc_config(redis_config(), sc);
     if (zipf) lc.dist = RequestDist::kZipfian;
-    const double peak = 0.9 * fmem_all_peak_krps(sc, lc);
+    const double peak = 0.9 * fmem_all_peak_krps(sc, lc, &runner);
     std::printf("\n--- %s requests (pattern peak = 0.9x FMEM_ALL max = %.2f KRPS) ---\n",
                 zipf ? "zipfian(0.99)" : "uniform", peak);
+
+    struct Outcome {
+      SimResult r;
+      double mean_share = 0;
+    };
+    std::vector<Outcome> outcomes(policies.size());
+    std::vector<experiments::RunSpec> specs;
+    for (std::size_t i = 0; i < policies.size(); ++i)
+      specs.push_back({policy_name(policies[i]),
+                       [&sc, &lc, peak, &policies, &outcomes, i](obs::RunContext& ctx) {
+                         SimConfig cfg = make_sim_config(sc, lc, policies[i]);
+                         ColocationSim sim(cfg, &ctx);
+                         train_if_mtat(sim, sc.train_epochs, peak);
+                         const LoadPattern pattern = LoadPattern::figure7(peak * 1000.0);
+                         sim.run(pattern, pattern.total_length());
+                         Outcome& o = outcomes[i];
+                         o.r = sim.result();
+                         for (const auto& tp : o.r.series) o.mean_share += tp.lc_fmem_share;
+                         o.mean_share /= static_cast<double>(o.r.series.size());
+                       }});
+    runner.run_all(specs);
+
     std::printf("%-13s %10s %9s %14s %13s\n", "policy", "P99(ms)", "viol%", "mean LC share",
                 "BE tput");
-    for (PolicyKind policy :
-         {PolicyKind::kMtatFull, PolicyKind::kMemtis, PolicyKind::kTpp}) {
-      SimConfig cfg = make_sim_config(sc, lc, policy);
-      ColocationSim sim(cfg);
-      train_if_mtat(sim, sc.train_epochs, peak);
-      const LoadPattern pattern = LoadPattern::figure7(peak * 1000.0);
-      sim.run(pattern, pattern.total_length());
-      const SimResult r = sim.result();
-      double mean_share = 0;
-      for (const auto& tp : r.series) mean_share += tp.lc_fmem_share;
-      mean_share /= static_cast<double>(r.series.size());
-      std::printf("%-13s %10.2f %8.1f%% %14.3f %13.3e\n", policy_name(policy), r.lc_p99_ms,
-                  100.0 * r.slo_violation_rate, mean_share, r.be_total_throughput);
-      csv.row(std::vector<std::string>{zipf ? "zipf" : "uniform", policy_name(policy)},
-              {r.lc_p99_ms, 100.0 * r.slo_violation_rate, mean_share,
-               r.be_total_throughput});
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      const Outcome& o = outcomes[i];
+      std::printf("%-13s %10.2f %8.1f%% %14.3f %13.3e\n", policy_name(policies[i]),
+                  o.r.lc_p99_ms, 100.0 * o.r.slo_violation_rate, o.mean_share,
+                  o.r.be_total_throughput);
+      csv.row(std::vector<std::string>{zipf ? "zipf" : "uniform", policy_name(policies[i])},
+              {o.r.lc_p99_ms, 100.0 * o.r.slo_violation_rate, o.mean_share,
+               o.r.be_total_throughput});
     }
   }
   std::printf(

@@ -11,6 +11,7 @@ using namespace mtat::bench;
 int main() {
   const Scale sc = scale_from_env();
   banner("fig1_lc_latency_curves", "Figure 1");
+  experiments::ParallelRunner runner = make_runner();
   CsvWriter csv("fig1_lc_latency_curves.csv",
                 {"workload", "fmem_pct", "offered_krps", "p99_ms", "achieved_krps"});
   const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75, 1.0};
@@ -22,7 +23,7 @@ int main() {
     for (double l : loads) std::printf(" %8.1fk", l * lc.max_load_krps);
     std::printf("\n");
     for (double f : fractions) {
-      const auto curve = lc_latency_curve(lc, f, loads, seconds(20), 99);
+      const auto curve = experiments::lc_latency_curve(lc, f, loads, seconds(20), 99, &runner);
       std::printf("%7.0f%% ", f * 100);
       for (const auto& pt : curve) {
         if (pt.p99_ms < 9999)

@@ -16,28 +16,41 @@ using namespace mtat::bench;
 int main() {
   const Scale sc = scale_from_env();
   banner("fig2_memtis_colocation", "Figure 2");
+  experiments::ParallelRunner runner = make_runner();
   const LCConfig redis = scaled_lc_config(redis_config(), sc);
-  SimConfig cfg = make_sim_config(sc, redis, PolicyKind::kMemtis, /*n_be=*/1);
-  ColocationSim sim(cfg);
 
-  // Load staircase: the max sustainable throughput at each FMem level,
-  // estimated from the calibrated service-time interpolation
-  // S(f) = f*S_f + (1-f)*S_s, driven slightly below saturation.
-  const double s_f = static_cast<double>(sim.lc().ideal_service_time(Tier::kFMem));
-  const double s_s = static_cast<double>(sim.lc().ideal_service_time(Tier::kSMem));
-  std::vector<double> fractions_of_max;
-  std::printf("load staircase (max tput at FMem level, KRPS):");
-  for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    const double sat = redis.threads * 1e9 / (f * s_f + (1.0 - f) * s_s);
-    fractions_of_max.push_back(0.97 * sat / (redis.max_load_krps * 1000.0));
-    std::printf(" %.1f", 0.97 * sat / 1000.0);
-  }
-  std::printf("\n\n");
-  const LoadPattern pattern =
-      LoadPattern::staircase(redis.max_load_krps * 1000.0, fractions_of_max, seconds(40));
+  // One sim, one spec: fig2 is a single time series, so the runner buys no
+  // parallelism here — routing through it anyway keeps every bench on the
+  // same RunContext/trace-merge path.
+  SimResult r;
+  runner.run_all({{"fig2_memtis_colocation", [&sc, &redis, &r](obs::RunContext& ctx) {
+                     SimConfig cfg = make_sim_config(sc, redis, PolicyKind::kMemtis,
+                                                     /*n_be=*/1);
+                     ColocationSim sim(cfg, &ctx);
 
-  sim.run(pattern, pattern.total_length());
-  const SimResult r = sim.result();
+                     // Load staircase: the max sustainable throughput at each
+                     // FMem level, estimated from the calibrated service-time
+                     // interpolation S(f) = f*S_f + (1-f)*S_s, driven
+                     // slightly below saturation.
+                     const double s_f =
+                         static_cast<double>(sim.lc().ideal_service_time(Tier::kFMem));
+                     const double s_s =
+                         static_cast<double>(sim.lc().ideal_service_time(Tier::kSMem));
+                     std::vector<double> fractions_of_max;
+                     std::printf("load staircase (max tput at FMem level, KRPS):");
+                     for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+                       const double sat = redis.threads * 1e9 / (f * s_f + (1.0 - f) * s_s);
+                       fractions_of_max.push_back(0.97 * sat /
+                                                  (redis.max_load_krps * 1000.0));
+                       std::printf(" %.1f", 0.97 * sat / 1000.0);
+                     }
+                     std::printf("\n\n");
+                     const LoadPattern pattern = LoadPattern::staircase(
+                         redis.max_load_krps * 1000.0, fractions_of_max, seconds(40));
+
+                     sim.run(pattern, pattern.total_length());
+                     r = sim.result();
+                   }}});
 
   CsvWriter csv("fig2_memtis_colocation.csv",
                 {"t_sec", "offered_krps", "p99_ms", "redis_fmem_ratio"});

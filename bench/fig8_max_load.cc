@@ -17,16 +17,23 @@ namespace {
 /// Max sustainable load for one (LC, policy) pair: bisection over constant
 /// loads; each probe runs on a fresh co-location (placement history from a
 /// hotter probe must not leak into a cooler one). The MTAT agent is trained
-/// once and shared across probes.
+/// once and shared across probes, which makes the predicate *impure* (each
+/// probe advances the agent), so the bisection must stay on the serial
+/// experiments::find_max_load overload — every probe sim still gets its own
+/// private observability context so policy runs can execute on concurrent
+/// runner workers.
 double measure_max_load(const Scale& sc, const LCConfig& lc, PolicyKind policy,
                         SacAgent* agent) {
   const auto sustainable = [&](double krps) {
     SimConfig cfg = make_sim_config(sc, lc, policy);
     cfg.shared_agent = agent;
-    ColocationSim sim(cfg);
-    return probe_slo_sustainable(sim, krps, /*warm=*/seconds(25), sc.measure_window);
+    obs::RunContext ctx(obs::RunContext::TraceMode::kPrivate);
+    ColocationSim sim(cfg, &ctx);
+    return experiments::probe_slo_sustainable(sim, krps, /*warm=*/seconds(25),
+                                              sc.measure_window);
   };
-  return find_max_load(sustainable, 0.2 * lc.max_load_krps, 1.3 * lc.max_load_krps, 6);
+  return experiments::find_max_load(sustainable, 0.2 * lc.max_load_krps,
+                                    1.3 * lc.max_load_krps, 6);
 }
 
 }  // namespace
@@ -34,6 +41,7 @@ double measure_max_load(const Scale& sc, const LCConfig& lc, PolicyKind policy,
 int main() {
   const Scale sc = scale_from_env();
   banner("fig8_max_load", "Figure 8");
+  experiments::ParallelRunner runner = make_runner();
   CsvWriter csv("fig8_max_load.csv", {"lc", "policy", "max_krps", "normalized_to_fmem_all"});
   const std::vector<PolicyKind> policies = {PolicyKind::kMtatFull, PolicyKind::kMemtis,
                                             PolicyKind::kTpp, PolicyKind::kSmemAll};
@@ -44,22 +52,44 @@ int main() {
   std::vector<double> geomean(policies.size(), 1.0);
   int n_lc = 0;
   for (const LCConfig& lc : scaled_lc_configs(sc)) {
-    const double base = measure_max_load(sc, lc, PolicyKind::kFmemAll, nullptr);
+    // FMEM_ALL baseline: pure predicate (no shared agent), so its bisection
+    // probes fan across the runner.
+    const double base = experiments::find_max_load(
+        [&](double krps, obs::RunContext& ctx) {
+          SimConfig cfg = make_sim_config(sc, lc, PolicyKind::kFmemAll);
+          ColocationSim sim(cfg, &ctx);
+          return experiments::probe_slo_sustainable(sim, krps, /*warm=*/seconds(25),
+                                                    sc.measure_window);
+        },
+        0.2 * lc.max_load_krps, 1.3 * lc.max_load_krps, 6, runner);
     csv.row({lc.name, "fmem_all"}, {base, 1.0});
+
+    // Each policy column is independent (own agent, own training, own serial
+    // bisection) — one runner spec per policy.
+    std::vector<double> max_krps(policies.size(), 0.0);
+    std::vector<experiments::RunSpec> specs;
+    specs.reserve(policies.size());
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      specs.push_back({std::string(lc.name) + "/" + policy_name(policies[i]),
+                       [&sc, &lc, &policies, base, &max_krps, i](obs::RunContext& ctx) {
+                         std::unique_ptr<SacAgent> agent;
+                         if (is_mtat(policies[i])) {
+                           agent = std::make_unique<SacAgent>(SacConfig{});
+                           SimConfig cfg = make_sim_config(sc, lc, policies[i]);
+                           cfg.shared_agent = agent.get();
+                           ColocationSim trainer(cfg, &ctx);
+                           train_if_mtat(trainer, sc.train_epochs, base);
+                         }
+                         max_krps[i] = measure_max_load(sc, lc, policies[i], agent.get());
+                       }});
+    }
+    runner.run_all(specs);
+
     std::printf("%-10s %9.2fK  ", lc.name.c_str(), base);
     for (std::size_t i = 0; i < policies.size(); ++i) {
-      std::unique_ptr<SacAgent> agent;
-      if (is_mtat(policies[i])) {
-        agent = std::make_unique<SacAgent>(SacConfig{});
-        SimConfig cfg = make_sim_config(sc, lc, policies[i]);
-        cfg.shared_agent = agent.get();
-        ColocationSim trainer(cfg);
-        train_if_mtat(trainer, sc.train_epochs, base);
-      }
-      const double v = measure_max_load(sc, lc, policies[i], agent.get());
-      const double norm = v / base;
+      const double norm = max_krps[i] / base;
       geomean[i] *= norm;
-      csv.row({lc.name, policy_name(policies[i])}, {v, norm});
+      csv.row({lc.name, policy_name(policies[i])}, {max_krps[i], norm});
       std::printf(" %11.3f ", norm);
     }
     std::printf("\n");

@@ -11,16 +11,16 @@
 // Perfetto) without per-binary changes; MTAT_TRACE_EVENTS overrides the ring
 // capacity. banner() additionally writes a `<experiment>.manifest.json`
 // sidecar so every CSV in the working directory carries its provenance.
+// Experiment parallelism (MTAT_JOBS, default one job per hardware thread) is
+// exposed as make_runner(); see bench/env.h for all environment knobs.
 #pragma once
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
 
+#include "bench/env.h"
 #include "obs/manifest.h"
 #include "obs/trace.h"
 #include "sim/colocation_sim.h"
@@ -36,16 +36,10 @@ struct TraceEnvHook {
   std::string path;
 
   TraceEnvHook() {
-    const char* p = std::getenv("MTAT_TRACE");
-    if (p == nullptr || *p == '\0') return;
-    path = p;
-    std::size_t capacity = obs::TraceRecorder::kDefaultCapacity;
-    if (const char* n = std::getenv("MTAT_TRACE_EVENTS")) {
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(n, &end, 10);
-      if (end != n && *end == '\0' && v > 0) capacity = static_cast<std::size_t>(v);
-    }
-    obs::trace().enable(capacity);
+    const Env& env = Env::get();
+    if (env.trace_path.empty()) return;
+    path = env.trace_path;
+    obs::trace().enable(env.trace_events);
   }
 
   ~TraceEnvHook() {
@@ -75,51 +69,40 @@ struct Scale {
   Duration measure_window;     ///< measured span for steady-state probes
 };
 
-/// The scale preset in effect: "small" or "large". Unknown MTAT_SCALE values
-/// are rejected with a warning instead of silently running the small preset.
-inline std::string scale_preset_from_env() {
-  const char* s = std::getenv("MTAT_SCALE");
-  if (s == nullptr || *s == '\0') return "small";
-  const std::string preset(s);
-  if (preset != "small" && preset != "large") {
-    std::fprintf(stderr, "warning: unknown MTAT_SCALE=%s (expected small|large); using small\n",
-                 s);
-    return "small";
-  }
-  return preset;
+/// The scale preset in effect: "small" or "large" (MTAT_SCALE, validated by
+/// bench::Env — unknown values warn and fall back to small).
+inline std::string scale_preset_from_env() { return Env::get().scale; }
+
+/// The experiment runner for this process: MTAT_JOBS workers, defaulting to
+/// one per hardware thread. Benches fan their independent points through it;
+/// results are deterministic whatever the job count (DESIGN.md §11).
+inline experiments::ParallelRunner make_runner() {
+  return experiments::ParallelRunner(Env::get().jobs);
 }
 
 inline Scale scale_from_env() {
-  const bool large = scale_preset_from_env() == "large";
+  const std::string preset = scale_preset_from_env();
   Scale out;
-  if (large) {
+  if (preset == "large") {
     out.fmem = Bytes{2} * 1024 * 1024 * 1024;
     out.smem = Bytes{16} * 1024 * 1024 * 1024;
     out.be_rss = Bytes{2252} * 1024 * 1024;
+  } else if (preset == "smoke") {
+    // CI preset: seconds of wall time per bench, small enough to run under
+    // TSan; exercises the full pipeline, not the paper's operating point.
+    out.fmem = Bytes{32} * 1024 * 1024;
+    out.smem = Bytes{512} * 1024 * 1024;
+    out.be_rss = Bytes{36} * 1024 * 1024;
   } else {
     out.fmem = Bytes{128} * 1024 * 1024;
     out.smem = Bytes{2} * 1024 * 1024 * 1024;
     out.be_rss = Bytes{140} * 1024 * 1024;
   }
-  out.be_scale = BEScale::kDefault;
+  out.be_scale = preset == "smoke" ? BEScale::kTest : BEScale::kDefault;
   out.lc_oversubscription = 1.05;
-  out.train_epochs = 5;
-  out.measure_window = seconds(30);
-  if (const char* e = std::getenv("MTAT_EPOCHS")) {
-    // Bare atoi would turn "abc" or "-3" into 0/negative training epochs and
-    // silently skew every MTAT result; validate and fall back instead.
-    char* end = nullptr;
-    errno = 0;
-    const long v = std::strtol(e, &end, 10);
-    if (end == e || *end != '\0' || errno == ERANGE || v < 0 || v > 1'000'000) {
-      std::fprintf(stderr,
-                   "warning: invalid MTAT_EPOCHS=%s (expected a non-negative integer); "
-                   "using default %d\n",
-                   e, out.train_epochs);
-    } else {
-      out.train_epochs = static_cast<int>(v);
-    }
-  }
+  out.train_epochs = preset == "smoke" ? 1 : 5;
+  out.measure_window = preset == "smoke" ? seconds(5) : seconds(30);
+  if (const auto epochs = Env::get().epochs) out.train_epochs = *epochs;
   return out;
 }
 
@@ -168,19 +151,29 @@ inline bool is_mtat(PolicyKind k) {
 /// *measured* max under co-location (including tier-bandwidth contention
 /// from the BE fleet), not the standalone calibration target. Measured by
 /// bisection; one measurement per (LC workload, BE setting).
-inline double fmem_all_peak_krps(const Scale& sc, const LCConfig& lc, int n_be = 4,
+inline double fmem_all_peak_krps(const Scale& sc, const LCConfig& lc,
+                                 experiments::ParallelRunner* runner = nullptr, int n_be = 4,
                                  int be_cores = 4, double max_violation_rate = 0.002) {
   // The strict violation criterion keeps the measured peak off the knee's
   // edge: at 1 % the bisection can land where P99 is already drifting, and a
   // trapezoid driven exactly there rides the knee for its whole plateau.
-  return find_max_load(
+  // The probe is pure — a fresh sim per load, no shared agent — so with a
+  // runner the bisection's probes fan out (same result as serial: the
+  // speculative probe set is jobs-invariant, see experiments::find_max_load).
+  const auto probe = [&](double krps, obs::RunContext& ctx) {
+    SimConfig cfg = make_sim_config(sc, lc, PolicyKind::kFmemAll, n_be, be_cores);
+    ColocationSim sim(cfg, &ctx);
+    return experiments::probe_slo_sustainable(sim, krps, seconds(15), seconds(20),
+                                              max_violation_rate);
+  };
+  const double lo = 0.3 * lc.max_load_krps, hi = 1.2 * lc.max_load_krps;
+  if (runner != nullptr) return experiments::find_max_load(probe, lo, hi, 5, *runner);
+  return experiments::find_max_load(
       [&](double krps) {
-        SimConfig cfg = make_sim_config(sc, lc, PolicyKind::kFmemAll, n_be, be_cores);
-        ColocationSim sim(cfg);
-        return probe_slo_sustainable(sim, krps, seconds(15), seconds(20),
-                                     max_violation_rate);
+        obs::RunContext ctx;
+        return probe(krps, ctx);
       },
-      0.3 * lc.max_load_krps, 1.2 * lc.max_load_krps, 5);
+      lo, hi, 5);
 }
 
 /// Train an MTAT sim's agent on `epochs` repetitions of the Figure-7 pattern

@@ -14,14 +14,21 @@ using namespace mtat::bench;
 int main() {
   const Scale sc = scale_from_env();
   banner("sec55_overhead", "Section 5.5");
+  experiments::ParallelRunner runner = make_runner();
   const LCConfig redis = scaled_lc_config(redis_config(), sc);
-  const double peak = fmem_all_peak_krps(sc, redis);
+  const double peak = fmem_all_peak_krps(sc, redis, &runner);
   SimConfig cfg = make_sim_config(sc, redis, PolicyKind::kMtatFull);
-  ColocationSim sim(cfg);
-  train_if_mtat(sim, sc.train_epochs, peak);
-  const LoadPattern pattern = LoadPattern::figure7(peak * 1000.0);
-  sim.run(pattern, pattern.total_length());
-  const SimResult r = sim.result();
+
+  // The overhead numbers come from one sim, so only the peak bisection above
+  // parallelizes; the measured run itself is a single spec.
+  SimResult r;
+  runner.run_all({{"sec55_overhead", [&sc, &cfg, peak, &r](obs::RunContext& ctx) {
+                     ColocationSim sim(cfg, &ctx);
+                     train_if_mtat(sim, sc.train_epochs, peak);
+                     const LoadPattern pattern = LoadPattern::figure7(peak * 1000.0);
+                     sim.run(pattern, pattern.total_length());
+                     r = sim.result();
+                   }}});
 
   // Our partitioning interval is time-compressed x60 (DESIGN.md §5): one
   // decision per simulated second stands for one per real minute, so the

@@ -14,20 +14,23 @@ using namespace mtat::bench;
 int main() {
   const Scale sc = scale_from_env();
   banner("table1_lc_characteristics", "Table 1");
+  experiments::ParallelRunner runner = make_runner();
   CsvWriter csv("table1_lc_characteristics.csv",
                 {"workload", "rss_gib", "slo_ms", "configured_max_krps", "measured_max_krps"});
   std::printf("%-10s %9s %8s %14s %14s\n", "workload", "RSS(GiB)", "SLO(ms)", "cfg max KRPS",
               "meas max KRPS");
   for (const LCConfig& lc : scaled_lc_configs(sc)) {
     // Measured max load: bisection over constant-rate runs of the workload
-    // alone at 100% FMem, requiring < 1% SLO violations.
-    const auto sustainable = [&](double krps) {
-      const auto curve = lc_latency_curve(lc, 1.0, {krps / lc.max_load_krps},
-                                          sc.measure_window, /*seed=*/1234);
+    // alone at 100% FMem, requiring < 1% SLO violations. The probe is pure
+    // (fresh workload per curve call), so its bisection fans across the
+    // runner's workers.
+    const auto sustainable = [&](double krps, obs::RunContext&) {
+      const auto curve = experiments::lc_latency_curve(lc, 1.0, {krps / lc.max_load_krps},
+                                                       sc.measure_window, /*seed=*/1234);
       return curve[0].p99_ms <= static_cast<double>(lc.slo) / 1e6;
     };
-    const double measured =
-        find_max_load(sustainable, 0.3 * lc.max_load_krps, 1.6 * lc.max_load_krps, 6);
+    const double measured = experiments::find_max_load(
+        sustainable, 0.3 * lc.max_load_krps, 1.6 * lc.max_load_krps, 6, runner);
     // RSS: rebuild once to read the true footprint.
     TieredMemory::Config mc;
     mc.fmem_pages = 1;

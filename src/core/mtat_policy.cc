@@ -1,7 +1,6 @@
 #include "core/mtat_policy.h"
 
 #include "obs/names.h"
-#include "obs/trace.h"
 
 namespace mtat {
 
@@ -26,16 +25,18 @@ std::uint64_t MtatPolicy::lc_quota() const { return ppe_->quota(lc_idx_); }
 
 void MtatPolicy::on_tick(SimTime, Duration) { ppe_->on_tick(); }
 
-void MtatPolicy::set_metrics(obs::MetricsRegistry* reg) {
-  if (reg == nullptr) {
+void MtatPolicy::set_run_context(obs::RunContext* ctx) {
+  if (ctx == nullptr) {
     decide_wall_h_ = nullptr;
     lc_quota_g_ = nullptr;
+    trace_ = nullptr;
   } else {
-    decide_wall_h_ = &reg->histogram(obs::names::kPpmDecideWallUs);
-    lc_quota_g_ = &reg->gauge(obs::names::kMtatLcQuotaPages);
+    decide_wall_h_ = &ctx->metrics().histogram(obs::names::kPpmDecideWallUs);
+    lc_quota_g_ = &ctx->metrics().gauge(obs::names::kMtatLcQuotaPages);
+    trace_ = &ctx->trace();
   }
-  ppm_->set_metrics(reg);
-  ppe_->set_metrics(reg);
+  ppm_->set_run_context(ctx);
+  ppe_->set_run_context(ctx);
 }
 
 void MtatPolicy::on_interval(SimTime, Duration, Duration lc_p99) {
@@ -47,7 +48,7 @@ void MtatPolicy::on_interval(SimTime, Duration, Duration lc_p99) {
     // PP-M's wall cost (state build + SAC training + SA search) is the §5.5
     // overhead number; the span's sim placement vs wall duration convention
     // is described in obs/trace.h.
-    obs::WallSpan span(obs::names::kEvPpmDecide, obs::names::kCatPolicy, nullptr,
+    obs::WallSpan span(trace_, obs::names::kEvPpmDecide, obs::names::kCatPolicy, nullptr,
                        decide_wall_h_);
     decision = ppm_->decide(ppe_->quota(lc_idx_), usage, counters, lc_p99);
   }

@@ -42,9 +42,11 @@ class MtatPolicy : public TieringPolicy {
   /// Current LC reservation in pages (for the Figure 5 allocation series).
   std::uint64_t lc_quota() const;
 
-  /// Register MTAT decision metrics with `reg` and forward to PP-M (and its
-  /// agent) and PP-E; nullptr detaches. The registry must outlive the policy.
-  void set_metrics(obs::MetricsRegistry* reg);
+  /// Wire the policy to a run's observability: register MTAT decision
+  /// metrics with `ctx`'s registry, record decide spans into its trace, and
+  /// forward to PP-M (and its agent) and PP-E; nullptr detaches. The context
+  /// must outlive the policy.
+  void set_run_context(obs::RunContext* ctx);
 
  private:
   PolicyContext ctx_;
@@ -52,6 +54,7 @@ class MtatPolicy : public TieringPolicy {
   std::size_t lc_idx_ = 0;
   std::unique_ptr<PartitionEnforcer> ppe_;
   std::unique_ptr<PartitionPolicyMaker> ppm_;
+  obs::TraceRecorder* trace_ = nullptr;
   obs::Histogram* decide_wall_h_ = nullptr;
   obs::Gauge* lc_quota_g_ = nullptr;
 };

@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "obs/names.h"
-#include "obs/trace.h"
 
 namespace mtat {
 
@@ -46,21 +45,24 @@ void PartitionEnforcer::set_plan(const std::vector<std::uint64_t>& quotas) {
     plans_c_->inc();
     plan_pages_g_->set(backlog);
   }
-  plan_start_ts_ = obs::trace().now();
+  plan_start_ts_ = trace_ != nullptr ? trace_->now() : 0;
   plan_start_pages_ = backlog;
   plan_was_active_ = backlog > 0.0;
-  obs::trace().instant(obs::names::kEvPpePlan, obs::names::kCatPolicy, "lc_quota",
-                       static_cast<double>(quota_[lc_idx_]), "backlog_pages", backlog);
+  if (trace_ != nullptr)
+    trace_->instant(obs::names::kEvPpePlan, obs::names::kCatPolicy, "lc_quota",
+                    static_cast<double>(quota_[lc_idx_]), "backlog_pages", backlog);
 }
 
-void PartitionEnforcer::set_metrics(obs::MetricsRegistry* reg) {
-  if (reg == nullptr) {
+void PartitionEnforcer::set_run_context(obs::RunContext* ctx) {
+  if (ctx == nullptr) {
     plans_c_ = nullptr;
     plan_pages_g_ = nullptr;
+    trace_ = nullptr;
     return;
   }
-  plans_c_ = &reg->counter(obs::names::kPpePlans);
-  plan_pages_g_ = &reg->gauge(obs::names::kPpePlanPages);
+  plans_c_ = &ctx->metrics().counter(obs::names::kPpePlans);
+  plan_pages_g_ = &ctx->metrics().gauge(obs::names::kPpePlanPages);
+  trace_ = &ctx->trace();
 }
 
 PageId PartitionEnforcer::promote_candidate(std::size_t idx) const {
@@ -268,9 +270,9 @@ void PartitionEnforcer::on_tick() {
     // (set_plan -> drain), the "plan execution" lane of the trace.
     if (plan_was_active_ && !plan_active()) {
       plan_was_active_ = false;
-      obs::trace().complete(obs::names::kEvPpePlanExec, obs::names::kCatPolicy, plan_start_ts_,
-                            obs::trace().now() - plan_start_ts_, "pages",
-                            plan_start_pages_);
+      if (trace_ != nullptr)
+        trace_->complete(obs::names::kEvPpePlanExec, obs::names::kCatPolicy, plan_start_ts_,
+                         trace_->now() - plan_start_ts_, "pages", plan_start_pages_);
     }
   } else {
     refine();

@@ -26,7 +26,7 @@
 #include <memory>
 #include <vector>
 
-#include "obs/metrics.h"
+#include "obs/run_context.h"
 #include "policy/policy.h"
 #include "telemetry/page_hotness.h"
 
@@ -84,9 +84,11 @@ class PartitionEnforcer {
   std::int64_t remaining_delta(std::size_t idx) const { return delta_[idx]; }
   PageHotness& histogram(std::size_t idx) { return *hist_[idx]; }
 
-  /// Register enforcement metrics (plans installed, relocation backlog) with
-  /// `reg`; nullptr detaches. The registry must outlive PP-E.
-  void set_metrics(obs::MetricsRegistry* reg);
+  /// Wire PP-E to a run's observability: register enforcement metrics (plans
+  /// installed, relocation backlog) with `ctx`'s registry and record plan
+  /// events/spans into its trace; nullptr detaches. The context must outlive
+  /// PP-E.
+  void set_run_context(obs::RunContext* ctx);
 
  private:
   // Candidate selection within one tenant's pages.
@@ -112,6 +114,7 @@ class PartitionEnforcer {
   SimTime plan_start_ts_ = 0;
   double plan_start_pages_ = 0.0;
   bool plan_was_active_ = false;
+  obs::TraceRecorder* trace_ = nullptr;
   obs::Counter* plans_c_ = nullptr;
   obs::Gauge* plan_pages_g_ = nullptr;
 };

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "obs/names.h"
-#include "obs/trace.h"
 
 namespace mtat {
 
@@ -73,8 +72,9 @@ PartitionPolicyMaker::Decision PartitionPolicyMaker::decide(std::uint64_t curren
       action[0] = 1.0;
       cooldown_left_ = opt_.guard_cooldown_intervals;
       if (guard_trips_c_ != nullptr) guard_trips_c_->inc();
-      obs::trace().instant(obs::names::kEvPpmGuardTrip, obs::names::kCatPolicy, "p99_ms",
-                           p99 / 1e6);
+      if (trace_ != nullptr)
+        trace_->instant(obs::names::kEvPpmGuardTrip, obs::names::kCatPolicy, "p99_ms",
+                        p99 / 1e6);
     } else if (std::max(p99, p99_smooth_) > opt_.guard_hold * static_cast<double>(slo_) ||
                cooldown_left_ > 0) {
       action[0] = std::max(action[0], 0.0);
@@ -133,22 +133,26 @@ PartitionPolicyMaker::Decision PartitionPolicyMaker::decide(std::uint64_t curren
     }
   }
   if (decisions_c_ != nullptr) decisions_c_->inc();
-  obs::trace().instant(obs::names::kEvPpmDecision, obs::names::kCatPolicy, "lc_pages",
-                       static_cast<double>(d.lc_pages), "alpha", action[0]);
+  if (trace_ != nullptr)
+    trace_->instant(obs::names::kEvPpmDecision, obs::names::kCatPolicy, "lc_pages",
+                    static_cast<double>(d.lc_pages), "alpha", action[0]);
   return d;
 }
 
-void PartitionPolicyMaker::set_metrics(obs::MetricsRegistry* reg) {
-  if (reg == nullptr) {
+void PartitionPolicyMaker::set_run_context(obs::RunContext* ctx) {
+  if (ctx == nullptr) {
     decisions_c_ = violations_c_ = guard_trips_c_ = nullptr;
     reward_g_ = nullptr;
+    trace_ = nullptr;
   } else {
-    decisions_c_ = &reg->counter(obs::names::kPpmDecisions);
-    violations_c_ = &reg->counter(obs::names::kPpmViolations);
-    guard_trips_c_ = &reg->counter(obs::names::kPpmGuardTrips);
-    reward_g_ = &reg->gauge(obs::names::kPpmReward);
+    obs::MetricsRegistry& reg = ctx->metrics();
+    decisions_c_ = &reg.counter(obs::names::kPpmDecisions);
+    violations_c_ = &reg.counter(obs::names::kPpmViolations);
+    guard_trips_c_ = &reg.counter(obs::names::kPpmGuardTrips);
+    reward_g_ = &reg.gauge(obs::names::kPpmReward);
+    trace_ = &ctx->trace();
   }
-  agent_->set_metrics(reg);
+  agent_->set_run_context(ctx);
 }
 
 }  // namespace mtat

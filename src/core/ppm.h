@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "core/sa_partitioner.h"
-#include "obs/metrics.h"
+#include "obs/run_context.h"
 #include "rl/sac.h"
 #include "telemetry/access_sampler.h"
 
@@ -108,10 +108,11 @@ class PartitionPolicyMaker {
   /// Rewards observed so far (diagnostics / learning curves).
   const std::vector<double>& reward_history() const { return rewards_; }
 
-  /// Register decision metrics (decision/violation/guard-trip counts, last
-  /// reward) with `reg` and forward to the agent; nullptr detaches. The
-  /// registry must outlive PP-M.
-  void set_metrics(obs::MetricsRegistry* reg);
+  /// Wire PP-M to a run's observability: register decision metrics
+  /// (decision/violation/guard-trip counts, last reward) with `ctx`'s
+  /// registry, record decision/guard-trip events into its trace, and forward
+  /// to the agent; nullptr detaches. The context must outlive PP-M.
+  void set_run_context(obs::RunContext* ctx);
 
  private:
   std::vector<double> build_state(double usage_ratio, const IntervalCounters& c);
@@ -136,6 +137,7 @@ class PartitionPolicyMaker {
   std::vector<double> prev_action_;
   std::uint64_t decisions_ = 0;
   std::vector<double> rewards_;
+  obs::TraceRecorder* trace_ = nullptr;
   obs::Counter* decisions_c_ = nullptr;
   obs::Counter* violations_c_ = nullptr;
   obs::Counter* guard_trips_c_ = nullptr;

@@ -23,9 +23,8 @@
 #include "common/rng.h"
 #include "loadgen/latency_recorder.h"
 #include "loadgen/load_pattern.h"
-#include "obs/metrics.h"
 #include "obs/names.h"
-#include "obs/trace.h"
+#include "obs/run_context.h"
 #include "workloads/lc/lc_workload.h"
 
 namespace mtat {
@@ -40,17 +39,22 @@ class QueueSim {
     std::make_heap(free_at_.begin(), free_at_.end(), std::greater<>());
   }
 
-  /// Register queue metrics (arrivals, completions, backlog watermark) with
-  /// `reg`; nullptr detaches. The registry must outlive the queue.
-  void set_metrics(obs::MetricsRegistry* reg) {
-    if (reg == nullptr) {
+  /// Wire the queue to a run's observability: register queue metrics
+  /// (arrivals, completions, backlog watermark) with `ctx`'s registry and
+  /// record overload-onset events into its trace. nullptr detaches. The
+  /// context must outlive the queue.
+  void set_run_context(obs::RunContext* ctx) {
+    if (ctx == nullptr) {
       arrivals_c_ = completed_c_ = nullptr;
       backlog_peak_g_ = nullptr;
+      trace_ = nullptr;
       return;
     }
-    arrivals_c_ = &reg->counter(obs::names::kQueueArrivals);
-    completed_c_ = &reg->counter(obs::names::kQueueCompleted);
-    backlog_peak_g_ = &reg->gauge(obs::names::kQueueBacklogPeak);
+    obs::MetricsRegistry& reg = ctx->metrics();
+    arrivals_c_ = &reg.counter(obs::names::kQueueArrivals);
+    completed_c_ = &reg.counter(obs::names::kQueueCompleted);
+    backlog_peak_g_ = &reg.gauge(obs::names::kQueueBacklogPeak);
+    trace_ = &ctx->trace();
   }
 
   /// Install (or replace) the offered-load pattern, (re)starting it at
@@ -92,8 +96,9 @@ class QueueSim {
         const double threshold = 64.0 * static_cast<double>(free_at_.size());
         if (!in_overload_ && backlog > threshold) {
           in_overload_ = true;
-          obs::trace().instant(obs::names::kEvQueueOverload, obs::names::kCatQueue, "backlog",
-                               backlog);
+          if (trace_ != nullptr)
+            trace_->instant(obs::names::kEvQueueOverload, obs::names::kCatQueue, "backlog",
+                            backlog);
         } else if (in_overload_ && backlog < threshold / 2.0) {
           in_overload_ = false;
         }
@@ -149,6 +154,7 @@ class QueueSim {
   std::uint64_t completed_ = 0;
   std::uint64_t interval_mark_ = 0;
   bool in_overload_ = false;
+  obs::TraceRecorder* trace_ = nullptr;
   obs::Counter* arrivals_c_ = nullptr;
   obs::Counter* completed_c_ = nullptr;
   obs::Gauge* backlog_peak_g_ = nullptr;

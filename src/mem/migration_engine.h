@@ -14,9 +14,8 @@
 #include "common/types.h"
 #include "common/units.h"
 #include "mem/tiered_memory.h"
-#include "obs/metrics.h"
 #include "obs/names.h"
-#include "obs/trace.h"
+#include "obs/run_context.h"
 
 namespace mtat {
 
@@ -33,20 +32,24 @@ class MigrationEngine {
       throw std::invalid_argument("MigrationEngine: bandwidth must be positive");
   }
 
-  /// Register migration counters (pages moved, promotions/demotions/
-  /// exchanges) with `reg`; nullptr detaches. The caller guarantees the
-  /// registry outlives the engine.
-  void set_metrics(obs::MetricsRegistry* reg) {
-    if (reg == nullptr) {
+  /// Wire the engine to a run's observability: register migration counters
+  /// (pages moved, promotions/demotions/exchanges) with `ctx`'s registry and
+  /// record migration spans into its trace. nullptr detaches. The caller
+  /// guarantees the context outlives the engine.
+  void set_run_context(obs::RunContext* ctx) {
+    if (ctx == nullptr) {
       moved_c_ = promoted_c_ = demoted_c_ = exchanged_c_ = nullptr;
       moved_per_tick_h_ = nullptr;
+      trace_ = nullptr;
       return;
     }
-    moved_c_ = &reg->counter(obs::names::kMigrationPagesMoved);
-    promoted_c_ = &reg->counter(obs::names::kMigrationPromotions);
-    demoted_c_ = &reg->counter(obs::names::kMigrationDemotions);
-    exchanged_c_ = &reg->counter(obs::names::kMigrationExchanges);
-    moved_per_tick_h_ = &reg->histogram(obs::names::kMigrationPagesPerTick);
+    obs::MetricsRegistry& reg = ctx->metrics();
+    moved_c_ = &reg.counter(obs::names::kMigrationPagesMoved);
+    promoted_c_ = &reg.counter(obs::names::kMigrationPromotions);
+    demoted_c_ = &reg.counter(obs::names::kMigrationDemotions);
+    exchanged_c_ = &reg.counter(obs::names::kMigrationExchanges);
+    moved_per_tick_h_ = &reg.histogram(obs::names::kMigrationPagesPerTick);
+    trace_ = &ctx->trace();
   }
 
   /// Refills the page budget for an interval of length `dt`. Fractional pages
@@ -57,10 +60,10 @@ class MigrationEngine {
     // when any pages moved (the ring stays quiet across idle slices), and a
     // distribution sample either way.
     if (moved_per_tick_h_ != nullptr) moved_per_tick_h_->record(moved_this_interval_);
-    if (moved_this_interval_ > 0 && obs::trace().enabled())
-      obs::trace().complete(obs::names::kEvMigration, obs::names::kCatMem, last_begin_ts_,
-                            last_dt_, "pages", static_cast<double>(moved_this_interval_));
-    last_begin_ts_ = obs::trace().now();
+    if (trace_ != nullptr && moved_this_interval_ > 0 && trace_->enabled())
+      trace_->complete(obs::names::kEvMigration, obs::names::kCatMem, last_begin_ts_,
+                       last_dt_, "pages", static_cast<double>(moved_this_interval_));
+    last_begin_ts_ = trace_ != nullptr ? trace_->now() : 0;
     last_dt_ = dt;
     carry_ += cfg_.bandwidth_bytes_per_sec * to_seconds(dt) / static_cast<double>(kPageSize);
     const auto whole = static_cast<std::uint64_t>(carry_);
@@ -131,6 +134,7 @@ class MigrationEngine {
   std::uint64_t total_moved_ = 0;
   SimTime last_begin_ts_ = 0;
   Duration last_dt_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
   obs::Counter* moved_c_ = nullptr;
   obs::Counter* promoted_c_ = nullptr;
   obs::Counter* demoted_c_ = nullptr;

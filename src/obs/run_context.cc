@@ -1,0 +1,17 @@
+#include "obs/run_context.h"
+
+namespace mtat::obs {
+
+RunContext::RunContext(TraceMode mode) {
+  if (mode == TraceMode::kPrivate) {
+    owned_trace_ = std::make_unique<TraceRecorder>();
+    trace_ = owned_trace_.get();
+  } else {
+    // Qualified: the unqualified name would find the trace() member.
+    trace_ = &obs::trace();
+  }
+}
+
+TraceRecorder& default_trace() { return trace(); }
+
+}  // namespace mtat::obs

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+
 #include "obs/json.h"
 
 namespace mtat::obs {
@@ -21,6 +23,16 @@ void TraceRecorder::enable(std::size_t capacity) {
 
 void TraceRecorder::clear() {
   written_ = 0;
+}
+
+void TraceRecorder::merge_from(const TraceRecorder& src, std::uint32_t track_offset) {
+  if (capacity_ == 0) return;  // never enabled: nowhere to put the events
+  for (TraceEvent e : src.snapshot()) {
+    e.track += track_offset;
+    push(e);
+  }
+  // Keep allocate_track() collision-free with the remapped range.
+  next_track_ = std::max(next_track_, track_offset + src.next_track_);
 }
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {

@@ -79,6 +79,17 @@ class TraceRecorder {
   std::uint32_t allocate_track() { return next_track_++; }
   void set_track(std::uint32_t t) { track_ = t; }
   std::uint32_t track() const { return track_; }
+  /// The next track allocate_track() would hand out — the offset a caller
+  /// merging another recorder's events needs to keep track ids distinct.
+  std::uint32_t next_track() const { return next_track_; }
+
+  /// Append `src`'s surviving events (oldest first) with their track ids
+  /// shifted by `track_offset`, and advance this recorder's track allocator
+  /// past the remapped range. Control operation: both recorders must be
+  /// quiescent. Used by experiments::ParallelRunner to fold per-context
+  /// private rings back into the shared timeline in deterministic spec
+  /// order. No-op when this recorder has never been enabled (no ring).
+  void merge_from(const TraceRecorder& src, std::uint32_t track_offset);
 
   /// Point event at the current sim time.
   void instant(const char* name, const char* cat, const char* k1 = nullptr, double v1 = 0.0,
@@ -147,14 +158,16 @@ TraceRecorder& trace();
 
 /// RAII wall-clock span: measures the wall time between construction and
 /// destruction, records it into optional always-on metrics (a Counter sum of
-/// microseconds and/or a Histogram of microsecond samples), and — when
-/// tracing is enabled — emits a complete event placed at the current sim time
-/// with the wall duration (see the header comment on timestamp domains).
+/// microseconds and/or a Histogram of microsecond samples), and — when a
+/// recorder is supplied and enabled — emits a complete event placed at the
+/// recorder's current sim time with the wall duration (see the header
+/// comment on timestamp domains). A null recorder means metrics only: the
+/// span never touches any global state, so it is safe on any thread.
 class WallSpan {
  public:
-  WallSpan(const char* name, const char* cat, Counter* wall_us_sum = nullptr,
-           Histogram* wall_us_hist = nullptr)
-      : name_(name), cat_(cat), sum_(wall_us_sum), hist_(wall_us_hist),
+  WallSpan(TraceRecorder* trace, const char* name, const char* cat,
+           Counter* wall_us_sum = nullptr, Histogram* wall_us_hist = nullptr)
+      : trace_(trace), name_(name), cat_(cat), sum_(wall_us_sum), hist_(wall_us_hist),
         t0_(std::chrono::steady_clock::now()) {}
 
   WallSpan(const WallSpan&) = delete;
@@ -164,8 +177,9 @@ class WallSpan {
     const double us = elapsed_us();
     if (sum_ != nullptr) sum_->inc(us);
     if (hist_ != nullptr) hist_->record(static_cast<std::uint64_t>(us));
-    trace().complete(name_, cat_, trace().now(),
-                     static_cast<Duration>(us * 1e3), "wall_us", us);
+    if (trace_ != nullptr)
+      trace_->complete(name_, cat_, trace_->now(),
+                       static_cast<Duration>(us * 1e3), "wall_us", us);
   }
 
   double elapsed_us() const {
@@ -174,6 +188,7 @@ class WallSpan {
   }
 
  private:
+  TraceRecorder* trace_;
   const char* name_;
   const char* cat_;
   Counter* sum_;

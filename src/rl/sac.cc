@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "obs/names.h"
-#include "obs/trace.h"
 
 namespace mtat {
 namespace {
@@ -108,21 +107,25 @@ void SacAgent::update(int steps) {
     critic_loss_g_->set(last_critic_loss_);
     actor_loss_g_->set(last_actor_loss_);
     alpha_g_->set(alpha());
-    obs::trace().instant(obs::names::kEvRlUpdate, obs::names::kCatRl, "critic_loss",
-                         last_critic_loss_, "actor_loss", last_actor_loss_);
+    if (trace_ != nullptr)
+      trace_->instant(obs::names::kEvRlUpdate, obs::names::kCatRl, "critic_loss",
+                      last_critic_loss_, "actor_loss", last_actor_loss_);
   }
 }
 
-void SacAgent::set_metrics(obs::MetricsRegistry* reg) {
-  if (reg == nullptr) {
+void SacAgent::set_run_context(obs::RunContext* ctx) {
+  if (ctx == nullptr) {
     updates_c_ = nullptr;
     critic_loss_g_ = actor_loss_g_ = alpha_g_ = nullptr;
+    trace_ = nullptr;
     return;
   }
-  updates_c_ = &reg->counter(obs::names::kRlUpdates);
-  critic_loss_g_ = &reg->gauge(obs::names::kRlCriticLoss);
-  actor_loss_g_ = &reg->gauge(obs::names::kRlActorLoss);
-  alpha_g_ = &reg->gauge(obs::names::kRlAlpha);
+  obs::MetricsRegistry& reg = ctx->metrics();
+  updates_c_ = &reg.counter(obs::names::kRlUpdates);
+  critic_loss_g_ = &reg.gauge(obs::names::kRlCriticLoss);
+  actor_loss_g_ = &reg.gauge(obs::names::kRlActorLoss);
+  alpha_g_ = &reg.gauge(obs::names::kRlAlpha);
+  trace_ = &ctx->trace();
 }
 
 void SacAgent::update_once() {

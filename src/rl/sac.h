@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "obs/metrics.h"
+#include "obs/run_context.h"
 #include "rl/mlp.h"
 #include "rl/replay_buffer.h"
 
@@ -52,9 +52,11 @@ class SacAgent {
   /// Run `steps` gradient updates (critic, actor, temperature, targets).
   void update(int steps = 1);
 
-  /// Register training metrics (update count, losses, temperature) with
-  /// `reg`; nullptr detaches. The registry must outlive the agent.
-  void set_metrics(obs::MetricsRegistry* reg);
+  /// Wire the agent to a run's observability: register training metrics
+  /// (update count, losses, temperature) with `ctx`'s registry and record
+  /// update events into its trace. nullptr detaches. The context must
+  /// outlive the agent (or be detached first).
+  void set_run_context(obs::RunContext* ctx);
 
   double alpha() const;
   std::size_t buffer_size() const { return buffer_.size(); }
@@ -89,6 +91,7 @@ class SacAgent {
   double last_critic_loss_ = 0.0;
   double last_actor_loss_ = 0.0;
   std::uint64_t updates_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
   obs::Counter* updates_c_ = nullptr;
   obs::Gauge* critic_loss_g_ = nullptr;
   obs::Gauge* actor_loss_g_ = nullptr;

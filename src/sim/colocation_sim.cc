@@ -3,7 +3,6 @@
 #include <stdexcept>
 
 #include "obs/names.h"
-#include "obs/trace.h"
 
 namespace mtat {
 
@@ -22,7 +21,17 @@ const char* policy_name(PolicyKind k) {
   return "?";
 }
 
-ColocationSim::ColocationSim(const SimConfig& cfg) : cfg_(cfg) {
+ColocationSim::ColocationSim(const SimConfig& cfg, obs::RunContext* run_ctx) : cfg_(cfg) {
+  // Run without an explicit context? The sim owns one recording into the
+  // process-global trace — the classic single-run behaviour.
+  if (run_ctx == nullptr) {
+    owned_ctx_ = std::make_unique<obs::RunContext>();
+    ctx_ = owned_ctx_.get();
+  } else {
+    ctx_ = run_ctx;
+  }
+  obs::MetricsRegistry& reg = ctx_->metrics();
+
   // --- Platform ---------------------------------------------------------------
   TieredMemory::Config mc;
   mc.fmem_pages = bytes_to_pages(cfg.fmem);
@@ -32,19 +41,19 @@ ColocationSim::ColocationSim(const SimConfig& cfg) : cfg_(cfg) {
   mem_ = std::make_unique<TieredMemory>(mc);
   engine_ = std::make_unique<MigrationEngine>(
       *mem_, MigrationEngine::Config{cfg.migration_bandwidth});
-  engine_->set_metrics(&metrics_);
+  engine_->set_run_context(ctx_);
   sampler_ = std::make_unique<AccessSampler>(*mem_, cfg.lc.sample_period);
 
   // Registry handles for the sim's own signals; everything else registers in
   // the component that owns the signal (engine above, queue/policy below).
-  policy_wall_c_ = &metrics_.counter(obs::names::kPolicyWallUs);
-  policy_wall_h_ = &metrics_.histogram(obs::names::kPolicyWallUsHist);
-  intervals_c_ = &metrics_.counter(obs::names::kSimIntervals);
-  measured_intervals_c_ = &metrics_.counter(obs::names::kSimMeasuredIntervals);
-  pages_moved_c_ = &metrics_.counter(obs::names::kMigrationPagesMoved);
-  bw_factor_g_[0] = &metrics_.gauge(obs::names::kBwFmemFactor);
-  bw_factor_g_[1] = &metrics_.gauge(obs::names::kBwSmemFactor);
-  trace_track_ = obs::trace().allocate_track();
+  policy_wall_c_ = &reg.counter(obs::names::kPolicyWallUs);
+  policy_wall_h_ = &reg.histogram(obs::names::kPolicyWallUsHist);
+  intervals_c_ = &reg.counter(obs::names::kSimIntervals);
+  measured_intervals_c_ = &reg.counter(obs::names::kSimMeasuredIntervals);
+  pages_moved_c_ = &reg.counter(obs::names::kMigrationPagesMoved);
+  bw_factor_g_[0] = &reg.gauge(obs::names::kBwFmemFactor);
+  bw_factor_g_[1] = &reg.gauge(obs::names::kBwSmemFactor);
+  trace_track_ = ctx_->trace().allocate_track();
 
   // --- Tenants: LC allocates first (paper Figure 2 setup) ---------------------
   AllocPolicy lc_alloc = AllocPolicy::kFMemFirst;
@@ -62,7 +71,7 @@ ColocationSim::ColocationSim(const SimConfig& cfg) : cfg_(cfg) {
                                                seeder.next_u64()));
 
   queue_ = std::make_unique<QueueSim>(*lc_, cfg.latency_window, seeder.next_u64());
-  queue_->set_metrics(&metrics_);
+  queue_->set_run_context(ctx_);
   be_measured_iters_.assign(be_.size(), 0.0);
 
   // --- Policy -------------------------------------------------------------------
@@ -150,7 +159,7 @@ ColocationSim::ColocationSim(const SimConfig& cfg) : cfg_(cfg) {
       auto mtat = std::make_unique<MtatPolicy>(ctx, cfg.interval, cfg.lc.slo,
                                                std::move(models), opt, cfg.shared_agent);
       mtat_ = mtat.get();
-      mtat_->set_metrics(&metrics_);
+      mtat_->set_run_context(ctx_);
       policy_ = std::move(mtat);
       break;
     }
@@ -166,13 +175,14 @@ void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool meas
   // Measured phases run the RL policy on its mean action (no exploration
   // noise); training phases explore. Learning continues in both.
   if (mtat_ != nullptr) mtat_->ppm().set_deterministic(measure);
-  obs::trace().set_track(trace_track_);
+  obs::TraceRecorder& tr = ctx_->trace();
+  tr.set_track(trace_track_);
   queue_->set_pattern(&pattern, now_);
   const SimTime end = now_ + duration;
   double offered_now = pattern.rate_at(0);
   SimTime interval_start = now_;
   while (now_ < end) {
-    obs::trace().set_now(now_);
+    tr.set_now(now_);
     const Duration dt = std::min<Duration>(cfg_.tick, end - now_);
     if (cfg_.bandwidth.enabled)
       apply_bandwidth_model(pattern.rate_at(now_ - (end - duration)));
@@ -182,19 +192,19 @@ void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool meas
     queue_->run_until(now_ + dt);
     now_ += dt;
     if (now_ >= next_interval_) {
-      obs::trace().set_now(now_);
+      tr.set_now(now_);
       offered_now = pattern.rate_at(now_ - (end - duration));
       LatencyHistogram h = queue_->recorder().collect_interval();
       const Duration p99 = h.percentile(99.0);
       {
-        obs::WallSpan span(obs::names::kEvPolicyOnInterval, obs::names::kCatPolicy,
+        obs::WallSpan span(&tr, obs::names::kEvPolicyOnInterval, obs::names::kCatPolicy,
                            policy_wall_c_, policy_wall_h_);
         policy_->on_interval(now_, cfg_.interval, p99);
       }
       intervals_c_->inc();
-      obs::trace().complete(obs::names::kEvInterval, obs::names::kCatSim, interval_start,
-                            now_ - interval_start, "p99_ms", static_cast<double>(p99) / 1e6,
-                            "offered_rps", offered_now);
+      tr.complete(obs::names::kEvInterval, obs::names::kCatSim, interval_start,
+                  now_ - interval_start, "p99_ms", static_cast<double>(p99) / 1e6,
+                  "offered_rps", offered_now);
       if (measure) {
         measured_lat_.merge(h);
         record_interval(offered_now, p99, cfg_.interval);
@@ -258,21 +268,21 @@ void ColocationSim::record_interval(double offered_rps, Duration lc_p99, Duratio
 
   // Per-interval occupancy/latency samples, visible as counter charts in the
   // trace and as last-value gauges in metric dumps.
-  metrics_.gauge(obs::names::kLcFmemRatio).set(series_.back().lc_fmem_ratio);
-  metrics_.gauge(obs::names::kLcFmemShare).set(series_.back().lc_fmem_share);
-  obs::trace().counter(obs::names::kEvLcFmemShare, obs::names::kCatMem, "share",
-                       series_.back().lc_fmem_share);
-  obs::trace().counter(obs::names::kEvLcP99Ms, obs::names::kCatSim, "ms", lc_p99_ms);
+  metrics().gauge(obs::names::kLcFmemRatio).set(series_.back().lc_fmem_ratio);
+  metrics().gauge(obs::names::kLcFmemShare).set(series_.back().lc_fmem_share);
+  ctx_->trace().counter(obs::names::kEvLcFmemShare, obs::names::kCatMem, "share",
+                        series_.back().lc_fmem_share);
+  ctx_->trace().counter(obs::names::kEvLcP99Ms, obs::names::kCatSim, "ms", lc_p99_ms);
 }
 
 void ColocationSim::update_derived_gauges() {
   // The §5.5 overhead aggregates as derived views over the registry — kept
   // in lockstep with result() so a metrics dump is self-describing.
   const double secs = to_seconds(measured_time_);
-  metrics_.gauge(obs::names::kDerivedMigrationBytesPerSec)
+  metrics().gauge(obs::names::kDerivedMigrationBytesPerSec)
       .set(secs > 0 ? pages_moved_measured_ * static_cast<double>(kPageSize) / secs : 0.0);
   const double intervals = measured_intervals_c_->value() - measured_intervals_mark_;
-  metrics_.gauge(obs::names::kDerivedPolicyWallUsPerInterval)
+  metrics().gauge(obs::names::kDerivedPolicyWallUsPerInterval)
       .set(intervals > 0 ? (policy_wall_c_->value() - policy_wall_mark_) / intervals : 0.0);
 }
 

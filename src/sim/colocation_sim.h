@@ -23,7 +23,7 @@
 #include "loadgen/queue_sim.h"
 #include "mem/migration_engine.h"
 #include "mem/tiered_memory.h"
-#include "obs/metrics.h"
+#include "obs/run_context.h"
 #include "policy/memtis_policy.h"
 #include "policy/vtmm_policy.h"
 #include "policy/damon_policy.h"
@@ -125,7 +125,14 @@ struct SimResult {
 
 class ColocationSim {
  public:
-  explicit ColocationSim(const SimConfig& cfg);
+  /// `ctx` is the run's observability context (metrics registry + trace
+  /// recorder). Null (the default) makes the sim own a fresh context that
+  /// traces into the process-global recorder — the single-run behaviour
+  /// every tool had before contexts existed. A non-null context must outlive
+  /// the sim; supply a private-trace context (obs::RunContext::TraceMode::
+  /// kPrivate) to run several sims on concurrent threads, as
+  /// experiments::ParallelRunner does.
+  explicit ColocationSim(const SimConfig& cfg, obs::RunContext* ctx = nullptr);
 
   ColocationSim(const ColocationSim&) = delete;
   ColocationSim& operator=(const ColocationSim&) = delete;
@@ -154,8 +161,11 @@ class ColocationSim {
   /// Every signal the sim and its components record (migration counters,
   /// policy wall time, queue depth, RL losses, bandwidth factors). Always on;
   /// export with obs::MetricsRegistry::write_json/write_csv.
-  obs::MetricsRegistry& metrics() { return metrics_; }
-  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry& metrics() { return ctx_->metrics(); }
+  const obs::MetricsRegistry& metrics() const { return ctx_->metrics(); }
+
+  /// The observability context this sim records into (owned or borrowed).
+  obs::RunContext& run_context() { return *ctx_; }
 
  private:
   void record_interval(double offered_rps, Duration lc_p99, Duration interval);
@@ -163,9 +173,12 @@ class ColocationSim {
   void update_derived_gauges();
 
   SimConfig cfg_;
-  // Declared before the components so it is destroyed after them: engine,
-  // queue, and policy cache pointers into this registry.
-  obs::MetricsRegistry metrics_;
+  // Declared before the components so an owned context is destroyed after
+  // them: engine, queue, and policy cache pointers into its registry and
+  // trace recorder. A borrowed context must outlive the sim (caller's
+  // contract, see the constructor).
+  std::unique_ptr<obs::RunContext> owned_ctx_;
+  obs::RunContext* ctx_;
   std::unique_ptr<TieredMemory> mem_;
   std::unique_ptr<MigrationEngine> engine_;
   std::unique_ptr<AccessSampler> sampler_;

@@ -1,15 +1,82 @@
 #include "sim/experiments.h"
 
-namespace mtat {
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace mtat::experiments {
+
+ParallelRunner::ParallelRunner(int jobs) : jobs_(jobs) {
+  if (jobs_ <= 0) jobs_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ParallelRunner::run_all(const std::vector<RunSpec>& specs) {
+  if (specs.empty()) return;
+
+  // Contexts are created up front, in spec order, on the calling thread:
+  // private trace rings only exist (and only cost memory) when the global
+  // recorder is enabled, i.e. when someone asked for a trace file.
+  obs::TraceRecorder& shared = obs::default_trace();
+  const bool tracing = shared.enabled();
+  std::vector<std::unique_ptr<obs::RunContext>> ctxs;
+  ctxs.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ctxs.push_back(std::make_unique<obs::RunContext>(obs::RunContext::TraceMode::kPrivate));
+    if (tracing) ctxs.back()->trace().enable(shared.capacity());
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      try {
+        specs[i].fn(*ctxs[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const int pool = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), specs.size()));
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(pool));
+    for (int t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+
+  // Fold the private rings into the shared timeline in spec order: merge
+  // order — and therefore the track ids each spec's events land on — depends
+  // only on the spec list, never on which worker finished first.
+  for (const auto& ctx : ctxs) shared.merge_from(ctx->trace(), shared.next_track());
+}
 
 std::vector<LatencyCurvePoint> lc_latency_curve(const LCConfig& lc, double fmem_fraction,
                                                 const std::vector<double>& load_fractions,
-                                                Duration per_point, std::uint64_t seed) {
+                                                Duration per_point, std::uint64_t seed,
+                                                ParallelRunner* runner) {
   // Size FMem to hold exactly the requested fraction of the workload's
   // footprint; everything else lands in SMem. A zero fraction still needs a
   // nonzero tier, so floor at one page.
   Rng seeder(seed);
-  LCConfig cfg = lc;
+  const LCConfig cfg = lc;
   // Determine the footprint by building once against an all-SMem scratch.
   TieredMemory::Config probe_mc;
   probe_mc.fmem_pages = 1;
@@ -22,14 +89,29 @@ std::vector<LatencyCurvePoint> lc_latency_curve(const LCConfig& lc, double fmem_
   mc.fmem_pages = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(fmem_fraction * static_cast<double>(footprint)));
   mc.smem_pages = footprint + 1024;
-  TieredMemory mem(mc);
-  LCWorkload wl(mem, 0, cfg, AllocPolicy::kFMemFirst, seeder.next_u64());
 
-  std::vector<LatencyCurvePoint> out;
-  for (double f : load_fractions) {
-    const double rate = f * cfg.max_load_krps * 1000.0;
-    QueueSim queue(wl, seconds(1), seeder.next_u64());
-    const LoadPattern pattern = LoadPattern::constant(rate);
+  // Per-point seeds are drawn here, in point order, so the result cannot
+  // depend on the execution schedule; each point then runs on a fresh
+  // memory/workload/queue triple and writes its own slot of `out`.
+  struct PointPlan {
+    double rate = 0;
+    std::uint64_t wl_seed = 0;
+    std::uint64_t queue_seed = 0;
+  };
+  std::vector<PointPlan> plan(load_fractions.size());
+  for (std::size_t i = 0; i < load_fractions.size(); ++i) {
+    plan[i].rate = load_fractions[i] * cfg.max_load_krps * 1000.0;
+    plan[i].wl_seed = seeder.next_u64();
+    plan[i].queue_seed = seeder.next_u64();
+  }
+
+  std::vector<LatencyCurvePoint> out(load_fractions.size());
+  const auto run_point = [&](std::size_t i) {
+    const PointPlan& pp = plan[i];
+    TieredMemory mem(mc);
+    LCWorkload wl(mem, 0, cfg, AllocPolicy::kFMemFirst, pp.wl_seed);
+    QueueSim queue(wl, seconds(1), pp.queue_seed);
+    const LoadPattern pattern = LoadPattern::constant(pp.rate);
     queue.set_pattern(&pattern, 0);
     const Duration warm = per_point / 5;
     queue.run_until(warm);
@@ -38,11 +120,22 @@ std::vector<LatencyCurvePoint> lc_latency_curve(const LCConfig& lc, double fmem_
     queue.run_until(per_point);
     const LatencyHistogram h = queue.recorder().collect_interval();
     LatencyCurvePoint p;
-    p.offered_krps = rate / 1000.0;
+    p.offered_krps = pp.rate / 1000.0;
     p.p99_ms = static_cast<double>(h.percentile(99.0)) / 1e6;
     p.achieved_krps = static_cast<double>(queue.completed() - before) /
                       to_seconds(per_point - warm) / 1000.0;
-    out.push_back(p);
+    out[i] = p;
+  };
+
+  if (runner == nullptr) {
+    for (std::size_t i = 0; i < plan.size(); ++i) run_point(i);
+  } else {
+    std::vector<RunSpec> specs;
+    specs.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i)
+      specs.push_back({cfg.name + "@point" + std::to_string(i),
+                       [&run_point, i](obs::RunContext&) { run_point(i); }});
+    runner->run_all(specs);
   }
   return out;
 }
@@ -61,6 +154,82 @@ double find_max_load(const std::function<bool(double)>& sustainable, double lo_k
   return lo;
 }
 
+double find_max_load(const std::function<bool(double, obs::RunContext&)>& sustainable,
+                     double lo_krps, double hi_krps, int iters, ParallelRunner& runner) {
+  // Mirrors the serial recurrence exactly, two levels at a time: each batch
+  // evaluates the current midpoint plus *both* midpoints it could lead to
+  // (the full depth-2 frontier), so whatever the current probe decides, the
+  // next level's answer is already in hand. Midpoints are computed with the
+  // same 0.5 * (lo + hi) expression the serial loop uses, on the same
+  // values, so the probe points — map keys included — are bit-identical to
+  // the serial trajectory, and the result is too.
+  std::map<double, bool> known;
+  const auto probe = [&](const std::vector<double>& points) {
+    std::vector<double> todo;
+    for (double x : points)
+      if (known.count(x) == 0 && std::find(todo.begin(), todo.end(), x) == todo.end())
+        todo.push_back(x);
+    if (todo.empty()) return;
+    std::vector<char> ok(todo.size(), 0);
+    std::vector<RunSpec> specs;
+    specs.reserve(todo.size());
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      const double x = todo[i];
+      specs.push_back({"probe@" + std::to_string(x) + "krps",
+                       [&sustainable, &ok, i, x](obs::RunContext& ctx) {
+                         ok[i] = sustainable(x, ctx) ? 1 : 0;
+                       }});
+    }
+    runner.run_all(specs);
+    for (std::size_t i = 0; i < todo.size(); ++i) known[todo[i]] = ok[i] != 0;
+  };
+
+  double lo = lo_krps, hi = hi_krps;
+  const auto resolve = [&] {
+    const double mid = 0.5 * (lo + hi);
+    if (known.at(mid))
+      lo = mid;
+    else
+      hi = mid;
+  };
+
+  // First batch: the lo feasibility check rides along with the first frontier
+  // instead of gating it — one extra speculative level beats a serial stall.
+  {
+    const double m = 0.5 * (lo + hi);
+    if (iters >= 2)
+      probe({lo, m, 0.5 * (lo + m), 0.5 * (m + hi)});
+    else if (iters == 1)
+      probe({lo, m});
+    else
+      probe({lo});
+  }
+  if (!known.at(lo_krps)) return lo_krps;
+  int remaining = iters;
+  if (remaining >= 1) {
+    resolve();
+    --remaining;
+  }
+  if (remaining >= 1 && iters >= 2) {
+    resolve();
+    --remaining;
+  }
+  while (remaining > 0) {
+    const double m = 0.5 * (lo + hi);
+    if (remaining >= 2) {
+      probe({m, 0.5 * (lo + m), 0.5 * (m + hi)});
+      resolve();
+      resolve();
+      remaining -= 2;
+    } else {
+      probe({m});
+      resolve();
+      --remaining;
+    }
+  }
+  return lo;
+}
+
 bool probe_slo_sustainable(ColocationSim& sim, double krps, Duration warm, Duration duration,
                            double max_violation_rate) {
   const LoadPattern pattern = LoadPattern::constant(krps * 1000.0);
@@ -70,4 +239,4 @@ bool probe_slo_sustainable(ColocationSim& sim, double krps, Duration warm, Durat
   return sim.result().slo_violation_rate <= max_violation_rate;
 }
 
-}  // namespace mtat
+}  // namespace mtat::experiments

@@ -1,6 +1,7 @@
 #include "workloads/be/be_suite.h"
 
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "workloads/graph/graph_layout.h"
@@ -11,10 +12,16 @@ namespace mtat {
 namespace {
 
 /// Profile extraction runs the real kernel, which is the expensive part of
-/// building a BE config — memoize per (workload, scale) for the process.
+/// building a BE config — memoize per (workload, scale) for the process. The
+/// cache is shared across threads (parallel runner workers build sims
+/// concurrently); map node references are stable, so handing the reference
+/// out after unlocking is safe. build() runs under the lock: first-touch
+/// extraction is serialized, every later lookup is a cheap map find.
 const PageProfile& memoized(const std::string& key,
                             const std::function<PageProfile()>& build) {
+  static std::mutex mu;
   static std::map<std::string, PageProfile> cache;
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(key);
   if (it == cache.end()) it = cache.emplace(key, build()).first;
   return it->second;

@@ -155,6 +155,13 @@ TEST(LintSource, UncheckedParsesAreBanned) {
   EXPECT_EQ(findings.size(), 4u) << dump(findings);
 }
 
+TEST(LintSource, DirectGetenvIsBanned) {
+  const auto findings = lint_fixture("bad_getenv.cc");
+  EXPECT_TRUE(has(findings, "getenv", 7, "bench::Env")) << dump(findings);
+  EXPECT_TRUE(has(findings, "getenv", 12, "bench::Env")) << dump(findings);
+  EXPECT_EQ(findings.size(), 2u) << dump(findings);
+}
+
 TEST(LintSource, UsingNamespaceOnlyFlaggedInHeaders) {
   const std::string contents = slurp(kFixtures / "bad_using_namespace.h");
   std::vector<Finding> header_findings;
@@ -192,6 +199,8 @@ TEST(Suppression, RealAllowlistParses) {
   EXPECT_TRUE(findings.empty()) << dump(findings);
   EXPECT_TRUE(allow.allows("metric-name", "tests/obs_test.cc"));
   EXPECT_FALSE(allow.allows("nondet", "tests/obs_test.cc"));
+  EXPECT_TRUE(allow.allows("getenv", "bench/env.h"));
+  EXPECT_FALSE(allow.allows("getenv", "bench/harness.h"));
 }
 
 // ----------------------------------------------------------------- doc sync --
@@ -238,7 +247,7 @@ TEST(Run, FixtureTreeProducesEveryRule) {
   const std::vector<Finding> findings = run(opt);
   ASSERT_FALSE(findings.empty());
   for (const char* rule :
-       {"metric-name", "unit-suffix", "nondet", "unsafe-parse", "ns-header"}) {
+       {"metric-name", "unit-suffix", "nondet", "unsafe-parse", "getenv", "ns-header"}) {
     EXPECT_TRUE(std::any_of(findings.begin(), findings.end(),
                             [&](const Finding& f) { return f.rule == rule; }))
         << "rule " << rule << " never fired:\n" << dump(findings);

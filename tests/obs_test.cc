@@ -146,7 +146,7 @@ TEST_F(TraceTest, DisabledTracingRecordsNoEvents) {
   obs::trace().instant("a", "t");
   obs::trace().complete("b", "t", 0, 100);
   obs::trace().counter("c", "t", "k", 1.0);
-  { obs::WallSpan span("d", "t"); }
+  { obs::WallSpan span(&obs::trace(), "d", "t"); }
   EXPECT_EQ(obs::trace().size(), 0u);
   EXPECT_EQ(obs::trace().dropped(), 0u);
 }
@@ -230,7 +230,7 @@ TEST_F(TraceTest, WallSpanFeedsMetricsAndTrace) {
   obs::Counter& sum = reg.counter(obs::names::kPolicyWallUs);
   obs::Histogram& hist = reg.histogram(obs::names::kPolicyWallUsHist);
   obs::trace().set_now(7000);
-  { obs::WallSpan span("work", "policy", &sum, &hist); }
+  { obs::WallSpan span(&obs::trace(), "work", "policy", &sum, &hist); }
   EXPECT_GT(sum.value(), 0.0);
   EXPECT_EQ(hist.count(), 1u);
   ASSERT_EQ(obs::trace().size(), 1u);

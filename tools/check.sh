@@ -16,6 +16,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 
+# Simulation code must reach observability through an explicit obs::RunContext
+# (DESIGN.md §11) — naming the process-global recorder there would reintroduce
+# the shared mutable state that made concurrent sims race. obs/run_context.h
+# is the one sanctioned construction site over the global accessor.
+echo "==== obs::trace() isolation gate (src/sim src/core src/mem src/rl src/loadgen) ===="
+if grep -rn 'obs::trace()' src/sim src/core src/mem src/rl src/loadgen; then
+  echo "error: direct obs::trace() use in simulation code; thread an obs::RunContext instead" >&2
+  exit 1
+fi
+
 run_config() {
   local name="$1" sanitize="$2"
   shift 2
@@ -31,6 +41,16 @@ run_config release "" "$@"
 run_config asan address "$@"
 run_config ubsan undefined "$@"
 run_config tsan thread "$@"
+
+# One real bench end-to-end on a worker pool under TSan: the smoke preset
+# keeps it to seconds of simulated work while still fanning twelve
+# (policy, load) cells plus the bisection probes across two threads.
+echo "==== parallel bench smoke (TSan, MTAT_SCALE=smoke, MTAT_JOBS=2) ===="
+repo_root=$PWD
+smoke_dir=$(mktemp -d)
+(cd "${smoke_dir}" &&
+ MTAT_SCALE=smoke MTAT_JOBS=2 "${repo_root}/build-check/tsan/bench/fig9_table4_load_levels")
+rm -rf "${smoke_dir}"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==== clang-tidy (src/) ===="

@@ -1,0 +1,14 @@
+// Fixture: direct environment reads. MTAT_* knobs must go through bench::Env
+// (bench/env.h) so they are parsed once, validated, and documented.
+#include <cstdlib>
+#include <string>
+
+std::string bad_scale() {
+  const char* s = std::getenv("MTAT_SCALE");
+  return s != nullptr ? s : "small";
+}
+
+int bad_jobs() {
+  const char* j = getenv("MTAT_JOBS");
+  return j != nullptr ? j[0] - '0' : 0;
+}

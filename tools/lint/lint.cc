@@ -235,6 +235,18 @@ const std::vector<TokenRule>& parse_rules() {
   return rules;
 }
 
+const std::vector<TokenRule>& env_rules() {
+  // Environment knobs are parsed exactly once, with validation, by bench::Env
+  // (bench/env.h — the allowlisted construction site). A scattered getenv
+  // re-reads the knob unvalidated and invisibly to the Env documentation.
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> v;
+    v.push_back({"getenv", std::regex(R"(\bgetenv\s*\()"), "std::getenv"});
+    return v;
+  }();
+  return rules;
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- unit suffix --
@@ -422,6 +434,12 @@ void lint_source(const std::string& rel_path, const std::string& contents,
         report(lineno, r.rule,
                std::string("unchecked number parse ") + r.what +
                    ": use common/parse.h or a checked strtol/strtoull pattern");
+    for (const TokenRule& r : env_rules())
+      if (std::regex_search(scan, r.re))
+        report(lineno, r.rule,
+               std::string("direct environment read ") + r.what +
+                   ": MTAT_* knobs are parsed once by bench::Env (bench/env.h); read the "
+                   "parsed struct instead");
 
     // -- using namespace in headers -----------------------------------------
     static const std::regex using_ns_re(R"(^\s*using\s+namespace\b)");

@@ -26,6 +26,10 @@
 //                banned: they either hide errors (atoi("abc") == 0) or turn
 //                bad input into exceptions. Use common/parse.h or the checked
 //                strtol/strtoull pattern.
+//  getenv        Direct std::getenv is banned: every MTAT_* knob is parsed
+//                once, with validation, by bench::Env (bench/env.h — the one
+//                allowlisted call site). Scattered reads skip validation and
+//                drift from the documented knob set.
 //  ns-header     `using namespace` in a header leaks into every includer.
 //  doc-sync      The metric section of src/obs/names.h must match the
 //                DESIGN.md §9 metric table name-for-name (and the trace-event
