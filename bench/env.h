@@ -16,6 +16,10 @@
 //   MTAT_TRACE_EVENTS positive int     trace ring capacity override
 //   MTAT_JOBS         non-negative int experiment parallelism; 0 = one job
 //                                      per hardware thread (the default)
+//   MTAT_FAULTS       preset[:x]       fault-injection plan for every run in
+//                                      the process (e.g. storm, storm:0.5);
+//                                      validated against the known presets by
+//                                      the harness hook (faults::FaultPlan)
 #pragma once
 
 #include <cstdio>
@@ -35,6 +39,11 @@ struct Env {
   std::size_t trace_events =
       obs::TraceRecorder::kDefaultCapacity;  ///< MTAT_TRACE_EVENTS
   int jobs = 0;                       ///< MTAT_JOBS; 0 = hardware concurrency
+  /// MTAT_FAULTS, verbatim (empty: no faults). Kept as the raw spec so this
+  /// header doesn't depend on the faults library; bench/harness.h's
+  /// FaultsEnvHook parses it via faults::FaultPlan::from_spec and warns on
+  /// anything malformed.
+  std::string faults;
 
   /// The process's parsed environment (parsed on first use, then cached).
   static const Env& get();
@@ -83,6 +92,7 @@ inline Env parse_env() {
                    s->c_str(), e.trace_events);
     }
   }
+  if (const auto s = env_string("MTAT_FAULTS")) e.faults = *s;
   if (const auto s = env_string("MTAT_JOBS")) {
     const auto v = parse_int(*s);
     if (v && *v >= 0 && *v <= 4096) {

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "bench/env.h"
+#include "faults/fault_plan.h"
 #include "obs/manifest.h"
 #include "obs/trace.h"
 #include "sim/colocation_sim.h"
@@ -28,6 +29,30 @@
 #include "workloads/be/be_suite.h"
 
 namespace mtat::bench {
+
+/// Process-lifetime hook: constructed before main() in every binary that
+/// includes this header, it installs the MTAT_FAULTS plan as the process
+/// default so every RunContext the binary creates (its own and the parallel
+/// runner's) carries a fault injector. A bad spec warns and runs clean — the
+/// fail-safe direction for a knob whose whole point is resilience testing.
+struct FaultsEnvHook {
+  FaultsEnvHook() {
+    const std::string& spec = Env::get().faults;
+    if (spec.empty()) return;
+    if (const auto plan = faults::FaultPlan::from_spec(spec)) {
+      faults::set_default_plan(*plan);
+      std::fprintf(stderr, "MTAT_FAULTS: injecting plan %s (seed %llu)\n", spec.c_str(),
+                   (unsigned long long)plan->seed);
+    } else {
+      std::fprintf(stderr,
+                   "warning: invalid MTAT_FAULTS=%s (expected storm or storm:X with X in "
+                   "[0,1]); running without fault injection\n",
+                   spec.c_str());
+    }
+  }
+};
+
+inline FaultsEnvHook g_faults_env_hook;
 
 /// Process-lifetime hook: constructed before main() in every binary that
 /// includes this header, it enables tracing when MTAT_TRACE names an output

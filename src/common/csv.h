@@ -1,5 +1,11 @@
 // Minimal CSV emitter used by the benchmark harness to dump the data series
 // behind each reproduced figure/table next to the binary's stdout report.
+//
+// Every write is checked: a full disk, a vanished directory, or a permission
+// flip mid-run raises std::runtime_error naming the file instead of silently
+// truncating the dataset (an ofstream swallows errors into its state bits,
+// and a bench that "succeeded" with a half-written CSV is worse than one
+// that failed).
 #pragma once
 
 #include <fstream>
@@ -13,14 +19,18 @@ namespace mtat {
 
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row.
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error when the file cannot be opened or the header cannot
+  /// be written.
   CsvWriter(const std::string& path, const std::vector<std::string>& columns)
-      : out_(path), ncols_(columns.size()) {
+      : out_(path), path_(path), ncols_(columns.size()) {
     if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
     write_strings(columns);
+    check("write header to");
   }
 
-  /// Writes one row of numeric cells. Must match the header width.
+  /// Writes one row of numeric cells. Must match the header width. Throws
+  /// std::runtime_error if the row does not reach the file.
   void row(const std::vector<double>& cells) {
     if (cells.size() != ncols_) throw std::invalid_argument("CsvWriter: column count mismatch");
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -28,6 +38,7 @@ class CsvWriter {
       out_ << format(cells[i]);
     }
     out_ << '\n';
+    check("write row to");
   }
 
   /// Writes one row whose first cell is a label and the rest numeric.
@@ -45,6 +56,7 @@ class CsvWriter {
     }
     for (double c : cells) out_ << ',' << format(c);
     out_ << '\n';
+    check("write row to");
   }
 
  private:
@@ -63,7 +75,15 @@ class CsvWriter {
     out_ << '\n';
   }
 
+  /// Flushes and fails loudly if the stream went bad — flushing is what
+  /// surfaces ENOSPC-style errors the buffered << calls deferred.
+  void check(const char* what) {
+    out_.flush();
+    if (!out_) throw std::runtime_error(std::string("CsvWriter: cannot ") + what + " " + path_);
+  }
+
   std::ofstream out_;
+  std::string path_;
   std::size_t ncols_;
 };
 

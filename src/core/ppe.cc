@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "obs/names.h"
@@ -48,6 +49,7 @@ void PartitionEnforcer::set_plan(const std::vector<std::uint64_t>& quotas) {
   plan_start_ts_ = trace_ != nullptr ? trace_->now() : 0;
   plan_start_pages_ = backlog;
   plan_was_active_ = backlog > 0.0;
+  stalled_ticks_ = 0;
   if (trace_ != nullptr)
     trace_->instant(obs::names::kEvPpePlan, obs::names::kCatPolicy, "lc_quota",
                     static_cast<double>(quota_[lc_idx_]), "backlog_pages", backlog);
@@ -56,11 +58,13 @@ void PartitionEnforcer::set_plan(const std::vector<std::uint64_t>& quotas) {
 void PartitionEnforcer::set_run_context(obs::RunContext* ctx) {
   if (ctx == nullptr) {
     plans_c_ = nullptr;
+    plans_abandoned_c_ = nullptr;
     plan_pages_g_ = nullptr;
     trace_ = nullptr;
     return;
   }
   plans_c_ = &ctx->metrics().counter(obs::names::kPpePlans);
+  plans_abandoned_c_ = &ctx->metrics().counter(obs::names::kPpePlansAbandoned);
   plan_pages_g_ = &ctx->metrics().gauge(obs::names::kPpePlanPages);
   trace_ = &ctx->trace();
 }
@@ -265,6 +269,8 @@ void PartitionEnforcer::refine() {
 
 void PartitionEnforcer::on_tick() {
   if (plan_active()) {
+    std::int64_t backlog_before = 0;
+    for (const std::int64_t d : delta_) backlog_before += std::abs(d);
     execute_plan_slice();
     // Plan drained this tick: emit the whole execution as one sim-time span
     // (set_plan -> drain), the "plan execution" lane of the trace.
@@ -273,6 +279,24 @@ void PartitionEnforcer::on_tick() {
       if (trace_ != nullptr)
         trace_->complete(obs::names::kEvPpePlanExec, obs::names::kCatPolicy, plan_start_ts_,
                          trace_->now() - plan_start_ts_, "pages", plan_start_pages_);
+    }
+    if (opt_.abandon_stalled_plans && plan_active()) {
+      std::int64_t backlog_after = 0;
+      for (const std::int64_t d : delta_) backlog_after += std::abs(d);
+      stalled_ticks_ = backlog_after == backlog_before ? stalled_ticks_ + 1 : 0;
+      if (stalled_ticks_ >= opt_.abandon_after_ticks) {
+        // The substrate isn't letting this plan through (migration outage,
+        // collapsed bandwidth). Drop it rather than hammer the same moves:
+        // refinement resumes next tick, and the next interval replans from
+        // the actual placement.
+        std::fill(delta_.begin(), delta_.end(), 0);
+        stalled_ticks_ = 0;
+        plan_was_active_ = false;
+        if (plans_abandoned_c_ != nullptr) plans_abandoned_c_->inc();
+        if (trace_ != nullptr)
+          trace_->instant(obs::names::kEvPpePlanAbandon, obs::names::kCatPolicy, "pages",
+                          static_cast<double>(backlog_before));
+      }
     }
   } else {
     refine();

@@ -58,6 +58,14 @@ class PartitionEnforcer {
     /// pages onto saturated bandwidth only lengthens every access). 0
     /// disables the check.
     double bandwidth_backoff_factor = 0.0;
+    /// Graceful degradation (DESIGN.md §12): give up on a plan whose backlog
+    /// has made no progress for this many consecutive ticks (e.g. a total
+    /// migration outage) instead of retrying it forever — the deltas are
+    /// zeroed, refinement resumes, and the next PP-M interval plans afresh
+    /// against wherever placement actually is. Off by default; armed by
+    /// MtatPolicy's watchdog (enable_plan_abandonment) when faults are live.
+    bool abandon_stalled_plans = false;
+    int abandon_after_ticks = 32;
   };
 
   PartitionEnforcer(const PolicyContext& ctx, Options opt);
@@ -78,6 +86,9 @@ class PartitionEnforcer {
   /// compression, halving every compressed interval would erase the counts
   /// that distinguish warm pages from one-off samples (DESIGN.md §6).
   void age_histograms();
+
+  /// Arm or disarm stalled-plan abandonment at runtime (the watchdog path).
+  void enable_plan_abandonment(bool on) { opt_.abandon_stalled_plans = on; }
 
   bool plan_active() const;
   std::uint64_t quota(std::size_t idx) const { return quota_[idx]; }
@@ -114,8 +125,10 @@ class PartitionEnforcer {
   SimTime plan_start_ts_ = 0;
   double plan_start_pages_ = 0.0;
   bool plan_was_active_ = false;
+  int stalled_ticks_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
   obs::Counter* plans_c_ = nullptr;
+  obs::Counter* plans_abandoned_c_ = nullptr;
   obs::Gauge* plan_pages_g_ = nullptr;
 };
 

@@ -61,6 +61,19 @@ PartitionPolicyMaker::Decision PartitionPolicyMaker::decide(std::uint64_t curren
   // vetoes shrinking while latency is still warm; either override is
   // recorded as the taken action, so the agent learns from it.
   std::vector<double> action = agent_->act(state, deterministic_);
+  // Sanitize before anything consumes the action: a NaN here would be UB at
+  // the alpha cast below and would poison the replay buffer via observe(); a
+  // divergent magnitude would slam the reservation to a rail. Both are
+  // replaced by "hold" (0) and reported; healthy agents always emit finite
+  // values in [-1, 1], so this is behaviour-neutral outside fault injection.
+  last_action_ok_ = true;
+  for (double& a : action) {
+    if (!std::isfinite(a) || std::abs(a) > 1.000001) {
+      a = std::isfinite(a) ? std::clamp(a, -1.0, 1.0) : 0.0;
+      last_action_ok_ = false;
+    }
+  }
+  if (!last_action_ok_ && nonfinite_actions_c_ != nullptr) nonfinite_actions_c_->inc();
   action[0] = std::max(action[0], -opt_.max_shrink_fraction);  // gradual release
   if (opt_.slo_guard) {
     const auto p99 = static_cast<double>(lc_p99);
@@ -139,9 +152,15 @@ PartitionPolicyMaker::Decision PartitionPolicyMaker::decide(std::uint64_t curren
   return d;
 }
 
+bool PartitionPolicyMaker::healthy() const {
+  return last_action_ok_ && std::isfinite(agent_->last_critic_loss()) &&
+         std::isfinite(agent_->last_actor_loss());
+}
+
 void PartitionPolicyMaker::set_run_context(obs::RunContext* ctx) {
   if (ctx == nullptr) {
     decisions_c_ = violations_c_ = guard_trips_c_ = nullptr;
+    nonfinite_actions_c_ = nullptr;
     reward_g_ = nullptr;
     trace_ = nullptr;
   } else {
@@ -149,6 +168,7 @@ void PartitionPolicyMaker::set_run_context(obs::RunContext* ctx) {
     decisions_c_ = &reg.counter(obs::names::kPpmDecisions);
     violations_c_ = &reg.counter(obs::names::kPpmViolations);
     guard_trips_c_ = &reg.counter(obs::names::kPpmGuardTrips);
+    nonfinite_actions_c_ = &reg.counter(obs::names::kPpmNonfiniteActions);
     reward_g_ = &reg.gauge(obs::names::kPpmReward);
     trace_ = &ctx->trace();
   }

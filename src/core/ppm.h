@@ -105,6 +105,11 @@ class PartitionPolicyMaker {
 
   SacAgent& agent() { return *agent_; }
   std::uint64_t decisions_made() const { return decisions_; }
+
+  /// RL health signal for the MtatPolicy watchdog: false when the most recent
+  /// action was pathological (non-finite or off-manifold, sanitized before
+  /// use) or the agent's last losses are non-finite. True before any decision.
+  bool healthy() const;
   /// Rewards observed so far (diagnostics / learning curves).
   const std::vector<double>& reward_history() const { return rewards_; }
 
@@ -137,10 +142,12 @@ class PartitionPolicyMaker {
   std::vector<double> prev_action_;
   std::uint64_t decisions_ = 0;
   std::vector<double> rewards_;
+  bool last_action_ok_ = true;
   obs::TraceRecorder* trace_ = nullptr;
   obs::Counter* decisions_c_ = nullptr;
   obs::Counter* violations_c_ = nullptr;
   obs::Counter* guard_trips_c_ = nullptr;
+  obs::Counter* nonfinite_actions_c_ = nullptr;
   obs::Gauge* reward_g_ = nullptr;
 };
 

@@ -1,0 +1,115 @@
+// Deterministic executor for a FaultPlan.
+//
+// Components query the injector at each potential fault site (sample arrival,
+// migration attempt, RL act()); the injector answers from per-category RNG
+// streams derived from the plan seed, so two categories never perturb each
+// other's draws: adding a telemetry fault cannot shift the migration fault
+// sequence. Zero-probability queries consume no randomness at all, which is
+// what makes an empty plan behaviourally identical to no plan (the
+// zero-behaviour-change guarantee, DESIGN.md §12).
+//
+// The injector tracks simulated time via set_now() (called once per simulator
+// tick) and evaluates the plan's scheduled windows against it; window queries
+// are pure and also draw nothing.
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "faults/fault_plan.h"
+
+namespace mtat::faults {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan),
+        telemetry_rng_(plan.seed ^ 0x7E1E7E1Eull),
+        migration_rng_(plan.seed ^ 0x316A7104ull),
+        rl_rng_(plan.seed ^ 0x5AC5AC5Aull) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Advance simulated time; scheduled windows are evaluated against the last
+  /// value passed here. Called by the simulator at the top of every tick.
+  void set_now(SimTime now) { now_ = now; }
+  SimTime now() const { return now_; }
+
+  // --- telemetry ------------------------------------------------------------
+
+  /// True when `now` is inside a scheduled telemetry blackout (no draw).
+  bool telemetry_blackout() const { return in_any(plan_.telemetry_blackouts); }
+
+  /// Should this sample be dropped? Blackouts drop deterministically;
+  /// otherwise a Bernoulli draw against sample_loss_prob.
+  bool drop_sample() {
+    if (telemetry_blackout()) return true;
+    if (plan_.sample_loss_prob <= 0.0) return false;
+    return telemetry_rng_.next_bool(plan_.sample_loss_prob);
+  }
+
+  /// Should this sample's page attribution be corrupted?
+  bool corrupt_sample() {
+    if (plan_.sample_corruption_prob <= 0.0) return false;
+    return telemetry_rng_.next_bool(plan_.sample_corruption_prob);
+  }
+
+  /// Uniform index in [0, bound) from the telemetry stream, for choosing the
+  /// page a corrupted sample is misattributed to. bound must be > 0.
+  std::uint64_t pick(std::uint64_t bound) { return telemetry_rng_.next_below(bound); }
+
+  // --- migration ------------------------------------------------------------
+
+  /// Should this migration attempt abort? Inside a scheduled burst window the
+  /// burst probability applies instead of the background one; probabilities
+  /// <= 0 and >= 1 resolve without a draw.
+  bool fail_migration() {
+    const double p =
+        in_any(plan_.migration_failure_bursts) ? plan_.burst_failure_prob : plan_.migration_failure_prob;
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return migration_rng_.next_bool(p);
+  }
+
+  /// Scale factor for the engine's bandwidth refill this tick (no draw):
+  /// bandwidth_collapse_factor inside a collapse window, 1.0 outside.
+  double migration_bandwidth_factor() const {
+    return in_any(plan_.bandwidth_collapses) ? plan_.bandwidth_collapse_factor : 1.0;
+  }
+
+  // --- simulator ------------------------------------------------------------
+
+  /// Extra multiplier on the SMem tier's effective latency (no draw):
+  /// smem_spike_factor inside a spike window, 1.0 outside.
+  double smem_latency_factor() const {
+    return in_any(plan_.smem_latency_spikes) ? plan_.smem_spike_factor : 1.0;
+  }
+
+  // --- RL -------------------------------------------------------------------
+
+  enum class ActionFault { kNone, kNaN, kDivergent };
+
+  /// Corrupt the agent's next action? NaN takes priority over divergence so
+  /// the nastier fault is exercised even when both probabilities are set.
+  ActionFault action_fault() {
+    if (plan_.rl_nan_action_prob > 0.0 && rl_rng_.next_bool(plan_.rl_nan_action_prob))
+      return ActionFault::kNaN;
+    if (plan_.rl_divergent_action_prob > 0.0 && rl_rng_.next_bool(plan_.rl_divergent_action_prob))
+      return ActionFault::kDivergent;
+    return ActionFault::kNone;
+  }
+
+ private:
+  bool in_any(const std::vector<FaultWindow>& windows) const {
+    for (const auto& w : windows)
+      if (w.contains(now_)) return true;
+    return false;
+  }
+
+  FaultPlan plan_;
+  SimTime now_ = 0;
+  Rng telemetry_rng_;
+  Rng migration_rng_;
+  Rng rl_rng_;
+};
+
+}  // namespace mtat::faults

@@ -1,0 +1,73 @@
+#include "faults/fault_plan.h"
+
+#include <stdexcept>
+
+#include "common/parse.h"
+
+namespace mtat::faults {
+
+bool FaultPlan::any() const {
+  return sample_loss_prob > 0.0 || sample_corruption_prob > 0.0 ||
+         migration_failure_prob > 0.0 || rl_nan_action_prob > 0.0 ||
+         rl_divergent_action_prob > 0.0 || !telemetry_blackouts.empty() ||
+         !migration_failure_bursts.empty() || !bandwidth_collapses.empty() ||
+         !smem_latency_spikes.empty();
+}
+
+FaultPlan FaultPlan::storm(double intensity) {
+  if (!(intensity >= 0.0 && intensity <= 1.0))
+    throw std::invalid_argument("FaultPlan::storm: intensity must be in [0, 1]");
+  FaultPlan p;
+  if (intensity == 0.0) return p;  // empty plan: injector attached, nothing injected
+
+  // Probabilistic background faults, linear in intensity.
+  p.sample_loss_prob = 0.20 * intensity;
+  p.sample_corruption_prob = 0.05 * intensity;
+  p.migration_failure_prob = 0.25 * intensity;
+  p.rl_nan_action_prob = 0.02 * intensity;
+  p.rl_divergent_action_prob = 0.05 * intensity;
+
+  // Scheduled windows on a shared 30 s cycle, staggered so each fault class
+  // also gets exercised in isolation. Periodic (rather than one-shot at
+  // absolute times) so they hit training, settling, and measurement phases
+  // alike at every scale preset.
+  const Duration cycle = seconds(30);
+  p.migration_failure_bursts = {{seconds(10), seconds(5), cycle}};
+  p.burst_failure_prob = intensity;  // 1.0 -> total migration outage
+  p.telemetry_blackouts = {{seconds(17), seconds(4), cycle}};
+  p.bandwidth_collapses = {{seconds(4), seconds(3), cycle}};
+  p.bandwidth_collapse_factor = 1.0 - 0.9 * intensity;
+  p.smem_latency_spikes = {{seconds(24), seconds(4), cycle}};
+  p.smem_spike_factor = 1.0 + 3.0 * intensity;
+  return p;
+}
+
+std::optional<FaultPlan> FaultPlan::from_spec(const std::string& spec) {
+  std::string preset = spec;
+  double intensity = 1.0;
+  if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+    preset = spec.substr(0, colon);
+    const auto v = parse_double(spec.substr(colon + 1));
+    if (!v || !(*v >= 0.0 && *v <= 1.0)) return std::nullopt;
+    intensity = *v;
+  }
+  if (preset == "storm") return storm(intensity);
+  return std::nullopt;
+}
+
+namespace {
+// Storage for the process-global default plan (see header).
+FaultPlan g_default_plan;        // NOLINT(cert-err58-cpp)
+bool g_default_plan_set = false;
+}  // namespace
+
+void set_default_plan(const FaultPlan& plan) {
+  g_default_plan = plan;
+  g_default_plan_set = true;
+}
+
+void clear_default_plan() { g_default_plan_set = false; }
+
+const FaultPlan* default_plan() { return g_default_plan_set ? &g_default_plan : nullptr; }
+
+}  // namespace mtat::faults

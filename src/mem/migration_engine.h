@@ -7,12 +7,22 @@
 // the simulation refills a page budget each interval from the configured
 // bandwidth, and every policy (MTAT and baselines alike) spends from it when
 // it moves pages, so no policy can cheat by migrating instantaneously.
+//
+// When a faults::FaultInjector is attached (via the RunContext), the engine
+// is also where migration misbehaviour lands: injected aborts burn the copy
+// bandwidth without moving the page (Nomad-style abort; exchanges roll the
+// half-copied page back), scheduled collapses scale the refill, and a streak
+// of aborts opens a capped exponential backoff window during which attempts
+// fail fast — the retry after the window is counted and traced. See
+// DESIGN.md §12.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/types.h"
 #include "common/units.h"
+#include "faults/fault_injector.h"
 #include "mem/tiered_memory.h"
 #include "obs/names.h"
 #include "obs/run_context.h"
@@ -41,6 +51,8 @@ class MigrationEngine {
       moved_c_ = promoted_c_ = demoted_c_ = exchanged_c_ = nullptr;
       moved_per_tick_h_ = nullptr;
       trace_ = nullptr;
+      faults_ = nullptr;
+      failures_c_ = rollbacks_c_ = retries_c_ = backoff_ticks_c_ = nullptr;
       return;
     }
     obs::MetricsRegistry& reg = ctx->metrics();
@@ -50,6 +62,13 @@ class MigrationEngine {
     exchanged_c_ = &reg.counter(obs::names::kMigrationExchanges);
     moved_per_tick_h_ = &reg.histogram(obs::names::kMigrationPagesPerTick);
     trace_ = &ctx->trace();
+    faults_ = ctx->faults();
+    if (faults_ != nullptr) {
+      failures_c_ = &reg.counter(obs::names::kFaultMigrationFailures);
+      rollbacks_c_ = &reg.counter(obs::names::kFaultMigrationRollbacks);
+      retries_c_ = &reg.counter(obs::names::kMigrationRetries);
+      backoff_ticks_c_ = &reg.counter(obs::names::kMigrationBackoffTicks);
+    }
   }
 
   /// Refills the page budget for an interval of length `dt`. Fractional pages
@@ -65,11 +84,21 @@ class MigrationEngine {
                        last_dt_, "pages", static_cast<double>(moved_this_interval_));
     last_begin_ts_ = trace_ != nullptr ? trace_->now() : 0;
     last_dt_ = dt;
-    carry_ += cfg_.bandwidth_bytes_per_sec * to_seconds(dt) / static_cast<double>(kPageSize);
+    // An injected bandwidth collapse scales this tick's refill; the carry
+    // still accumulates the (reduced) fractional remainder, so throughput
+    // integrates the fault exactly.
+    const double refill_factor = faults_ != nullptr ? faults_->migration_bandwidth_factor() : 1.0;
+    carry_ += refill_factor * cfg_.bandwidth_bytes_per_sec * to_seconds(dt) /
+              static_cast<double>(kPageSize);
     const auto whole = static_cast<std::uint64_t>(carry_);
     budget_ = whole;
     carry_ -= static_cast<double>(whole);
     moved_this_interval_ = 0;
+    if (backoff_remaining_ > 0) {
+      --backoff_remaining_;
+      backoff_ticks_c_->inc();
+      if (backoff_remaining_ == 0) retry_pending_ = true;
+    }
   }
 
   /// Pages still movable in the current interval.
@@ -95,11 +124,17 @@ class MigrationEngine {
     if (budget_ < 2) return false;
     if (mem_->tier_of(promote_page) != Tier::kSMem || mem_->tier_of(demote_page) != Tier::kFMem)
       return false;
+    if (faults_ != nullptr && !attempt_allowed(2, /*is_exchange=*/true)) return false;
     mem_->exchange(promote_page, demote_page);
+    note_success();
     spend(2);
     if (exchanged_c_ != nullptr) exchanged_c_->inc();
     return true;
   }
+
+  /// True while injected failures have the engine in a backoff window
+  /// (attempts fail fast without consuming budget).
+  bool in_backoff() const { return backoff_remaining_ > 0; }
 
   std::uint64_t pages_moved_this_interval() const { return moved_this_interval_; }
   std::uint64_t total_pages_moved() const { return total_moved_; }
@@ -109,7 +144,15 @@ class MigrationEngine {
  private:
   bool move(PageId p, Tier to, std::uint64_t cost) {
     if (budget_ < cost) return false;
+    if (faults_ != nullptr) {
+      // Only otherwise-valid attempts can suffer an injected abort, so the
+      // fault stream is not consumed (and budget not burned) by requests the
+      // substrate would have rejected anyway.
+      if (mem_->tier_of(p) == to || mem_->free_pages(to) == 0) return false;
+      if (!attempt_allowed(cost, /*is_exchange=*/false)) return false;
+    }
     if (!mem_->migrate(p, to)) return false;
+    note_success();
     spend(cost);
     if (to == Tier::kFMem) {
       if (promoted_c_ != nullptr) promoted_c_->inc();
@@ -119,12 +162,55 @@ class MigrationEngine {
     return true;
   }
 
+  /// Fault gate for an otherwise-valid attempt (faults_ != nullptr, budget
+  /// covers `cost`). Returns false when the attempt must abort: fail-fast
+  /// during a backoff window, or an injected abort — which consumes the copy
+  /// bandwidth (Nomad's wasted-copy cost) without moving anything, and for
+  /// exchanges additionally represents rolling the half-copied page back.
+  /// Four consecutive aborts open a capped exponential backoff window.
+  bool attempt_allowed(std::uint64_t cost, bool is_exchange) {
+    if (backoff_remaining_ > 0) return false;
+    if (retry_pending_) {
+      // First attempt after a backoff window drained.
+      retry_pending_ = false;
+      retries_c_->inc();
+      if (trace_ != nullptr && trace_->enabled())
+        trace_->instant(obs::names::kEvMigrationRetry, obs::names::kCatMem);
+    }
+    if (!faults_->fail_migration()) return true;
+    budget_ -= cost;
+    failures_c_->inc();
+    if (is_exchange) rollbacks_c_->inc();
+    if (trace_ != nullptr && trace_->enabled())
+      trace_->instant(obs::names::kEvMigrationFault, obs::names::kCatMem, "pages",
+                      static_cast<double>(cost), "rollback", is_exchange ? 1.0 : 0.0);
+    if (++failure_streak_ >= kBackoffThreshold) {
+      failure_streak_ = 0;
+      backoff_remaining_ = std::min<std::uint64_t>(2ull << backoff_level_, kBackoffCapTicks);
+      backoff_level_ = std::min(backoff_level_ + 1, 5);
+      if (trace_ != nullptr && trace_->enabled())
+        trace_->instant(obs::names::kEvMigrationBackoff, obs::names::kCatMem, "ticks",
+                        static_cast<double>(backoff_remaining_));
+    }
+    return false;
+  }
+
+  void note_success() {
+    failure_streak_ = 0;
+    backoff_level_ = 0;
+  }
+
   void spend(std::uint64_t pages) {
     budget_ -= pages;
     moved_this_interval_ += pages;
     total_moved_ += pages;
     if (moved_c_ != nullptr) moved_c_->inc(static_cast<double>(pages));
   }
+
+  // Consecutive injected aborts before a backoff window opens, and the cap on
+  // the exponentially growing window length (in engine intervals).
+  static constexpr int kBackoffThreshold = 4;
+  static constexpr std::uint64_t kBackoffCapTicks = 64;
 
   TieredMemory* mem_;
   Config cfg_;
@@ -134,11 +220,20 @@ class MigrationEngine {
   std::uint64_t total_moved_ = 0;
   SimTime last_begin_ts_ = 0;
   Duration last_dt_ = 0;
+  int failure_streak_ = 0;
+  int backoff_level_ = 0;
+  std::uint64_t backoff_remaining_ = 0;
+  bool retry_pending_ = false;
   obs::TraceRecorder* trace_ = nullptr;
+  faults::FaultInjector* faults_ = nullptr;
   obs::Counter* moved_c_ = nullptr;
   obs::Counter* promoted_c_ = nullptr;
   obs::Counter* demoted_c_ = nullptr;
   obs::Counter* exchanged_c_ = nullptr;
+  obs::Counter* failures_c_ = nullptr;       // set iff faults_ != nullptr
+  obs::Counter* rollbacks_c_ = nullptr;      // set iff faults_ != nullptr
+  obs::Counter* retries_c_ = nullptr;        // set iff faults_ != nullptr
+  obs::Counter* backoff_ticks_c_ = nullptr;  // set iff faults_ != nullptr
   obs::Histogram* moved_per_tick_h_ = nullptr;
 };
 

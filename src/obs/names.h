@@ -58,6 +58,18 @@ inline constexpr const char* kMtatLcQuotaPages = "mtat.lc_quota_pages";
 inline constexpr const char* kDerivedMigrationBytesPerSec = "derived.migration_bytes_per_sec";
 inline constexpr const char* kDerivedPolicyWallUsPerInterval =
     "derived.policy_wall_us_per_interval";
+inline constexpr const char* kFaultSamplesDropped = "fault.samples_dropped";
+inline constexpr const char* kFaultSamplesCorrupted = "fault.samples_corrupted";
+inline constexpr const char* kFaultMigrationFailures = "fault.migration_failures";
+inline constexpr const char* kFaultMigrationRollbacks = "fault.migration_rollbacks";
+inline constexpr const char* kFaultRlActionsCorrupted = "fault.rl_actions_corrupted";
+inline constexpr const char* kMigrationRetries = "migration.retries";
+inline constexpr const char* kMigrationBackoffTicks = "migration.backoff_ticks";
+inline constexpr const char* kPpmNonfiniteActions = "ppm.nonfinite_actions";
+inline constexpr const char* kRlRejectedTransitions = "rl.rejected_transitions";
+inline constexpr const char* kPpePlansAbandoned = "ppe.plans_abandoned";
+inline constexpr const char* kMtatMode = "mtat.mode";
+inline constexpr const char* kMtatModeTransitions = "mtat.mode_transitions";
 // mtat-lint: section=trace-event
 inline constexpr const char* kEvInterval = "interval";
 inline constexpr const char* kEvMigration = "migration";
@@ -71,6 +83,11 @@ inline constexpr const char* kEvRlUpdate = "rl.update";
 inline constexpr const char* kEvQueueOverload = "queue.overload";
 inline constexpr const char* kEvLcFmemShare = "lc_fmem_share";
 inline constexpr const char* kEvLcP99Ms = "lc_p99_ms";
+inline constexpr const char* kEvMigrationFault = "migration.fault";
+inline constexpr const char* kEvMigrationBackoff = "migration.backoff";
+inline constexpr const char* kEvMigrationRetry = "migration.retry";
+inline constexpr const char* kEvPpePlanAbandon = "ppe.plan_abandon";
+inline constexpr const char* kEvMtatModeChange = "mtat.mode_change";
 // mtat-lint: section=trace-category
 inline constexpr const char* kCatSim = "sim";
 inline constexpr const char* kCatMem = "mem";
@@ -88,7 +105,10 @@ inline constexpr const char* kAllMetricNames[] = {
     kRlUpdates, kRlCriticLoss, kRlActorLoss, kRlAlpha, kQueueArrivals, kQueueCompleted,
     kQueueBacklogPeak, kSimIntervals, kSimMeasuredIntervals, kBwFmemFactor, kBwSmemFactor,
     kLcFmemRatio, kLcFmemShare, kMtatLcQuotaPages, kDerivedMigrationBytesPerSec,
-    kDerivedPolicyWallUsPerInterval};
+    kDerivedPolicyWallUsPerInterval, kFaultSamplesDropped, kFaultSamplesCorrupted,
+    kFaultMigrationFailures, kFaultMigrationRollbacks, kFaultRlActionsCorrupted,
+    kMigrationRetries, kMigrationBackoffTicks, kPpmNonfiniteActions, kRlRejectedTransitions,
+    kPpePlansAbandoned, kMtatMode, kMtatModeTransitions};
 
 /// Wall-clock-domain metrics: the only registry entries allowed to differ
 /// between two same-seed runs (they measure host compute time, not simulated

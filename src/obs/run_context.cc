@@ -1,5 +1,7 @@
 #include "obs/run_context.h"
 
+#include "faults/fault_injector.h"
+
 namespace mtat::obs {
 
 RunContext::RunContext(TraceMode mode) {
@@ -10,6 +12,13 @@ RunContext::RunContext(TraceMode mode) {
     // Qualified: the unqualified name would find the trace() member.
     trace_ = &obs::trace();
   }
+  if (const faults::FaultPlan* plan = faults::default_plan()) install_faults(*plan);
+}
+
+RunContext::~RunContext() = default;
+
+void RunContext::install_faults(const faults::FaultPlan& plan) {
+  faults_ = std::make_unique<faults::FaultInjector>(plan);
 }
 
 TraceRecorder& default_trace() { return trace(); }

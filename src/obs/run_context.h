@@ -30,6 +30,11 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
+namespace mtat::faults {
+class FaultInjector;
+struct FaultPlan;
+}  // namespace mtat::faults
+
 namespace mtat::obs {
 
 class RunContext {
@@ -44,6 +49,7 @@ class RunContext {
   /// enable it (ParallelRunner mirrors the global recorder's state) to
   /// actually collect events.
   explicit RunContext(TraceMode mode = TraceMode::kGlobal);
+  ~RunContext();  // out of line: FaultInjector is incomplete here
 
   RunContext(const RunContext&) = delete;
   RunContext& operator=(const RunContext&) = delete;
@@ -56,10 +62,23 @@ class RunContext {
 
   bool owns_trace() const { return owned_trace_ != nullptr; }
 
+  /// Attach a fault injector executing `plan` to this context. Components
+  /// wired to the context pick it up in their set_run_context(); call before
+  /// constructing the sim. The constructor installs faults::default_plan()
+  /// automatically when one is set (the MTAT_FAULTS path), so explicit
+  /// installs are only needed for per-point plans (bench sweeps, tests).
+  void install_faults(const faults::FaultPlan& plan);
+
+  /// The attached injector, or nullptr — the common case, and the fast path
+  /// every fault site checks first. Non-null also signals the degradation
+  /// machinery (watchdog, plan abandonment) to arm itself.
+  faults::FaultInjector* faults() const { return faults_.get(); }
+
  private:
   MetricsRegistry metrics_;
   std::unique_ptr<TraceRecorder> owned_trace_;  // kPrivate only
   TraceRecorder* trace_;                        // owned or the global recorder
+  std::unique_ptr<faults::FaultInjector> faults_;
 };
 
 /// The process-wide recorder (the one obs::trace() returns), exposed so the

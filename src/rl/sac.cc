@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "faults/fault_injector.h"
 #include "obs/names.h"
 
 namespace mtat {
@@ -79,17 +81,54 @@ SacAgent::PolicySample SacAgent::sample_policy(const std::vector<double>& state,
 }
 
 std::vector<double> SacAgent::act(const std::vector<double>& state, bool deterministic) {
+  std::vector<double> out;
   if (deterministic) {
     const std::vector<double> head = actor_.forward(state);
-    std::vector<double> out(cfg_.action_dim);
+    out.resize(cfg_.action_dim);
     for (int d = 0; d < cfg_.action_dim; ++d) out[d] = std::tanh(head[d]);
-    return out;
+  } else {
+    out = sample_policy(state, nullptr).action;
   }
-  return sample_policy(state, nullptr).action;
+  if (faults_ != nullptr) {
+    // Injected policy pathology: the action the caller sees is replaced by
+    // all-NaN or an off-manifold divergent vector. The network itself stays
+    // healthy — this models a corrupted inference result, and it is the
+    // caller's (PP-M's) job to survive it.
+    switch (faults_->action_fault()) {
+      case faults::FaultInjector::ActionFault::kNone:
+        break;
+      case faults::FaultInjector::ActionFault::kNaN:
+        std::fill(out.begin(), out.end(), std::numeric_limits<double>::quiet_NaN());
+        actions_corrupted_c_->inc();
+        break;
+      case faults::FaultInjector::ActionFault::kDivergent:
+        for (std::size_t d = 0; d < out.size(); ++d) out[d] = d % 2 == 0 ? 1e6 : -1e6;
+        actions_corrupted_c_->inc();
+        break;
+    }
+  }
+  return out;
 }
+
+namespace {
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+}  // namespace
 
 void SacAgent::observe(const std::vector<double>& state, const std::vector<double>& action,
                        double reward, const std::vector<double>& next_state, bool done) {
+  // Non-finite transitions are rejected outright rather than clamped: one NaN
+  // reward or corrupted action in the buffer would poison every later
+  // gradient batch that samples it. Healthy runs never produce one, so this
+  // guard is behaviour-neutral outside fault injection.
+  if (!std::isfinite(reward) || !all_finite(state) || !all_finite(action) ||
+      !all_finite(next_state)) {
+    if (rejected_c_ != nullptr) rejected_c_->inc();
+    return;
+  }
   buffer_.store(Transition{state, action, reward, next_state, done});
 }
 
@@ -117,7 +156,10 @@ void SacAgent::set_run_context(obs::RunContext* ctx) {
   if (ctx == nullptr) {
     updates_c_ = nullptr;
     critic_loss_g_ = actor_loss_g_ = alpha_g_ = nullptr;
+    rejected_c_ = nullptr;
     trace_ = nullptr;
+    faults_ = nullptr;
+    actions_corrupted_c_ = nullptr;
     return;
   }
   obs::MetricsRegistry& reg = ctx->metrics();
@@ -125,7 +167,11 @@ void SacAgent::set_run_context(obs::RunContext* ctx) {
   critic_loss_g_ = &reg.gauge(obs::names::kRlCriticLoss);
   actor_loss_g_ = &reg.gauge(obs::names::kRlActorLoss);
   alpha_g_ = &reg.gauge(obs::names::kRlAlpha);
+  rejected_c_ = &reg.counter(obs::names::kRlRejectedTransitions);
   trace_ = &ctx->trace();
+  faults_ = ctx->faults();
+  if (faults_ != nullptr)
+    actions_corrupted_c_ = &reg.counter(obs::names::kFaultRlActionsCorrupted);
 }
 
 void SacAgent::update_once() {

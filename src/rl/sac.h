@@ -43,7 +43,10 @@ class SacAgent {
   /// (evaluation); stochastic mode draws from the squashed Gaussian.
   std::vector<double> act(const std::vector<double>& state, bool deterministic = false);
 
-  /// Record a transition into the replay buffer.
+  /// Record a transition into the replay buffer. Transitions containing any
+  /// non-finite value are rejected (counted as rl.rejected_transitions) —
+  /// never clamped into the buffer — so corrupted observations cannot reach
+  /// a gradient update.
   void observe(const std::vector<double>& state, const std::vector<double>& action,
                double reward, const std::vector<double>& next_state, bool done);
 
@@ -92,10 +95,13 @@ class SacAgent {
   double last_actor_loss_ = 0.0;
   std::uint64_t updates_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
+  faults::FaultInjector* faults_ = nullptr;
   obs::Counter* updates_c_ = nullptr;
   obs::Gauge* critic_loss_g_ = nullptr;
   obs::Gauge* actor_loss_g_ = nullptr;
   obs::Gauge* alpha_g_ = nullptr;
+  obs::Counter* rejected_c_ = nullptr;
+  obs::Counter* actions_corrupted_c_ = nullptr;  // set iff faults_ != nullptr
 };
 
 }  // namespace mtat

@@ -43,6 +43,11 @@ ColocationSim::ColocationSim(const SimConfig& cfg, obs::RunContext* run_ctx) : c
       *mem_, MigrationEngine::Config{cfg.migration_bandwidth});
   engine_->set_run_context(ctx_);
   sampler_ = std::make_unique<AccessSampler>(*mem_, cfg.lc.sample_period);
+  // Fault injection (DESIGN.md §12): when the context carries an injector,
+  // thread it through telemetry here; the engine and the RL agent pick it up
+  // from the context in their own set_run_context.
+  inj_ = ctx_->faults();
+  if (inj_ != nullptr) sampler_->set_faults(inj_, *ctx_);
 
   // Registry handles for the sim's own signals; everything else registers in
   // the component that owns the signal (engine above, queue/policy below).
@@ -184,6 +189,19 @@ void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool meas
   while (now_ < end) {
     tr.set_now(now_);
     const Duration dt = std::min<Duration>(cfg_.tick, end - now_);
+    if (inj_ != nullptr) {
+      // The injector's scheduled windows are evaluated at tick start.
+      inj_->set_now(now_);
+      if (!cfg_.bandwidth.enabled) {
+        // With the bandwidth model off nothing else touches the contention
+        // factors, so an SMem latency spike is applied (and lifted) directly.
+        const double spike = inj_->smem_latency_factor();
+        if (spike != smem_spike_applied_) {
+          mem_->set_contention_factor(Tier::kSMem, spike);
+          smem_spike_applied_ = spike;
+        }
+      }
+    }
     if (cfg_.bandwidth.enabled)
       apply_bandwidth_model(pattern.rate_at(now_ - (end - duration)));
     engine_->begin_interval(dt);
@@ -191,6 +209,7 @@ void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool meas
     for (auto& bw : be_) bw->tick(dt);
     queue_->run_until(now_ + dt);
     now_ += dt;
+    if (inj_ != nullptr) inj_->set_now(now_);
     if (now_ >= next_interval_) {
       tr.set_now(now_);
       offered_now = pattern.rate_at(now_ - (end - duration));
@@ -241,6 +260,12 @@ void ColocationSim::apply_bandwidth_model(double lc_offered_rps) {
     bw_factor_[t] = (1.0 - bw.damping) * bw_factor_[t] + bw.damping * target;
     mem_->set_contention_factor(t == 0 ? Tier::kFMem : Tier::kSMem, bw_factor_[t]);
     bw_factor_g_[t]->set(bw_factor_[t]);
+  }
+  if (inj_ != nullptr) {
+    // An injected SMem latency spike stacks multiplicatively on top of the
+    // modelled contention (the gauges keep reporting the model's own state).
+    const double spike = inj_->smem_latency_factor();
+    if (spike > 1.0) mem_->set_contention_factor(Tier::kSMem, bw_factor_[1] * spike);
   }
 }
 

@@ -187,6 +187,8 @@ class ColocationSim {
   std::unique_ptr<QueueSim> queue_;
   std::unique_ptr<TieringPolicy> policy_;
   MtatPolicy* mtat_ = nullptr;  // non-null when policy is an MTAT variant
+  faults::FaultInjector* inj_ = nullptr;  // the context's injector, or null
+  double smem_spike_applied_ = 1.0;  // spike factor currently on the SMem tier
 
   SimTime now_ = 0;
   SimTime next_interval_ = 0;

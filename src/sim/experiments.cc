@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace mtat::experiments {
@@ -140,8 +143,26 @@ std::vector<LatencyCurvePoint> lc_latency_curve(const LCConfig& lc, double fmem_
   return out;
 }
 
+namespace {
+
+// Shared precondition of both bisection overloads. A NaN bracket endpoint
+// would poison every midpoint (0.5 * (lo + NaN) is NaN) and the map-keyed
+// parallel variant would then probe and cache garbage; an inverted bracket
+// silently bisects the wrong way. Both are caller bugs — fail loudly.
+void check_bracket(double lo_krps, double hi_krps) {
+  if (!std::isfinite(lo_krps) || !std::isfinite(hi_krps))
+    throw std::invalid_argument("find_max_load: non-finite bracket [" +
+                                std::to_string(lo_krps) + ", " + std::to_string(hi_krps) + "]");
+  if (lo_krps > hi_krps)
+    throw std::invalid_argument("find_max_load: inverted bracket [" +
+                                std::to_string(lo_krps) + ", " + std::to_string(hi_krps) + "]");
+}
+
+}  // namespace
+
 double find_max_load(const std::function<bool(double)>& sustainable, double lo_krps,
                      double hi_krps, int iters) {
+  check_bracket(lo_krps, hi_krps);
   double lo = lo_krps, hi = hi_krps;
   if (!sustainable(lo)) return lo;
   for (int i = 0; i < iters; ++i) {
@@ -156,6 +177,7 @@ double find_max_load(const std::function<bool(double)>& sustainable, double lo_k
 
 double find_max_load(const std::function<bool(double, obs::RunContext&)>& sustainable,
                      double lo_krps, double hi_krps, int iters, ParallelRunner& runner) {
+  check_bracket(lo_krps, hi_krps);
   // Mirrors the serial recurrence exactly, two levels at a time: each batch
   // evaluates the current midpoint plus *both* midpoints it could lead to
   // (the full depth-2 frontier), so whatever the current probe decides, the
@@ -236,7 +258,11 @@ bool probe_slo_sustainable(ColocationSim& sim, double krps, Duration warm, Durat
   sim.run(pattern, warm, /*measure=*/false);
   sim.reset_stats();
   sim.run(pattern, duration, /*measure=*/true);
-  return sim.result().slo_violation_rate <= max_violation_rate;
+  // A NaN violation rate (possible only if measurement itself broke) must
+  // read as "not sustainable", not as the false a NaN comparison yields by
+  // accident — the bisection would otherwise certify a broken operating point.
+  const double rate = sim.result().slo_violation_rate;
+  return std::isfinite(rate) && rate <= max_violation_rate;
 }
 
 }  // namespace mtat::experiments

@@ -100,7 +100,9 @@ std::vector<LatencyCurvePoint> lc_latency_curve(const LCConfig& lc, double fmem_
 /// halvings of [lo, hi]; if the predicate fails even at `lo` the bisection
 /// returns `lo` immediately. Guard for non-monotone predicates: the returned
 /// value (beyond `lo` itself) is always one the predicate actually accepted
-/// during the search, never an interpolation.
+/// during the search, never an interpolation. Throws std::invalid_argument
+/// for a non-finite or inverted bracket (both overloads) — a NaN endpoint
+/// would otherwise poison every midpoint and bisect on garbage.
 double find_max_load(const std::function<bool(double krps)>& sustainable, double lo_krps,
                      double hi_krps, int iters = 7);
 
@@ -119,7 +121,8 @@ double find_max_load(const std::function<bool(double krps, obs::RunContext& ctx)
 
 /// Convenience: SLO-violation criterion the paper uses — run `sim` at
 /// constant `krps` for `duration` (after `warm` uncounted) and require the
-/// measured violation rate to stay under `max_violation_rate`.
+/// measured violation rate to stay under `max_violation_rate`. A non-finite
+/// measured rate reads as unsustainable (NaN must not pass a <= by accident).
 bool probe_slo_sustainable(ColocationSim& sim, double krps, Duration warm, Duration duration,
                            double max_violation_rate = 0.01);
 

@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "common/types.h"
+#include "faults/fault_injector.h"
 #include "mem/address_space.h"
+#include "obs/names.h"
+#include "obs/run_context.h"
 #include "telemetry/page_hotness.h"
 
 namespace mtat {
@@ -44,6 +47,22 @@ class AccessSampler : public AccessObserver {
       : mem_(&mem), sample_period_(sample_period == 0 ? 1 : sample_period) {}
 
   void on_sampled_access(WorkloadId w, PageId p, AccessKind kind) override {
+    if (faults_ != nullptr) {
+      if (faults_->drop_sample()) {
+        dropped_c_->inc();
+        return;
+      }
+      if (faults_->corrupt_sample()) {
+        // Misattribute the sample to a uniformly random page of the same
+        // workload — hotness and tier classification both go wrong, which is
+        // the PEBS-misattribution failure mode.
+        const std::vector<PageId>& pages = mem_->pages_of(w);
+        if (!pages.empty()) {
+          p = pages[faults_->pick(pages.size())];
+          corrupted_c_->inc();
+        }
+      }
+    }
     if (current_.size() <= w) {
       current_.resize(static_cast<std::size_t>(w) + 1);
       cumulative_.resize(static_cast<std::size_t>(w) + 1);
@@ -59,6 +78,17 @@ class AccessSampler : public AccessObserver {
       ++c.writes;
     for (PageHotness* h : sinks_) h->record_access(w, p);
     for (const auto& cb : callbacks_) cb(w, p, kind);
+  }
+
+  /// Attach a fault injector (telemetry sample loss / corruption). Registers
+  /// the fault counters lazily — a sampler without faults touches neither the
+  /// registry nor the injector on the sample path.
+  void set_faults(faults::FaultInjector* inj, obs::RunContext& ctx) {
+    faults_ = inj;
+    if (faults_ != nullptr) {
+      dropped_c_ = &ctx.metrics().counter(obs::names::kFaultSamplesDropped);
+      corrupted_c_ = &ctx.metrics().counter(obs::names::kFaultSamplesCorrupted);
+    }
   }
 
   /// Attach a histogram that should receive every sample this monitor sees.
@@ -102,6 +132,9 @@ class AccessSampler : public AccessObserver {
   }
 
   const TieredMemory* mem_;
+  faults::FaultInjector* faults_ = nullptr;
+  obs::Counter* dropped_c_ = nullptr;    // set iff faults_ != nullptr
+  obs::Counter* corrupted_c_ = nullptr;  // set iff faults_ != nullptr
   std::uint64_t sample_period_;
   std::vector<IntervalCounters> current_;
   std::vector<IntervalCounters> cumulative_;

@@ -311,6 +311,15 @@ TEST(CsvWriter, RejectsColumnMismatch) {
   EXPECT_THROW(csv.row("x", {1.0, 2.0}), std::invalid_argument);
 }
 
+TEST(CsvWriter, ThrowsWhenTheStreamFails) {
+  // /dev/full opens fine but fails every write with ENOSPC — the silent-
+  // truncation case the writer must surface as an exception, not swallow.
+  std::ofstream probe("/dev/full");
+  if (!probe.is_open()) GTEST_SKIP() << "/dev/full not available on this host";
+  probe.close();
+  EXPECT_THROW(CsvWriter("/dev/full", {"a", "b"}), std::runtime_error);
+}
+
 // ----------------------------------------------------------- Alias ----
 
 TEST(AliasSampler, RejectsDegenerateInput) {

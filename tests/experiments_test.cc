@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -51,6 +53,22 @@ TEST(FindMaxLoad, PredicateFalseEverywhereReturnsLoAfterOneProbe) {
 TEST(FindMaxLoad, DegenerateBracketLoEqualsHi) {
   EXPECT_DOUBLE_EQ(find_max_load([](double) { return true; }, 4.0, 4.0, 7), 4.0);
   EXPECT_DOUBLE_EQ(find_max_load([](double) { return false; }, 4.0, 4.0, 7), 4.0);
+}
+
+TEST(FindMaxLoad, NonFiniteOrInvertedBracketThrows) {
+  // A NaN bound would otherwise poison every bisection midpoint and return
+  // silently wrong capacities; both overloads must refuse up front.
+  const auto yes = [](double) { return true; };
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(find_max_load(yes, nan, 16.0, 7), std::invalid_argument);
+  EXPECT_THROW(find_max_load(yes, 1.0, inf, 7), std::invalid_argument);
+  EXPECT_THROW(find_max_load(yes, 8.0, 4.0, 7), std::invalid_argument);
+  ParallelRunner runner(2);
+  const auto yes_ctx = [](double, obs::RunContext&) { return true; };
+  EXPECT_THROW(find_max_load(yes_ctx, nan, 16.0, 7, runner), std::invalid_argument);
+  EXPECT_THROW(find_max_load(yes_ctx, 1.0, inf, 7, runner), std::invalid_argument);
+  EXPECT_THROW(find_max_load(yes_ctx, 8.0, 4.0, 7, runner), std::invalid_argument);
 }
 
 TEST(FindMaxLoad, ZeroItersProbesLoOnly) {

@@ -132,6 +132,22 @@ TEST(LintSource, KnownNameSpelledInlineMustUseConstant) {
   EXPECT_EQ(findings.size(), 2u) << dump(findings);
 }
 
+TEST(LintSource, FaultDomainLiteralsFlaggedAnywhereOnALine) {
+  const auto findings = lint_fixture("bad_fault_literal.cc");
+  // A known fault.* name at a call site: both the call-site rule and the
+  // stricter anywhere-rule fire.
+  EXPECT_TRUE(has(findings, "fault-name", 6, "use the obs::names:: constant"))
+      << dump(findings);
+  // A known fault.* name in a bare comparison — no registry call, so only
+  // fault-name can catch it.
+  EXPECT_TRUE(has(findings, "fault-name", 7, "use the obs::names:: constant"))
+      << dump(findings);
+  EXPECT_FALSE(has(findings, "metric-name", 7, "")) << dump(findings);
+  // A typo'd fault.* name reads as an unknown to declare.
+  EXPECT_TRUE(has(findings, "fault-name", 8, "unknown fault-domain name"))
+      << dump(findings);
+}
+
 TEST(LintSource, NonCanonicalUnitSuffixesAtCallSites) {
   const auto findings = lint_fixture("bad_unit_suffix.cc");
   EXPECT_TRUE(has(findings, "unit-suffix", 4, "use _us")) << dump(findings);
@@ -201,6 +217,8 @@ TEST(Suppression, RealAllowlistParses) {
   EXPECT_FALSE(allow.allows("nondet", "tests/obs_test.cc"));
   EXPECT_TRUE(allow.allows("getenv", "bench/env.h"));
   EXPECT_FALSE(allow.allows("getenv", "bench/harness.h"));
+  EXPECT_TRUE(allow.allows("fault-name", "src/obs/names.h"));
+  EXPECT_FALSE(allow.allows("fault-name", "src/faults/fault_plan.h"));
 }
 
 // ----------------------------------------------------------------- doc sync --
@@ -246,8 +264,8 @@ TEST(Run, FixtureTreeProducesEveryRule) {
   opt.check_docs = false;
   const std::vector<Finding> findings = run(opt);
   ASSERT_FALSE(findings.empty());
-  for (const char* rule :
-       {"metric-name", "unit-suffix", "nondet", "unsafe-parse", "getenv", "ns-header"}) {
+  for (const char* rule : {"metric-name", "fault-name", "unit-suffix", "nondet",
+                           "unsafe-parse", "getenv", "ns-header"}) {
     EXPECT_TRUE(std::any_of(findings.begin(), findings.end(),
                             [&](const Finding& f) { return f.rule == rule; }))
         << "rule " << rule << " never fired:\n" << dump(findings);

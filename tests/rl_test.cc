@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "rl/mlp.h"
 #include "rl/replay_buffer.h"
@@ -176,6 +177,23 @@ TEST(Sac, ActionsAreBounded) {
   const auto d1 = agent.act({0.5, -0.5}, /*deterministic=*/true);
   const auto d2 = agent.act({0.5, -0.5}, /*deterministic=*/true);
   EXPECT_DOUBLE_EQ(d1[0], d2[0]);  // deterministic mode is stable
+}
+
+TEST(Sac, ObserveRejectsNonFiniteTransitions) {
+  // Corrupted observations must never reach a gradient update: any non-finite
+  // component — reward, state, action, or next state — drops the transition.
+  SacAgent agent(small_sac(3));
+  const std::vector<double> s{0.5, -0.5};
+  const std::vector<double> a{0.1};
+  const double inf = std::numeric_limits<double>::infinity();
+  agent.observe(s, a, std::nan(""), s, false);
+  agent.observe(s, a, inf, s, false);
+  agent.observe({std::nan(""), 0.0}, a, 0.0, s, false);
+  agent.observe(s, {std::nan("")}, 0.0, s, false);
+  agent.observe(s, a, 0.0, {0.0, -inf}, false);
+  EXPECT_EQ(agent.buffer_size(), 0u);
+  agent.observe(s, a, 1.0, s, false);  // a healthy transition still lands
+  EXPECT_EQ(agent.buffer_size(), 1u);
 }
 
 TEST(Sac, UpdateRequiresMinimumBuffer) {

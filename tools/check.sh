@@ -52,6 +52,18 @@ smoke_dir=$(mktemp -d)
  MTAT_SCALE=smoke MTAT_JOBS=2 "${repo_root}/build-check/tsan/bench/fig9_table4_load_levels")
 rm -rf "${smoke_dir}"
 
+# The fault-tolerance sweep end-to-end under ASan and UBSan: a full-intensity
+# storm drives every degradation path — migration rollback/backoff, telemetry
+# blackout, the watchdog ladder — exactly where lifetime and UB bugs in the
+# recovery code would hide (DESIGN.md §12).
+for lane in asan ubsan; do
+  echo "==== fault-injection bench smoke (${lane}, MTAT_SCALE=smoke, MTAT_JOBS=2) ===="
+  smoke_dir=$(mktemp -d)
+  (cd "${smoke_dir}" &&
+   MTAT_SCALE=smoke MTAT_JOBS=2 "${repo_root}/build-check/${lane}/bench/ext_fault_tolerance")
+  rm -rf "${smoke_dir}"
+done
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==== clang-tidy (src/) ===="
   # The release lane's compile_commands.json drives the tidy pass.

@@ -423,6 +423,33 @@ void lint_source(const std::string& rel_path, const std::string& contents,
                "metric name \"" + name + "\" uses a non-canonical unit suffix; use _" + canon);
     }
 
+    // -- fault.* name literals anywhere -------------------------------------
+    //
+    // The fault-injection counters are how resilience claims are audited, so
+    // their names get a stricter rule than the call-site-only metric-name
+    // check: a literal in the fault.* namespace is flagged wherever it
+    // appears (comparisons, map keys, test expectations included) — the only
+    // blessed spelling is the obs::names:: constant, declared in names.h.
+    for (std::size_t pos = scan.find('"'); pos != std::string::npos;
+         pos = scan.find('"', pos + 1)) {
+      std::string lit;
+      if (!extract_literal(code, pos, lit)) break;  // unclosed on this line
+      const std::size_t close = scan.find('"', pos + 1);
+      if (close == std::string::npos) break;
+      pos = close;
+      if (lit.rfind("fault.", 0) != 0) continue;  // mtat-lint: allow(fault-name)
+      if (names.contains(lit)) {
+        report(lineno, "fault-name",
+               "fault-domain name literal \"" + lit +
+                   "\": use the obs::names:: constant from src/obs/names.h");
+      } else {
+        report(lineno, "fault-name",
+               "unknown fault-domain name \"" + lit +
+                   "\": every fault.* metric/trace name must be declared in src/obs/names.h "
+                   "and referenced via its obs::names:: constant");
+      }
+    }
+
     // -- banned tokens ------------------------------------------------------
     for (const TokenRule& r : nondet_rules())
       if (std::regex_search(scan, r.re))

@@ -17,6 +17,14 @@
 //                _bytes, _pages, _pct, _per_sec). Variants like _usec, _msec,
 //                _percent, _kb are rejected with the canonical suggestion.
 //                Checked for every names.h entry and every literal found.
+//  fault-name    String literals in the fault.* namespace are banned
+//                *anywhere* in a source line, not just at registry call
+//                sites: the fault counters are how resilience claims are
+//                audited, so every spelling (call site, comparison, test
+//                expectation) must come from src/obs/names.h. Unknown
+//                fault.* literals are reported as typos; known ones as
+//                literals to migrate. names.h itself is the one allowlisted
+//                declaration site.
 //  nondet        Nondeterminism sources are banned from simulation code:
 //                rand(), srand(), std::random_device, std::chrono::
 //                system_clock, time(), gettimeofday(), localtime/gmtime.
