@@ -1,0 +1,49 @@
+// Fleet-scale presets for the cluster benches (ext_cluster_slo, perf_cluster).
+//
+// Layers cluster geometry on top of the node-level Scale preset: how many
+// simulated nodes, and how long the settle/probe/measure windows run. Sized
+// so MTAT_SCALE=smoke still fields a hundreds-of-nodes fleet in CI-grade
+// wall time (short windows, two BE tenants per node) while small/large grow
+// the fleet and the windows together. MTAT_NODES overrides the node count at
+// any scale (see bench/env.h).
+#pragma once
+
+#include "bench/harness.h"
+#include "cluster/cluster_sim.h"
+
+namespace mtat::bench {
+
+/// Cluster geometry for the scale preset in effect, with `lc` (already
+/// scaled) as every node's LC tenant and `node_capacity_krps` as the static
+/// serving-capacity estimate handed to the placement policies. The node
+/// template runs a lightweight baseline tiering policy by default — the
+/// cluster benches compare *placement* policies across a uniform fleet, not
+/// node-level tiering, and an RL-policy fleet would need per-node training.
+inline cluster::ClusterConfig make_cluster_config(const Scale& sc, const LCConfig& lc,
+                                                  double node_capacity_krps,
+                                                  PolicyKind node_policy = PolicyKind::kMemtis) {
+  cluster::ClusterConfig cc;
+  const std::string preset = scale_preset_from_env();
+  if (preset == "smoke") {
+    cc.nodes = 120;
+    cc.settle = seconds(1);
+    cc.probe_window = seconds(2);
+    cc.measure_window = seconds(3);
+  } else if (preset == "large") {
+    cc.nodes = 400;
+    cc.settle = seconds(2);
+    cc.probe_window = seconds(5);
+    cc.measure_window = seconds(10);
+  } else {
+    cc.nodes = 200;
+    cc.settle = seconds(2);
+    cc.probe_window = seconds(3);
+    cc.measure_window = seconds(5);
+  }
+  if (const auto n = Env::get().nodes) cc.nodes = *n;
+  cc.node = make_sim_config(sc, lc, node_policy, /*n_be=*/2);
+  cc.node_capacity_krps = node_capacity_krps;
+  return cc;
+}
+
+}  // namespace mtat::bench

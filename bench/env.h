@@ -16,6 +16,8 @@
 //   MTAT_TRACE_EVENTS positive int     trace ring capacity override
 //   MTAT_JOBS         non-negative int experiment parallelism; 0 = one job
 //                                      per hardware thread (the default)
+//   MTAT_NODES        positive int     cluster bench fleet size override
+//                                      (default: the scale preset's node count)
 //   MTAT_FAULTS       preset[:x]       fault-injection plan for every run in
 //                                      the process (e.g. storm, storm:0.5);
 //                                      validated against the known presets by
@@ -39,6 +41,7 @@ struct Env {
   std::size_t trace_events =
       obs::TraceRecorder::kDefaultCapacity;  ///< MTAT_TRACE_EVENTS
   int jobs = 0;                       ///< MTAT_JOBS; 0 = hardware concurrency
+  std::optional<int> nodes;           ///< MTAT_NODES (unset: preset default)
   /// MTAT_FAULTS, verbatim (empty: no faults). Kept as the raw spec so this
   /// header doesn't depend on the faults library; bench/harness.h's
   /// FaultsEnvHook parses it via faults::FaultPlan::from_spec and warns on
@@ -93,6 +96,17 @@ inline Env parse_env() {
     }
   }
   if (const auto s = env_string("MTAT_FAULTS")) e.faults = *s;
+  if (const auto s = env_string("MTAT_NODES")) {
+    const auto v = parse_int(*s);
+    if (v && *v > 0 && *v <= 100'000) {
+      e.nodes = *v;
+    } else {
+      std::fprintf(stderr,
+                   "warning: invalid MTAT_NODES=%s (expected a positive integer); "
+                   "using the preset default\n",
+                   s->c_str());
+    }
+  }
   if (const auto s = env_string("MTAT_JOBS")) {
     const auto v = parse_int(*s);
     if (v && *v >= 0 && *v <= 4096) {

@@ -1,0 +1,251 @@
+#include "cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/names.h"
+
+namespace mtat::cluster {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+double gauge_value(const obs::RunContext& ctx, const char* name) {
+  const obs::Gauge* g = ctx.metrics().find_gauge(name);
+  return g != nullptr ? g->value() : kNan;
+}
+
+/// Fast-tier occupancy of a measured node run, in percent of FMem capacity:
+/// the LC share plus every BE share from the last recorded interval.
+double node_fmem_util_pct(const SimResult& r) {
+  if (r.series.empty()) return 0.0;
+  const TimePoint& tp = r.series.back();
+  double share = tp.lc_fmem_share;
+  for (double s : tp.be_fmem_share) share += s;
+  return 100.0 * share;
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(const ClusterConfig& cfg, obs::RunContext* ctx) : cfg_(cfg) {
+  if (cfg_.nodes <= 0) throw std::invalid_argument("ClusterSim: nodes must be positive");
+  if (cfg_.tenants < 0) throw std::invalid_argument("ClusterSim: negative tenant count");
+  if (cfg_.tenants == 0) cfg_.tenants = 4 * cfg_.nodes;
+  if (ctx == nullptr) {
+    owned_ctx_ = std::make_unique<obs::RunContext>();
+    ctx_ = owned_ctx_.get();
+  } else {
+    ctx_ = ctx;
+  }
+
+  // Everything stochastic is drawn here, in a fixed order, from cfg.seed:
+  // tenant demands and footprints (tenant order), per-node sim seeds (node
+  // order), then the placement stream seed. Policies therefore compete on an
+  // identical fleet and tenant population, and nothing downstream depends on
+  // which worker simulates which shard.
+  Rng seeder(cfg_.seed);
+  const double fleet_capacity_krps =
+      static_cast<double>(cfg_.nodes) * cfg_.node_capacity_krps;
+  std::vector<double> weights(static_cast<std::size_t>(cfg_.tenants));
+  double weight_sum = 0;
+  for (double& w : weights) {
+    w = seeder.next_exponential(1.0);  // heavy-ish spread: a few hot tenants
+    weight_sum += w;
+  }
+  tenants_.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    TenantStream t;
+    t.name = "tenant-" + std::to_string(i);
+    t.demand_krps =
+        cfg_.target_utilization * fleet_capacity_krps * weights[i] / weight_sum;
+    const double spread = 0.25 + 1.5 * seeder.next_double();  // x0.25 .. x1.75
+    t.footprint = static_cast<Bytes>(cfg_.footprint_mean_fraction * spread *
+                                     static_cast<double>(cfg_.node.fmem));
+    tenants_.push_back(std::move(t));
+  }
+  node_seeds_.reserve(static_cast<std::size_t>(cfg_.nodes));
+  for (int n = 0; n < cfg_.nodes; ++n) node_seeds_.push_back(seeder.next_u64());
+  placement_seed_ = seeder.next_u64();
+
+  obs::MetricsRegistry& reg = ctx_->metrics();
+  reg.gauge(obs::names::kClusterNodes).set(static_cast<double>(cfg_.nodes));
+  reg.gauge(obs::names::kClusterTenants).set(static_cast<double>(cfg_.tenants));
+}
+
+std::vector<NodeState> ClusterSim::fresh_states() const {
+  std::vector<NodeState> states(static_cast<std::size_t>(cfg_.nodes));
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    NodeState& s = states[static_cast<std::size_t>(n)];
+    s.node_id = n;
+    s.fmem_capacity = cfg_.node.fmem;
+    s.capacity_krps = cfg_.node_capacity_krps;
+    s.p99_ms = kNan;
+    s.slo_violation_pct = kNan;
+    s.fmem_util_pct = kNan;
+  }
+  return states;
+}
+
+std::vector<std::size_t> ClusterSim::place_all(const PlacementPolicy& policy,
+                                               std::vector<NodeState>& states,
+                                               Rng& rng) const {
+  std::vector<std::size_t> assignment;
+  assignment.reserve(tenants_.size());
+  for (const TenantStream& t : tenants_) {
+    const std::size_t idx = policy.place(t, states, rng);
+    if (idx >= states.size())
+      throw std::logic_error(std::string("PlacementPolicy ") + policy.name() +
+                             " returned node index out of range");
+    NodeState& s = states[idx];
+    s.assigned_krps += t.demand_krps;
+    s.assigned_footprint += t.footprint;
+    s.tenants += 1;
+    assignment.push_back(idx);
+  }
+  ctx_->metrics().counter(obs::names::kClusterPlacements).inc(
+      static_cast<double>(tenants_.size()));
+  return assignment;
+}
+
+std::vector<NodeResult> ClusterSim::run_round(const std::vector<std::size_t>& assignment,
+                                              Duration window,
+                                              experiments::ParallelRunner* runner) {
+  // Fold the routed tenants into per-node demand on the calling thread, in
+  // tenant order, before any worker starts.
+  std::vector<NodeResult> out(static_cast<std::size_t>(cfg_.nodes));
+  for (int n = 0; n < cfg_.nodes; ++n) out[static_cast<std::size_t>(n)].node_id = n;
+  for (std::size_t t = 0; t < assignment.size(); ++t) {
+    NodeResult& nr = out[assignment[t]];
+    nr.offered_krps += tenants_[t].demand_krps;
+    nr.assigned_footprint += tenants_[t].footprint;
+    nr.tenants += 1;
+  }
+
+  std::vector<experiments::RunSpec> specs;
+  specs.reserve(out.size());
+  const bool keep_metrics = cfg_.keep_node_metrics;
+  const Duration settle = cfg_.settle;
+  for (NodeResult& nr : out) {
+    specs.push_back(
+        {"node" + std::to_string(nr.node_id) + "@" + std::to_string(nr.offered_krps) + "krps",
+         [this, &nr, settle, window, keep_metrics](obs::RunContext& ctx) {
+           SimConfig ncfg = cfg_.node;
+           ncfg.seed = node_seeds_[static_cast<std::size_t>(nr.node_id)];
+           ColocationSim sim(ncfg, &ctx);
+           const LoadPattern pattern = LoadPattern::constant(nr.offered_krps * 1000.0);
+           if (settle > 0) sim.run(pattern, settle, /*measure=*/false);
+           sim.reset_stats();
+           sim.run(pattern, window, /*measure=*/true);
+           nr.sim = sim.result();
+
+           // Export the node's health through its own metrics registry —
+           // these gauges are the telemetry the cluster-level balancer sees;
+           // NodeResult reads them back from the registry rather than from
+           // the SimResult so the flow is the one production would have.
+           obs::MetricsRegistry& reg = ctx.metrics();
+           reg.gauge(obs::names::kClusterNodeP99Ms).set(nr.sim.lc_p99_ms);
+           reg.gauge(obs::names::kClusterNodeSloViolationPct)
+               .set(100.0 * nr.sim.slo_violation_rate);
+           reg.gauge(obs::names::kClusterNodeFmemUtilPct).set(node_fmem_util_pct(nr.sim));
+           reg.gauge(obs::names::kClusterNodeOfferedRps).set(nr.offered_krps * 1000.0);
+           reg.gauge(obs::names::kClusterNodeTenants).set(static_cast<double>(nr.tenants));
+           nr.p99_ms = gauge_value(ctx, obs::names::kClusterNodeP99Ms);
+           nr.slo_violation_pct = gauge_value(ctx, obs::names::kClusterNodeSloViolationPct);
+           nr.fmem_util_pct = gauge_value(ctx, obs::names::kClusterNodeFmemUtilPct);
+           if (keep_metrics) {
+             std::ostringstream dump;
+             ctx.metrics().write_csv(dump);
+             nr.metrics_csv = dump.str();
+           }
+         }});
+  }
+
+  if (runner != nullptr) {
+    runner->run_all(specs);
+  } else {
+    // Serial reference path: a one-job runner executes every spec inline on
+    // this thread through the exact same private-context machinery, so the
+    // serial and fanned paths cannot drift.
+    experiments::ParallelRunner serial(1);
+    serial.run_all(specs);
+  }
+
+  obs::MetricsRegistry& reg = ctx_->metrics();
+  reg.counter(obs::names::kClusterRounds).inc();
+  double offered = 0;
+  for (const NodeResult& nr : out) offered += nr.offered_krps;
+  ctx_->trace().instant(obs::names::kEvClusterRound, obs::names::kCatSim, "nodes",
+                        static_cast<double>(cfg_.nodes), "offered_krps", offered);
+  return out;
+}
+
+ClusterResult ClusterSim::run(const PlacementPolicy& policy,
+                              experiments::ParallelRunner* runner) {
+  // Round 1: static placement, probe window, telemetry harvest.
+  std::vector<NodeState> states = fresh_states();
+  Rng round1_rng(placement_seed_);
+  const std::vector<std::size_t> first = place_all(policy, states, round1_rng);
+  const std::vector<NodeResult> probe = run_round(first, cfg_.probe_window, runner);
+
+  // Round 2: the same tenants re-placed with last round's node health
+  // visible. Assignment state is rebuilt from scratch — the balancer routes
+  // the full stream set each round — and moves are counted as rebalances.
+  std::vector<NodeState> informed = fresh_states();
+  for (const NodeResult& nr : probe) {
+    NodeState& s = informed[static_cast<std::size_t>(nr.node_id)];
+    s.p99_ms = nr.p99_ms;
+    s.slo_violation_pct = nr.slo_violation_pct;
+    s.fmem_util_pct = nr.fmem_util_pct;
+  }
+  Rng round2_rng(placement_seed_ ^ 0xC1D5'7E11'5EEDull);
+  const std::vector<std::size_t> second = place_all(policy, informed, round2_rng);
+  int moved = 0;
+  for (std::size_t t = 0; t < tenants_.size(); ++t)
+    if (first[t] != second[t]) ++moved;
+
+  ClusterResult r;
+  r.nodes = run_round(second, cfg_.measure_window, runner);
+  r.rebalanced_tenants = moved;
+
+  // Fleet aggregates, folded in node-id order.
+  double requests = 0, violations = 0, completed = 0, util_sum = 0;
+  std::vector<double> p99s;
+  p99s.reserve(r.nodes.size());
+  for (const NodeResult& nr : r.nodes) {
+    r.offered_krps += nr.offered_krps;
+    const double reqs = static_cast<double>(nr.sim.lc_completed);
+    requests += reqs;
+    violations += nr.sim.slo_violation_rate * reqs;
+    completed += reqs;
+    util_sum += nr.fmem_util_pct;
+    r.max_p99_ms = std::max(r.max_p99_ms, nr.p99_ms);
+    p99s.push_back(nr.p99_ms);
+    if (nr.slo_violation_pct > 1.0) ++r.overloaded_nodes;
+  }
+  r.completed_krps = completed / to_seconds(cfg_.measure_window) / 1000.0;
+  r.slo_compliance_pct = requests > 0 ? 100.0 * (1.0 - violations / requests) : 100.0;
+  r.fmem_util_pct = util_sum / static_cast<double>(r.nodes.size());
+  std::sort(p99s.begin(), p99s.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(p99s.size()))) - 1;
+  r.p99_of_p99_ms = p99s[std::min(idx, p99s.size() - 1)];
+
+  const double round_sim_seconds =
+      to_seconds(cfg_.settle + cfg_.probe_window) + to_seconds(cfg_.settle + cfg_.measure_window);
+  r.node_sim_seconds = static_cast<double>(cfg_.nodes) * round_sim_seconds;
+  r.sim_steps = static_cast<std::uint64_t>(r.node_sim_seconds / to_seconds(cfg_.node.tick));
+
+  obs::MetricsRegistry& reg = ctx_->metrics();
+  reg.counter(obs::names::kClusterRebalancedTenants).inc(static_cast<double>(moved));
+  reg.gauge(obs::names::kClusterOfferedRps).set(r.offered_krps * 1000.0);
+  reg.gauge(obs::names::kClusterSloCompliancePct).set(r.slo_compliance_pct);
+  reg.gauge(obs::names::kClusterTailP99Ms).set(r.max_p99_ms);
+  reg.gauge(obs::names::kClusterFmemUtilPct).set(r.fmem_util_pct);
+  return r;
+}
+
+}  // namespace mtat::cluster

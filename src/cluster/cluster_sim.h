@@ -1,0 +1,156 @@
+// Fleet-scale simulation: N tiered-memory nodes behind a tenant load balancer.
+//
+// ClusterSim is the sharded layer above ColocationSim (ROADMAP item 2): each
+// of cfg.nodes simulated servers wraps its own complete ColocationSim — own
+// tiered memory, migration engine, telemetry, LC queue, BE fleet, and
+// per-node placement policy — executed as one experiments::ParallelRunner
+// spec with a pre-seeded private obs::RunContext, so shards run on however
+// many workers MTAT_JOBS grants yet merge deterministically (bit-identical
+// results for jobs=1 vs jobs=N, the PR 5/6 discipline).
+//
+// On top of the shards sits a cluster-level open-loop load balancer: the
+// cluster's tenant request streams (scaled Poisson aggregates, generated
+// once per seed so every placement policy is judged on the identical tenant
+// population) are routed to nodes by a pluggable cluster::PlacementPolicy.
+// run() executes two placement rounds:
+//
+//   round 1 (probe):    tenants are placed with static information only
+//                       (capacities), each node simulates cfg.probe_window,
+//                       and exports its health as `cluster.node_*` gauges in
+//                       its own metrics registry;
+//   round 2 (measured): tenants are re-placed with that telemetry visible
+//                       (rebalances counted), and each node simulates
+//                       cfg.measure_window to produce the reported fleet
+//                       aggregates.
+//
+// Every policy pays for both rounds whether or not it reads the telemetry,
+// so the comparison in bench/ext_cluster_slo.cc is simulate-time fair.
+//
+// Determinism contract: tenant demands/footprints, per-node seeds, and the
+// placement RNG stream are all drawn up front, in a fixed order, from
+// cfg.seed; node specs write into disjoint result slots; every aggregate is
+// folded in node-id order. Nothing consults worker scheduling, so the whole
+// ClusterResult — including the per-node metric dumps — is a pure function
+// of (config, policy).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "obs/run_context.h"
+#include "sim/colocation_sim.h"
+#include "sim/experiments.h"
+
+namespace mtat::cluster {
+
+struct ClusterConfig {
+  int nodes = 100;
+  /// Per-node platform template (memory geometry, LC workload, BE fleet,
+  /// node-level tiering policy). Each node clones it and only the seed
+  /// differs; the offered load comes from the tenants routed to the node.
+  SimConfig node;
+  /// Static per-node serving-capacity estimate handed to the placement
+  /// policies (e.g. the measured FMEM_ALL peak of the node template).
+  double node_capacity_krps = 8.0;
+  /// Tenant streams to route; 0 selects four per node.
+  int tenants = 0;
+  /// Aggregate tenant demand as a fraction of total fleet capacity
+  /// (nodes * node_capacity_krps). Per-tenant demands are exponential
+  /// weights normalized to this total, so a fleet always carries the same
+  /// load whatever the tenant count.
+  double target_utilization = 0.6;
+  /// Mean tenant FMem working-set estimate as a fraction of node FMem. The
+  /// default makes the tenant population's total footprint roughly equal the
+  /// fleet's total FMem at the default four tenants per node, so capacity
+  /// packing has to spread across the whole fleet rather than degenerately
+  /// piling every tenant onto the first few nodes.
+  double footprint_mean_fraction = 0.25;
+  Duration settle = seconds(2);         ///< unmeasured warmup before each round
+  Duration probe_window = seconds(2);   ///< round-1 telemetry window
+  Duration measure_window = seconds(5); ///< round-2 measured window
+  /// Retain each node's full metrics registry as a CSV dump in
+  /// NodeResult::metrics_csv (determinism tests); off by default — a
+  /// hundreds-of-nodes fleet would otherwise carry hundreds of dumps.
+  bool keep_node_metrics = false;
+  std::uint64_t seed = 42;
+};
+
+/// One node's slice of a measured round.
+struct NodeResult {
+  int node_id = 0;
+  int tenants = 0;
+  double offered_krps = 0;
+  Bytes assigned_footprint = 0;
+  SimResult sim;  ///< the node's full ColocationSim aggregates
+  // The `cluster.node_*` gauges as read back from the node's registry.
+  double p99_ms = 0;
+  double slo_violation_pct = 0;
+  double fmem_util_pct = 0;
+  std::string metrics_csv;  ///< only when cfg.keep_node_metrics
+};
+
+/// Fleet aggregates over the measured round, all folded in node-id order.
+struct ClusterResult {
+  std::vector<NodeResult> nodes;
+  double offered_krps = 0;         ///< total demand routed
+  double completed_krps = 0;       ///< total completion rate observed
+  double slo_compliance_pct = 0;   ///< request-weighted across the fleet
+  double max_p99_ms = 0;           ///< worst node ("tail of tails")
+  double p99_of_p99_ms = 0;        ///< 99th percentile across node P99s
+  double fmem_util_pct = 0;        ///< mean node fast-tier utilization
+  int overloaded_nodes = 0;        ///< nodes over 1% SLO violations
+  int rebalanced_tenants = 0;      ///< placements that moved between rounds
+  /// Simulated node-time the run consumed (both rounds, settle included):
+  /// the denominator-free work measure bench/perf_cluster.cc rates against
+  /// wall time.
+  double node_sim_seconds = 0;
+  std::uint64_t sim_steps = 0;     ///< total node ticks executed
+};
+
+class ClusterSim {
+ public:
+  /// `ctx` is the cluster-level observability context (fleet gauges under
+  /// `cluster.*`, round trace events); null makes the sim own one, exactly
+  /// as ColocationSim does. Tenants are generated here, from cfg.seed, so
+  /// several runs over the same ClusterSim see one tenant population.
+  explicit ClusterSim(const ClusterConfig& cfg, obs::RunContext* ctx = nullptr);
+
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  /// Execute the two placement/simulation rounds under `policy`. `runner`
+  /// fans the node shards across its workers; null runs them serially (the
+  /// bit-identical reference path). run() drives `runner->run_all` itself,
+  /// so it must be called from the top level, never from inside a RunSpec —
+  /// run_all is non-reentrant and throws std::logic_error if nested.
+  ClusterResult run(const PlacementPolicy& policy,
+                    experiments::ParallelRunner* runner = nullptr);
+
+  const ClusterConfig& config() const { return cfg_; }
+  const std::vector<TenantStream>& tenants() const { return tenants_; }
+  obs::RunContext& run_context() { return *ctx_; }
+
+ private:
+  std::vector<NodeState> fresh_states() const;
+  /// Route every tenant under `policy`, mutating `states`; returns the
+  /// chosen node index per tenant, in tenant order.
+  std::vector<std::size_t> place_all(const PlacementPolicy& policy,
+                                     std::vector<NodeState>& states, Rng& rng) const;
+  /// Simulate one round: every node runs settle + `window` at its routed
+  /// load and exports its `cluster.node_*` gauges; outcomes land in
+  /// node-id-ordered NodeResults.
+  std::vector<NodeResult> run_round(const std::vector<std::size_t>& assignment,
+                                    Duration window,
+                                    experiments::ParallelRunner* runner);
+
+  ClusterConfig cfg_;
+  std::unique_ptr<obs::RunContext> owned_ctx_;
+  obs::RunContext* ctx_;
+  std::vector<TenantStream> tenants_;
+  std::vector<std::uint64_t> node_seeds_;
+  std::uint64_t placement_seed_ = 0;
+};
+
+}  // namespace mtat::cluster

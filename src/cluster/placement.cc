@@ -1,0 +1,111 @@
+#include "cluster/placement.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mtat::cluster {
+
+namespace {
+
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "random"; }
+
+  std::size_t place(const TenantStream&, const std::vector<NodeState>& nodes,
+                    Rng& rng) const override {
+    return static_cast<std::size_t>(rng.next_below(nodes.size()));
+  }
+};
+
+/// Best-fit on fast-tier slack: host the tenant on the node whose remaining
+/// FMem after packing it is smallest but non-negative (tightest fit). When no
+/// node can hold the footprint, fall back to the node with the most remaining
+/// FMem — overflow lands where it hurts least. Request rate is deliberately
+/// ignored: this is the capacity-centric placer the telemetry policy is
+/// measured against.
+class BinPackingPlacement final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "bin_packing"; }
+
+  std::size_t place(const TenantStream& tenant, const std::vector<NodeState>& nodes,
+                    Rng&) const override {
+    std::size_t best_fit = nodes.size();
+    double best_slack = std::numeric_limits<double>::infinity();
+    std::size_t most_room = 0;
+    double max_room = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeState& n = nodes[i];
+      const double room = static_cast<double>(n.fmem_capacity) -
+                          static_cast<double>(n.assigned_footprint);
+      if (room > max_room) {  // strict >: ties resolve to the lowest node id
+        max_room = room;
+        most_room = i;
+      }
+      const double slack = room - static_cast<double>(tenant.footprint);
+      if (slack >= 0 && slack < best_slack) {
+        best_slack = slack;
+        best_fit = i;
+      }
+    }
+    return best_fit < nodes.size() ? best_fit : most_room;
+  }
+};
+
+/// Load-balance on observed node health. Score = projected utilization,
+/// inflated by the violation fraction the node reported last round and by a
+/// bounded P99 term, plus a mild fast-tier-pressure term; lowest score wins.
+/// Before any telemetry exists (round one), the NaN fields contribute
+/// nothing and the policy degrades to least-projected-utilization — already
+/// a stronger baseline than either alternative, which is the point of
+/// feeding the balancer from the node registries at all.
+class TelemetryPlacement final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "telemetry"; }
+
+  std::size_t place(const TenantStream& tenant, const std::vector<NodeState>& nodes,
+                    Rng&) const override {
+    std::size_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeState& n = nodes[i];
+      double score = n.projected_utilization(tenant.demand_krps);
+      if (std::isfinite(n.slo_violation_pct)) score *= 1.0 + n.slo_violation_pct / 100.0;
+      if (std::isfinite(n.p99_ms)) score += n.p99_ms / (1.0 + n.p99_ms);
+      if (std::isfinite(n.fmem_util_pct)) score += 0.1 * n.fmem_util_pct / 100.0;
+      if (score < best_score) {  // strict <: ties resolve to the lowest node id
+        best_score = score;
+        best = i;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_random_placement() {
+  return std::make_unique<RandomPlacement>();
+}
+
+std::unique_ptr<PlacementPolicy> make_bin_packing_placement() {
+  return std::make_unique<BinPackingPlacement>();
+}
+
+std::unique_ptr<PlacementPolicy> make_telemetry_placement() {
+  return std::make_unique<TelemetryPlacement>();
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(const std::string& name) {
+  if (name == "random") return make_random_placement();
+  if (name == "bin_packing") return make_bin_packing_placement();
+  if (name == "telemetry") return make_telemetry_placement();
+  throw std::invalid_argument("make_placement: unknown policy \"" + name +
+                              "\" (expected random|bin_packing|telemetry)");
+}
+
+std::vector<std::string> all_placement_names() {
+  return {"random", "bin_packing", "telemetry"};
+}
+
+}  // namespace mtat::cluster

@@ -1,0 +1,97 @@
+// Tenant placement policies for the fleet-scale cluster simulation.
+//
+// A cluster-level load balancer routes tenant request streams (scaled Poisson
+// aggregates — the load-scaling substitution of DESIGN.md §1 applied to a
+// fleet) onto simulated tiered-memory nodes. PlacementPolicy is the pluggable
+// routing decision: given one tenant stream and the current view of every
+// node, pick the node that hosts it. Three implementations span the design
+// space the ROADMAP names:
+//
+//  * random        — uniform pick; the null hypothesis every serious policy
+//                    must beat, and the only one that consults the RNG.
+//  * bin_packing   — best-fit decreasing slack on FMem footprint: packs
+//                    tenant working sets into the fast tier tightly, blind to
+//                    request rate (the classic capacity-centric placer).
+//  * telemetry     — load-balances on the per-node `cluster.node_*` gauges
+//                    the previous round exported from each node's metrics
+//                    registry (P99, SLO violations, FMem utilization); falls
+//                    back to least-projected-utilization before any telemetry
+//                    exists.
+//
+// Determinism contract: place() must be a pure function of (tenant, nodes,
+// rng) — the caller presents nodes in node-id order and resolves ties by the
+// lowest id, so a placement round is bit-reproducible for a given seed
+// whatever thread later simulates each node.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace mtat::cluster {
+
+/// One tenant request stream: an aggregate of many end users against one
+/// logical store shard, Poisson at `demand_krps` (aggregates of independent
+/// Poisson user streams are Poisson, which is what legitimizes folding
+/// millions of users into a few hundred streams).
+struct TenantStream {
+  std::string name;
+  double demand_krps = 0;  ///< offered request rate routed with this tenant
+  Bytes footprint = 0;     ///< working-set estimate used by capacity packing
+};
+
+/// The load balancer's view of one node while a placement round runs. The
+/// assigned_* fields accumulate as tenants are placed; the telemetry fields
+/// are NaN until a simulation round has populated the node's
+/// `cluster.node_*` gauges (obs/names.h).
+struct NodeState {
+  int node_id = 0;
+  Bytes fmem_capacity = 0;        ///< fast-tier size (static)
+  double capacity_krps = 0;       ///< estimated sustainable LC load (static)
+  double assigned_krps = 0;       ///< demand routed here so far this round
+  Bytes assigned_footprint = 0;   ///< tenant working sets packed here so far
+  int tenants = 0;
+  // Telemetry from the previous round, NaN before the first round.
+  double p99_ms = 0;
+  double slo_violation_pct = 0;
+  double fmem_util_pct = 0;
+
+  /// Projected load fraction if a stream of `krps` were added here.
+  double projected_utilization(double krps) const {
+    return capacity_krps > 0 ? (assigned_krps + krps) / capacity_krps
+                             : assigned_krps + krps;
+  }
+};
+
+/// Routing decision interface. Implementations must not keep state across
+/// place() calls (the caller owns all accumulation via NodeState) so a
+/// policy object can be reused across rounds and clusters.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Pick the node (index into `nodes`, which is ordered by node_id) that
+  /// hosts `tenant`. `nodes` reflects every placement made earlier in the
+  /// current round. `rng` is the round's dedicated stream; only the random
+  /// policy draws from it.
+  virtual std::size_t place(const TenantStream& tenant, const std::vector<NodeState>& nodes,
+                            Rng& rng) const = 0;
+};
+
+std::unique_ptr<PlacementPolicy> make_random_placement();
+std::unique_ptr<PlacementPolicy> make_bin_packing_placement();
+std::unique_ptr<PlacementPolicy> make_telemetry_placement();
+
+/// Factory by name ("random", "bin_packing", "telemetry"); throws
+/// std::invalid_argument for anything else.
+std::unique_ptr<PlacementPolicy> make_placement(const std::string& name);
+
+/// All three, in reporting order.
+std::vector<std::string> all_placement_names();
+
+}  // namespace mtat::cluster

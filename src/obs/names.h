@@ -70,6 +70,20 @@ inline constexpr const char* kRlRejectedTransitions = "rl.rejected_transitions";
 inline constexpr const char* kPpePlansAbandoned = "ppe.plans_abandoned";
 inline constexpr const char* kMtatMode = "mtat.mode";
 inline constexpr const char* kMtatModeTransitions = "mtat.mode_transitions";
+inline constexpr const char* kClusterNodes = "cluster.nodes";
+inline constexpr const char* kClusterTenants = "cluster.tenants";
+inline constexpr const char* kClusterRounds = "cluster.rounds";
+inline constexpr const char* kClusterPlacements = "cluster.placements";
+inline constexpr const char* kClusterRebalancedTenants = "cluster.rebalanced_tenants";
+inline constexpr const char* kClusterOfferedRps = "cluster.offered_rps";
+inline constexpr const char* kClusterSloCompliancePct = "cluster.slo_compliance_pct";
+inline constexpr const char* kClusterTailP99Ms = "cluster.tail_p99_ms";
+inline constexpr const char* kClusterFmemUtilPct = "cluster.fmem_util_pct";
+inline constexpr const char* kClusterNodeP99Ms = "cluster.node_p99_ms";
+inline constexpr const char* kClusterNodeSloViolationPct = "cluster.node_slo_violation_pct";
+inline constexpr const char* kClusterNodeFmemUtilPct = "cluster.node_fmem_util_pct";
+inline constexpr const char* kClusterNodeOfferedRps = "cluster.node_offered_rps";
+inline constexpr const char* kClusterNodeTenants = "cluster.node_tenants";
 // mtat-lint: section=trace-event
 inline constexpr const char* kEvInterval = "interval";
 inline constexpr const char* kEvMigration = "migration";
@@ -88,6 +102,7 @@ inline constexpr const char* kEvMigrationBackoff = "migration.backoff";
 inline constexpr const char* kEvMigrationRetry = "migration.retry";
 inline constexpr const char* kEvPpePlanAbandon = "ppe.plan_abandon";
 inline constexpr const char* kEvMtatModeChange = "mtat.mode_change";
+inline constexpr const char* kEvClusterRound = "cluster.round";
 // mtat-lint: section=trace-category
 inline constexpr const char* kCatSim = "sim";
 inline constexpr const char* kCatMem = "mem";
@@ -108,7 +123,11 @@ inline constexpr const char* kAllMetricNames[] = {
     kDerivedPolicyWallUsPerInterval, kFaultSamplesDropped, kFaultSamplesCorrupted,
     kFaultMigrationFailures, kFaultMigrationRollbacks, kFaultRlActionsCorrupted,
     kMigrationRetries, kMigrationBackoffTicks, kPpmNonfiniteActions, kRlRejectedTransitions,
-    kPpePlansAbandoned, kMtatMode, kMtatModeTransitions};
+    kPpePlansAbandoned, kMtatMode, kMtatModeTransitions, kClusterNodes, kClusterTenants,
+    kClusterRounds, kClusterPlacements, kClusterRebalancedTenants, kClusterOfferedRps,
+    kClusterSloCompliancePct, kClusterTailP99Ms, kClusterFmemUtilPct, kClusterNodeP99Ms,
+    kClusterNodeSloViolationPct, kClusterNodeFmemUtilPct, kClusterNodeOfferedRps,
+    kClusterNodeTenants};
 
 /// Wall-clock-domain metrics: the only registry entries allowed to differ
 /// between two same-seed runs (they measure host compute time, not simulated

@@ -13,12 +13,31 @@
 
 namespace mtat::experiments {
 
+namespace {
+
+// One flag for every runner instance: nested run_all is forbidden whichever
+// runner it goes through, because the inner call would deadlock a one-worker
+// pool on itself and scramble the deterministic trace-merge order on any
+// larger one.
+std::atomic<bool> g_run_all_active{false};
+
+}  // namespace
+
 ParallelRunner::ParallelRunner(int jobs) : jobs_(jobs) {
   if (jobs_ <= 0) jobs_ = std::max(1u, std::thread::hardware_concurrency());
 }
 
 void ParallelRunner::run_all(const std::vector<RunSpec>& specs) {
   if (specs.empty()) return;
+
+  if (g_run_all_active.exchange(true, std::memory_order_acq_rel))
+    throw std::logic_error(
+        "ParallelRunner::run_all is not reentrant: a RunSpec attempted to start "
+        "another run_all (drive nested fan-out from the top level instead)");
+  struct Release {
+    std::atomic<bool>* flag;
+    ~Release() { flag->store(false, std::memory_order_release); }
+  } release{&g_run_all_active};
 
   // Contexts are created up front, in spec order, on the calling thread:
   // private trace rings only exist (and only cost memory) when the global

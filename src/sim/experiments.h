@@ -65,7 +65,11 @@ struct RunSpec {
 ///
 /// run_all must be called from one thread at a time (bench main); it is not
 /// reentrant from inside a spec, because the final merge into the global
-/// recorder is unsynchronized.
+/// recorder is unsynchronized and a one-worker pool would deadlock on
+/// itself. Nesting is an explicit error, not undefined behaviour: a run_all
+/// that starts while another is active — through *any* runner instance —
+/// throws std::logic_error from the inner call, and the outer call then
+/// rethrows it like any other spec failure.
 class ParallelRunner {
  public:
   /// `jobs` <= 0 selects std::thread::hardware_concurrency() (min 1) — the

@@ -184,6 +184,35 @@ TEST(ParallelRunner, SpecExceptionPropagatesToCaller) {
   }
 }
 
+TEST(ParallelRunner, NestedRunAllThrowsLogicError) {
+  // Reentrancy is an explicit error: a spec that drives another run_all —
+  // through the same runner or a different instance — gets std::logic_error
+  // from the inner call, and the outer run_all rethrows it like any spec
+  // failure. Without the guard, a one-worker pool would deadlock here.
+  for (int jobs : {1, 3}) {
+    ParallelRunner outer(jobs);
+    ParallelRunner inner(1);
+    std::atomic<int> inner_ran{0};
+    std::vector<RunSpec> specs;
+    specs.push_back({"nests", [&inner, &inner_ran](obs::RunContext&) {
+                       std::vector<RunSpec> nested;
+                       nested.push_back({"never", [&inner_ran](obs::RunContext&) {
+                                           inner_ran.fetch_add(1);
+                                         }});
+                       inner.run_all(nested);
+                     }});
+    EXPECT_THROW(outer.run_all(specs), std::logic_error) << "jobs=" << jobs;
+    EXPECT_EQ(inner_ran.load(), 0) << "jobs=" << jobs;
+    // The guard must release on the error path: a fresh top-level run_all
+    // right after the failure works normally.
+    std::atomic<int> ran{0};
+    std::vector<RunSpec> ok;
+    ok.push_back({"after", [&ran](obs::RunContext&) { ran.fetch_add(1); }});
+    outer.run_all(ok);
+    EXPECT_EQ(ran.load(), 1) << "jobs=" << jobs;
+  }
+}
+
 TEST(ParallelRunner, SpecsGetPrivateTraceContexts) {
   ParallelRunner runner(2);
   std::vector<RunSpec> specs;

@@ -148,6 +148,22 @@ TEST(LintSource, FaultDomainLiteralsFlaggedAnywhereOnALine) {
       << dump(findings);
 }
 
+TEST(LintSource, ClusterDomainLiteralsFlaggedAnywhereOnALine) {
+  const auto findings = lint_fixture("bad_cluster_literal.cc");
+  // A known cluster.* name at a call site: both the call-site rule and the
+  // stricter anywhere-rule fire.
+  EXPECT_TRUE(has(findings, "cluster-name", 6, "use the obs::names:: constant"))
+      << dump(findings);
+  // A known cluster.* name in a bare comparison — no registry call, so only
+  // cluster-name can catch it.
+  EXPECT_TRUE(has(findings, "cluster-name", 7, "use the obs::names:: constant"))
+      << dump(findings);
+  EXPECT_FALSE(has(findings, "metric-name", 7, "")) << dump(findings);
+  // A typo'd cluster.* name reads as an unknown to declare.
+  EXPECT_TRUE(has(findings, "cluster-name", 8, "unknown cluster-domain name"))
+      << dump(findings);
+}
+
 TEST(LintSource, NonCanonicalUnitSuffixesAtCallSites) {
   const auto findings = lint_fixture("bad_unit_suffix.cc");
   EXPECT_TRUE(has(findings, "unit-suffix", 4, "use _us")) << dump(findings);
@@ -219,6 +235,8 @@ TEST(Suppression, RealAllowlistParses) {
   EXPECT_FALSE(allow.allows("getenv", "bench/harness.h"));
   EXPECT_TRUE(allow.allows("fault-name", "src/obs/names.h"));
   EXPECT_FALSE(allow.allows("fault-name", "src/faults/fault_plan.h"));
+  EXPECT_TRUE(allow.allows("cluster-name", "src/obs/names.h"));
+  EXPECT_FALSE(allow.allows("cluster-name", "src/cluster/cluster_sim.cc"));
 }
 
 // ----------------------------------------------------------------- doc sync --
@@ -264,8 +282,8 @@ TEST(Run, FixtureTreeProducesEveryRule) {
   opt.check_docs = false;
   const std::vector<Finding> findings = run(opt);
   ASSERT_FALSE(findings.empty());
-  for (const char* rule : {"metric-name", "fault-name", "unit-suffix", "nondet",
-                           "unsafe-parse", "getenv", "ns-header"}) {
+  for (const char* rule : {"metric-name", "fault-name", "cluster-name", "unit-suffix",
+                           "nondet", "unsafe-parse", "getenv", "ns-header"}) {
     EXPECT_TRUE(std::any_of(findings.begin(), findings.end(),
                             [&](const Finding& f) { return f.rule == rule; }))
         << "rule " << rule << " never fired:\n" << dump(findings);

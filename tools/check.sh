@@ -64,6 +64,18 @@ for lane in asan ubsan; do
   rm -rf "${smoke_dir}"
 done
 
+# The fleet-scale cluster bench end-to-end: a hundred-plus node shards fanned
+# across a worker pool, in release and again under ASan — the shard
+# closures copy results out of contexts run_all destroys on return, which is
+# exactly where lifetime bugs would hide (DESIGN.md §13).
+for lane in release asan; do
+  echo "==== cluster bench smoke (${lane}, MTAT_SCALE=smoke, MTAT_JOBS=2) ===="
+  smoke_dir=$(mktemp -d)
+  (cd "${smoke_dir}" &&
+   MTAT_SCALE=smoke MTAT_JOBS=2 "${repo_root}/build-check/${lane}/bench/ext_cluster_slo")
+  rm -rf "${smoke_dir}"
+done
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==== clang-tidy (src/) ===="
   # The release lane's compile_commands.json drives the tidy pass.

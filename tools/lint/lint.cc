@@ -423,13 +423,25 @@ void lint_source(const std::string& rel_path, const std::string& contents,
                "metric name \"" + name + "\" uses a non-canonical unit suffix; use _" + canon);
     }
 
-    // -- fault.* name literals anywhere -------------------------------------
+    // -- strict-domain name literals anywhere -------------------------------
     //
-    // The fault-injection counters are how resilience claims are audited, so
-    // their names get a stricter rule than the call-site-only metric-name
-    // check: a literal in the fault.* namespace is flagged wherever it
-    // appears (comparisons, map keys, test expectations included) — the only
-    // blessed spelling is the obs::names:: constant, declared in names.h.
+    // Some name families get a stricter rule than the call-site-only
+    // metric-name check: a literal in one of these namespaces is flagged
+    // wherever it appears (comparisons, map keys, test expectations
+    // included) — the only blessed spelling is the obs::names:: constant,
+    // declared in names.h. The fault.* counters are how resilience claims
+    // are audited; the cluster.* gauges are what the fleet's telemetry-aware
+    // placement decides on, so a forked spelling would silently blind the
+    // balancer.
+    struct StrictDomain {
+      const char* prefix;
+      const char* rule;
+      const char* what;
+    };
+    static const StrictDomain kStrictDomains[] = {
+        {"fault.", "fault-name", "fault-domain"},        // mtat-lint: allow(fault-name)
+        {"cluster.", "cluster-name", "cluster-domain"},  // mtat-lint: allow(cluster-name)
+    };
     for (std::size_t pos = scan.find('"'); pos != std::string::npos;
          pos = scan.find('"', pos + 1)) {
       std::string lit;
@@ -437,16 +449,19 @@ void lint_source(const std::string& rel_path, const std::string& contents,
       const std::size_t close = scan.find('"', pos + 1);
       if (close == std::string::npos) break;
       pos = close;
-      if (lit.rfind("fault.", 0) != 0) continue;  // mtat-lint: allow(fault-name)
-      if (names.contains(lit)) {
-        report(lineno, "fault-name",
-               "fault-domain name literal \"" + lit +
-                   "\": use the obs::names:: constant from src/obs/names.h");
-      } else {
-        report(lineno, "fault-name",
-               "unknown fault-domain name \"" + lit +
-                   "\": every fault.* metric/trace name must be declared in src/obs/names.h "
-                   "and referenced via its obs::names:: constant");
+      for (const StrictDomain& d : kStrictDomains) {
+        if (lit.rfind(d.prefix, 0) != 0) continue;
+        if (names.contains(lit)) {
+          report(lineno, d.rule,
+                 std::string(d.what) + " name literal \"" + lit +
+                     "\": use the obs::names:: constant from src/obs/names.h");
+        } else {
+          report(lineno, d.rule,
+                 std::string("unknown ") + d.what + " name \"" + lit + "\": every " + d.prefix +
+                     "* metric/trace name must be declared in src/obs/names.h "
+                     "and referenced via its obs::names:: constant");
+        }
+        break;
       }
     }
 

@@ -25,6 +25,11 @@
 //                fault.* literals are reported as typos; known ones as
 //                literals to migrate. names.h itself is the one allowlisted
 //                declaration site.
+//  cluster-name  Same anywhere-on-a-line strictness for the cluster.*
+//                namespace: those gauges feed the fleet's telemetry-aware
+//                placement policy, so a forked spelling silently blinds the
+//                balancer. Unknown cluster.* literals are typos; known ones
+//                are literals to migrate; names.h is the declaration site.
 //  nondet        Nondeterminism sources are banned from simulation code:
 //                rand(), srand(), std::random_device, std::chrono::
 //                system_clock, time(), gettimeofday(), localtime/gmtime.
