@@ -22,6 +22,8 @@
 //                                      the process (e.g. storm, storm:0.5);
 //                                      validated against the known presets by
 //                                      the harness hook (faults::FaultPlan)
+//   MTAT_PERF_LABEL   non-empty string label for the BENCH_*.json entry a
+//                                      perf_* bench appends (default "run")
 #pragma once
 
 #include <cstdio>
@@ -47,6 +49,7 @@ struct Env {
   /// FaultsEnvHook parses it via faults::FaultPlan::from_spec and warns on
   /// anything malformed.
   std::string faults;
+  std::string perf_label = "run";     ///< MTAT_PERF_LABEL
 
   /// The process's parsed environment (parsed on first use, then cached).
   static const Env& get();
@@ -96,6 +99,7 @@ inline Env parse_env() {
     }
   }
   if (const auto s = env_string("MTAT_FAULTS")) e.faults = *s;
+  if (const auto s = env_string("MTAT_PERF_LABEL")) e.perf_label = *s;
   if (const auto s = env_string("MTAT_NODES")) {
     const auto v = parse_int(*s);
     if (v && *v > 0 && *v <= 100'000) {

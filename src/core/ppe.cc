@@ -73,15 +73,13 @@ PageId PartitionEnforcer::promote_candidate(std::size_t idx) const {
   // Hottest sampled SMem page; if the workload has no sampled-warm SMem pages
   // (e.g. an idle LC workload), any resident SMem page will do — growth of
   // the partition must not stall on telemetry sparsity.
-  const auto hot = hist_[idx]->hottest_in_tier(Tier::kSMem, 1);
-  if (!hot.empty()) return hot.front();
-  const auto any = hist_[idx]->coldest_in_tier(Tier::kSMem, 1);
-  return any.empty() ? kInvalidPage : any.front();
+  const PageId hot = hist_[idx]->hottest_page(Tier::kSMem);
+  if (hot != kInvalidPage) return hot;
+  return hist_[idx]->coldest_page(Tier::kSMem);
 }
 
 PageId PartitionEnforcer::demote_candidate(std::size_t idx) const {
-  const auto cold = hist_[idx]->coldest_in_tier(Tier::kFMem, 1);
-  return cold.empty() ? kInvalidPage : cold.front();
+  return hist_[idx]->coldest_page(Tier::kFMem);
 }
 
 std::size_t PartitionEnforcer::hottest_be_tenant() const {
@@ -89,9 +87,9 @@ std::size_t PartitionEnforcer::hottest_be_tenant() const {
   int best_bin = 0;  // require a genuinely warm page (bin >= 1)
   for (std::size_t i = 0; i < quota_.size(); ++i) {
     if (i == lc_idx_) continue;
-    const auto hot = hist_[i]->hottest_in_tier(Tier::kSMem, 1);
-    if (hot.empty()) continue;
-    const int bin = hist_[i]->bin_of_page(hot.front());
+    const PageId hot = hist_[i]->hottest_page(Tier::kSMem);
+    if (hot == kInvalidPage) continue;
+    const int bin = hist_[i]->bin_of_page(hot);
     if (bin > best_bin) {
       best_bin = bin;
       best = i;
@@ -105,9 +103,9 @@ std::size_t PartitionEnforcer::coldest_be_tenant() const {
   int best_bin = PageHotness::kBins;
   for (std::size_t i = 0; i < quota_.size(); ++i) {
     if (i == lc_idx_) continue;
-    const auto cold = hist_[i]->coldest_in_tier(Tier::kFMem, 1);
-    if (cold.empty()) continue;
-    const int bin = hist_[i]->bin_of_page(cold.front());
+    const PageId cold = hist_[i]->coldest_page(Tier::kFMem);
+    if (cold == kInvalidPage) continue;
+    const int bin = hist_[i]->bin_of_page(cold);
     if (bin < best_bin) {
       best_bin = bin;
       best = i;
@@ -235,14 +233,14 @@ void PartitionEnforcer::refine() {
   // Figure 4b: within-partition exchanges, hottest-SMem vs coldest-FMem.
   const auto refine_within = [&](std::size_t idx) {
     for (std::size_t k = 0; k < opt_.refine_cap; ++k) {
-      const auto hot = hist_[idx]->hottest_in_tier(Tier::kSMem, 1);
-      if (hot.empty()) return;
-      const auto cold = hist_[idx]->coldest_in_tier(Tier::kFMem, 1);
-      if (cold.empty()) return;
-      if (hist_[idx]->bin_of_page(hot.front()) - hist_[idx]->bin_of_page(cold.front()) <
+      const PageId hot = hist_[idx]->hottest_page(Tier::kSMem);
+      if (hot == kInvalidPage) return;
+      const PageId cold = hist_[idx]->coldest_page(Tier::kFMem);
+      if (cold == kInvalidPage) return;
+      if (hist_[idx]->bin_of_page(hot) - hist_[idx]->bin_of_page(cold) <
           opt_.refine_min_gap)
         return;
-      if (!ctx_.engine->exchange(hot.front(), cold.front())) return;
+      if (!ctx_.engine->exchange(hot, cold)) return;
     }
   };
 
@@ -258,12 +256,13 @@ void PartitionEnforcer::refine() {
     if (pi == quota_.size()) return;
     const std::size_t di = coldest_be_tenant();
     if (di == quota_.size()) return;
-    const auto hot = hist_[pi]->hottest_in_tier(Tier::kSMem, 1);
-    const auto cold = hist_[di]->coldest_in_tier(Tier::kFMem, 1);
-    if (hist_[pi]->bin_of_page(hot.front()) - hist_[di]->bin_of_page(cold.front()) <
+    // Tenant selection above guarantees both pages exist.
+    const PageId hot = hist_[pi]->hottest_page(Tier::kSMem);
+    const PageId cold = hist_[di]->coldest_page(Tier::kFMem);
+    if (hist_[pi]->bin_of_page(hot) - hist_[di]->bin_of_page(cold) <
         opt_.refine_min_gap)
       return;
-    if (!ctx_.engine->exchange(hot.front(), cold.front())) return;
+    if (!ctx_.engine->exchange(hot, cold)) return;
   }
 }
 

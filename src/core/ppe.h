@@ -94,6 +94,7 @@ class PartitionEnforcer {
   std::uint64_t quota(std::size_t idx) const { return quota_[idx]; }
   std::int64_t remaining_delta(std::size_t idx) const { return delta_[idx]; }
   PageHotness& histogram(std::size_t idx) { return *hist_[idx]; }
+  std::size_t histogram_count() const { return hist_.size(); }
 
   /// Wire PP-E to a run's observability: register enforcement metrics (plans
   /// installed, relocation backlog) with `ctx`'s registry and record plan

@@ -59,7 +59,7 @@ void TieredMemory::place(PageId p, Tier t) {
   wl.in_tier[static_cast<int>(t)]++;
   pi.tier = t;
   migrations_++;
-  for (const auto& fn : listeners_) fn(p, from, t);
+  for (MigrationListener* l : listeners_) l->on_migration(p, from, t);
 }
 
 bool TieredMemory::migrate(PageId p, Tier to) {

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <stdexcept>
 #include <vector>
 
@@ -21,6 +20,20 @@
 #include "common/units.h"
 
 namespace mtat {
+
+/// Observer of page placement changes (migrate/exchange). Implementations
+/// register with TieredMemory::add_migration_listener and are invoked after
+/// every placement change; they must outlive any further migrations.
+///
+/// This used to be a std::function<void(PageId, Tier, Tier)>: hotness
+/// telemetry keeps its cached per-page tier bit in sync through this hook,
+/// so every migration paid a type-erased call per listener. A plain virtual
+/// interface is one indirect call, and gives listeners a stable identity.
+class MigrationListener {
+ public:
+  virtual ~MigrationListener() = default;
+  virtual void on_migration(PageId p, Tier from, Tier to) = 0;
+};
 
 /// Where freshly allocated pages should land.
 enum class AllocPolicy : std::uint8_t {
@@ -124,10 +137,11 @@ class TieredMemory {
   std::uint64_t total_migrations() const { return migrations_; }
   Bytes bytes_migrated() const { return migrations_ * kPageSize; }
 
-  /// Observer invoked after every page placement change (migrate/exchange).
-  /// Used by performance models that maintain incremental placement sums.
-  using MigrationListener = std::function<void(PageId, Tier from, Tier to)>;
-  void add_migration_listener(MigrationListener fn) { listeners_.push_back(std::move(fn)); }
+  /// Registers `l` to observe every subsequent placement change. The
+  /// listener is borrowed, not owned: it must stay alive for as long as
+  /// pages can still migrate (telemetry/ and workload models register
+  /// themselves for their own lifetime).
+  void add_migration_listener(MigrationListener* l) { listeners_.push_back(l); }
 
  private:
   struct PageInfo {
@@ -150,7 +164,7 @@ class TieredMemory {
   Config cfg_;
   std::vector<PageInfo> info_;
   std::vector<WorkloadPages> per_workload_;
-  std::vector<MigrationListener> listeners_;
+  std::vector<MigrationListener*> listeners_;
   std::uint64_t used_[2] = {0, 0};
   double contention_[2] = {1.0, 1.0};
   std::uint64_t migrations_ = 0;

@@ -1,0 +1,65 @@
+// Minimal strict JSON parser for the tooling that reads our own dumps back
+// (BENCH_*.json trajectories in bench/perf_core and tools/perf_diff).
+//
+// obs/json.h is emit-only by design; this is its read-side counterpart, and
+// it is deliberately small and strict rather than general:
+//
+//  * the full JSON value grammar (RFC 8259) minus \uXXXX escapes outside the
+//    BMP-as-bytes passthrough below — our emitters only escape control
+//    characters, quotes, and backslashes;
+//  * objects preserve member order (vector of pairs, not a map), so a
+//    re-emit round-trips deterministically — duplicate keys are an error;
+//  * every malformed input throws JsonParseError with a line/column, never
+//    returns a best-effort value. The callers are gates; a quiet partial
+//    parse would let a truncated BENCH file pass for a clean one.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mtat::obs {
+
+struct JsonParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  /// Members in document order; json_parse rejects duplicate keys.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+/// Throws JsonParseError with a "line L, column C" location on any problem.
+JsonValue json_parse(std::string_view text);
+
+/// json_parse over a file's contents; unreadable files throw JsonParseError
+/// naming the path.
+JsonValue json_parse_file(const std::string& path);
+
+}  // namespace mtat::obs

@@ -84,6 +84,12 @@ inline constexpr const char* kClusterNodeSloViolationPct = "cluster.node_slo_vio
 inline constexpr const char* kClusterNodeFmemUtilPct = "cluster.node_fmem_util_pct";
 inline constexpr const char* kClusterNodeOfferedRps = "cluster.node_offered_rps";
 inline constexpr const char* kClusterNodeTenants = "cluster.node_tenants";
+inline constexpr const char* kPerfSimStepsPerSec = "perf.sim_steps_per_sec";
+inline constexpr const char* kPerfSamplerIngestPerSec = "perf.sampler_ingest_per_sec";
+inline constexpr const char* kPerfHotnessRecordAgePerSec = "perf.hotness_record_age_per_sec";
+inline constexpr const char* kPerfHotnessPullPerSec = "perf.hotness_pull_per_sec";
+inline constexpr const char* kPerfMigrationsPerSec = "perf.migrations_per_sec";
+inline constexpr const char* kPerfSacInferencePerSec = "perf.sac_inference_per_sec";
 // mtat-lint: section=trace-event
 inline constexpr const char* kEvInterval = "interval";
 inline constexpr const char* kEvMigration = "migration";
@@ -127,13 +133,18 @@ inline constexpr const char* kAllMetricNames[] = {
     kClusterRounds, kClusterPlacements, kClusterRebalancedTenants, kClusterOfferedRps,
     kClusterSloCompliancePct, kClusterTailP99Ms, kClusterFmemUtilPct, kClusterNodeP99Ms,
     kClusterNodeSloViolationPct, kClusterNodeFmemUtilPct, kClusterNodeOfferedRps,
-    kClusterNodeTenants};
+    kClusterNodeTenants, kPerfSimStepsPerSec, kPerfSamplerIngestPerSec,
+    kPerfHotnessRecordAgePerSec, kPerfHotnessPullPerSec, kPerfMigrationsPerSec,
+    kPerfSacInferencePerSec};
 
 /// Wall-clock-domain metrics: the only registry entries allowed to differ
 /// between two same-seed runs (they measure host compute time, not simulated
-/// behaviour). The determinism regression test skips exactly these.
+/// behaviour). The determinism regression test skips exactly these. The whole
+/// perf.* family is wall-derived by construction — every one is an ops/s
+/// throughput rated against host wall time by bench/perf_core.
 inline constexpr bool is_wall_time_metric(std::string_view name) {
-  return name.find("wall") != std::string_view::npos;
+  return name.find("wall") != std::string_view::npos ||
+         name.substr(0, 5) == "perf.";  // mtat-lint: allow(perf-name)
 }
 
 }  // namespace mtat::obs::names

@@ -39,11 +39,11 @@ void MemtisHpPolicy::promote_block(std::uint64_t block_index) {
       if (!ctx_.engine->promote(p)) return;
       continue;
     }
-    const auto victims = hist_.coldest_in_tier(Tier::kFMem, 1);
-    if (victims.empty()) return;
+    const PageId victim = hist_.coldest_page(Tier::kFMem);
+    if (victim == kInvalidPage) return;
     // Never let a block evict itself.
-    if (victims[0] >= begin && victims[0] < end) continue;
-    if (!ctx_.engine->exchange(p, victims[0])) return;
+    if (victim >= begin && victim < end) continue;
+    if (!ctx_.engine->exchange(p, victim)) return;
   }
   ++block_promotions_;
 }
@@ -58,21 +58,21 @@ void MemtisHpPolicy::on_tick(SimTime, Duration) {
   // Base/split path: page-granular hottest-vs-coldest exchange, as MEMTIS.
   std::uint64_t free_fmem = ctx_.mem->free_pages(Tier::kFMem);
   if (free_fmem > 0) {
-    const auto hot = hist_.hottest_in_tier(
-        Tier::kSMem, std::min<std::uint64_t>(free_fmem, ctx_.engine->budget_pages()));
-    for (PageId p : hot)
+    hist_.hottest_in_tier(
+        Tier::kSMem, std::min<std::uint64_t>(free_fmem, ctx_.engine->budget_pages()), hot_);
+    for (PageId p : hot_)
       if (!ctx_.engine->promote(p)) break;
   }
   const std::size_t batch =
       std::min<std::size_t>(opt_.max_exchanges_per_tick, ctx_.engine->budget_pages() / 2);
   if (batch == 0) return;
-  const auto hot = hist_.hottest_in_tier(Tier::kSMem, batch);
-  const auto victims = hist_.coldest_in_tier(Tier::kFMem, batch);
+  hist_.hottest_in_tier(Tier::kSMem, batch, hot_);
+  hist_.coldest_in_tier(Tier::kFMem, batch, victims_);
   std::size_t vi = 0;
-  for (PageId p : hot) {
-    if (vi >= victims.size()) break;
-    if (hist_.bin_of_page(p) - hist_.bin_of_page(victims[vi]) < opt_.min_bin_gap) break;
-    if (!ctx_.engine->exchange(p, victims[vi])) break;
+  for (PageId p : hot_) {
+    if (vi >= victims_.size()) break;
+    if (hist_.bin_of_page(p) - hist_.bin_of_page(victims_[vi]) < opt_.min_bin_gap) break;
+    if (!ctx_.engine->exchange(p, victims_[vi])) break;
     ++vi;
   }
 }

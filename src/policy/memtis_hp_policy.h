@@ -64,6 +64,9 @@ class MemtisHpPolicy : public TieringPolicy {
   std::vector<std::uint64_t> pending_blocks_;  // hot-huge blocks to bulk-move
   int intervals_since_cooling_ = 0;
   std::uint64_t block_promotions_ = 0;
+  // Scratch for the per-tick histogram pulls (capacity persists across ticks).
+  std::vector<PageId> hot_;
+  std::vector<PageId> victims_;
 };
 
 }  // namespace mtat

@@ -14,21 +14,21 @@ void MemtisPolicy::on_tick(SimTime, Duration) {
   // Fill any free FMem with the hottest SMem pages first.
   std::uint64_t free_fmem = ctx_.mem->free_pages(Tier::kFMem);
   if (free_fmem > 0) {
-    const auto hot = hist_.hottest_in_tier(
-        Tier::kSMem, std::min<std::uint64_t>(free_fmem, ctx_.engine->budget_pages()));
-    for (PageId p : hot)
+    hist_.hottest_in_tier(
+        Tier::kSMem, std::min<std::uint64_t>(free_fmem, ctx_.engine->budget_pages()), hot_);
+    for (PageId p : hot_)
       if (!ctx_.engine->promote(p)) break;
   }
   // Then displace: exchange hot SMem pages against strictly colder FMem pages.
   const std::size_t batch =
       std::min<std::size_t>(opt_.max_exchanges_per_tick, ctx_.engine->budget_pages() / 2);
   if (batch == 0) return;
-  const auto hot = hist_.hottest_in_tier(Tier::kSMem, batch);
-  const auto victims = hist_.coldest_in_tier(Tier::kFMem, batch);
+  hist_.hottest_in_tier(Tier::kSMem, batch, hot_);
+  hist_.coldest_in_tier(Tier::kFMem, batch, victims_);
   std::size_t vi = 0;
-  for (PageId p : hot) {
-    if (vi >= victims.size()) break;
-    const PageId victim = victims[vi];
+  for (PageId p : hot_) {
+    if (vi >= victims_.size()) break;
+    const PageId victim = victims_[vi];
     // Hot list is descending, victim list ascending: once the gap closes,
     // no later pair can satisfy it either.
     if (hist_.bin_of_page(p) - hist_.bin_of_page(victim) < opt_.min_bin_gap) break;

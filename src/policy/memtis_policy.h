@@ -43,6 +43,9 @@ class MemtisPolicy : public TieringPolicy {
   Options opt_;
   PageHotness hist_;  // unified, all tenants
   int intervals_since_cooling_ = 0;
+  // Scratch for the per-tick histogram pulls (capacity persists across ticks).
+  std::vector<PageId> hot_;
+  std::vector<PageId> victims_;
 };
 
 }  // namespace mtat

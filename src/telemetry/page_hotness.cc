@@ -1,23 +1,19 @@
 #include "telemetry/page_hotness.h"
 
-#include <stdexcept>
-
 namespace mtat {
 
 PageHotness::PageHotness(TieredMemory& mem, WorkloadId workload_filter)
     : mem_(&mem), filter_(workload_filter) {
-  mem.add_migration_listener([this](PageId p, Tier from, Tier to) { on_migration(p, from, to); });
+  mem.add_migration_listener(this);
 }
 
 void PageHotness::seed_allocated_pages() {
   const auto seed_one = [this](PageId p) {
     ensure(p);
-    Entry& e = entries_[p];
-    if (e.tracked) return;
-    e.tracked = true;
-    e.count = 0;
-    e.epoch = epoch_;
-    push(p, static_cast<int>(mem_->tier_of(p)), 0);
+    if (words_[p] & kTrackedBit) return;
+    const int tier = static_cast<int>(mem_->tier_of(p));
+    words_[p] = kTrackedBit | (tier != 0 ? kTierBit : 0) | packed_epoch();
+    push(p, tier, 0);
     ++tracked_;
   };
   if (filter_ != kInvalidWorkload) {
@@ -27,62 +23,78 @@ void PageHotness::seed_allocated_pages() {
   }
 }
 
-void PageHotness::record_access(WorkloadId w, PageId p) {
-  if (filter_ != kInvalidWorkload && w != filter_) return;
-  ensure(p);
-  Entry& e = entries_[p];
+void PageHotness::record_untracked(PageId p) {
+  // tier_of also validates p (throws on a never-allocated id), so ask before
+  // growing the arrays.
   const int tier = static_cast<int>(mem_->tier_of(p));
-  const std::uint32_t eff = e.tracked ? effective(e) : 0;
+  ensure(p);
+  words_[p] = kTrackedBit | (tier != 0 ? kTierBit : 0) | packed_epoch() | 1u;
+  push(p, tier, bin_of(1));
+  ++tracked_;
+}
+
+void PageHotness::record_bin_move(PageId p, std::uint64_t word, std::uint32_t eff) {
   const int old_bin = bin_of(eff);
   const int new_bin = bin_of(eff + 1);
-  if (!e.tracked) {
-    e.tracked = true;
-    ++tracked_;
-    e.count = 1;
-    e.epoch = epoch_;
-    push(p, tier, new_bin);
-    return;
-  }
-  e.count = eff + 1;
-  e.epoch = epoch_;
-  if (new_bin != old_bin || static_cast<int>(e.tier) != tier) {
-    remove(p, e.tier, old_bin);
+  const int tier = (word & kTierBit) != 0 ? 1 : 0;
+  words_[p] = (word & (kTierBit | kTrackedBit)) | packed_epoch() |
+              static_cast<std::uint64_t>(eff + 1);
+  // new_bin == old_bin happens only at the saturating top bin (and the
+  // count-wrap corner); everywhere else eff+1 being a power of two means the
+  // page steps up exactly one bin.
+  if (new_bin != old_bin) {
+    remove(p, tier, old_bin);
     push(p, tier, new_bin);
   }
 }
 
 void PageHotness::on_migration(PageId p, Tier, Tier to) {
-  if (p >= entries_.size()) return;
-  Entry& e = entries_[p];
-  if (!e.tracked) return;
-  const int bin = bin_of(effective(e));
-  remove(p, e.tier, bin);
-  push(p, static_cast<int>(to), bin);
+  if (p >= words_.size()) return;
+  const std::uint64_t word = words_[p];
+  if (!(word & kTrackedBit)) return;
+  const int tier = (word & kTierBit) != 0 ? 1 : 0;
+  const int bin = bin_of(effective_of(word));
+  remove(p, tier, bin);
+  const int nt = static_cast<int>(to);
+  words_[p] = nt != 0 ? (word | kTierBit) : (word & ~kTierBit);
+  push(p, nt, bin);
 }
 
 void PageHotness::age() {
   ++epoch_;
   // Counts halve lazily via the epoch shift; physically, every bin's contents
-  // now belong one bin lower, so rotate each tier's bin array down one slot.
-  // Bin 1 (count 1 -> 0) merges into bin 0.
-  for (auto& tier_bins : bins_) {
-    auto& b0 = tier_bins[0];
-    for (PageId p : tier_bins[1]) {
-      entries_[p].pos = static_cast<std::uint32_t>(b0.size());
-      b0.push_back(p);
-    }
-    for (int b = 1; b + 1 < kBins; ++b) tier_bins[b] = std::move(tier_bins[b + 1]);
-    tier_bins[kBins - 1].clear();
+  // now belong one bin lower, which the circular bins express as a base_
+  // advance. Only bin 1 (count 1 -> 0) needs touching: it merges into bin 0.
+  for (int t = 0; t < 2; ++t) {
+    auto& b0 = bin0_[t];
+    auto& b1 = ring_[t][base_];  // logical bin 1
+    const auto start = static_cast<std::uint32_t>(b0.size());
+    b0.insert(b0.end(), b1.begin(), b1.end());
+    for (std::uint32_t i = 0; i < b1.size(); ++i) pos_[b1[i]] = start + i;
+    b1.clear();
   }
+  base_ = (base_ + 1) % (kBins - 1);
+  if (++ages_since_renorm_ >= kRenormPeriod) renormalize();
 }
 
-std::vector<PageId> PageHotness::scan(Tier tier, std::size_t max_n, bool from_hot) const {
-  std::vector<PageId> out;
-  if (max_n == 0) return out;
-  out.reserve(max_n < 4096 ? max_n : 4096);
-  const auto& tier_bins = bins_[static_cast<int>(tier)];
+void PageHotness::renormalize() {
+  // Rewrite every stored count to its effective value at the current epoch.
+  // Effective counts (and therefore bins) are unchanged; this only keeps the
+  // 24-bit stored epochs within an unambiguous distance of epoch_.
+  for (std::uint64_t& word : words_) {
+    if (!(word & kTrackedBit)) continue;
+    word = (word & (kTierBit | kTrackedBit)) | packed_epoch() |
+           static_cast<std::uint64_t>(effective_of(word));
+  }
+  ages_since_renorm_ = 0;
+}
+
+void PageHotness::scan(Tier tier, std::size_t max_n, bool from_hot,
+                       std::vector<PageId>& out) const {
+  if (max_n == 0) return;
+  const int t = static_cast<int>(tier);
   const auto collect = [&](int b) {
-    for (PageId p : tier_bins[b]) {
+    for (PageId p : bin_ref(t, b)) {
       out.push_back(p);
       if (out.size() == max_n) return true;
     }
@@ -97,12 +109,30 @@ std::vector<PageId> PageHotness::scan(Tier tier, std::size_t max_n, bool from_ho
     for (int b = 0; b < kBins; ++b)
       if (collect(b)) break;
   }
-  return out;
+}
+
+PageId PageHotness::hottest_page(Tier tier) const {
+  const int t = static_cast<int>(tier);
+  for (int b = kBins - 1; b >= 1; --b) {
+    const auto& v = bin_ref(t, b);
+    if (!v.empty()) return v.front();
+  }
+  return kInvalidPage;
+}
+
+PageId PageHotness::coldest_page(Tier tier) const {
+  const int t = static_cast<int>(tier);
+  for (int b = 0; b < kBins; ++b) {
+    const auto& v = bin_ref(t, b);
+    if (!v.empty()) return v.front();
+  }
+  return kInvalidPage;
 }
 
 std::uint64_t PageHotness::pages_at_or_above(Tier tier, int b) const {
+  const int t = static_cast<int>(tier);
   std::uint64_t n = 0;
-  for (int i = b; i < kBins; ++i) n += bins_[static_cast<int>(tier)][i].size();
+  for (int i = b; i < kBins; ++i) n += bin_ref(t, i).size();
   return n;
 }
 

@@ -1,4 +1,4 @@
-// Exponential-bin page-access histograms with per-bin page lists.
+// Exponential-bin page-access histograms, flat SoA layout.
 //
 // This is the data structure §3.3.2 and §4 describe (and MEMTIS/FlexMem use):
 // sampled per-page access counts are kept page-table-style, and pages are
@@ -7,13 +7,26 @@
 // O(result) pulls from the ends of the bin array. Bins are segregated by the
 // page's current tier — the paper's separate FMem and SMem histograms — kept
 // in sync with placement via a TieredMemory migration listener. Counts are
-// periodically 'aged' by halving, implemented in O(bins + |count-1 pages|) by
-// rotating the bin arrays down one slot and halving stored counts lazily via
-// an epoch shift.
+// periodically 'aged' by halving, implemented in O(|count-1 pages|) by
+// advancing a circular bin base and halving stored counts lazily via an
+// epoch shift.
 //
 // Bin rule: bin 0 holds count 0, bin b>=1 holds counts in [2^(b-1), 2^b).
 // Halving every count therefore maps bin b exactly onto bin b-1, which is why
-// the rotation trick is exact, not an approximation.
+// the base rotation is exact, not an approximation.
+//
+// Layout. Per-page state is ONE 64-bit word in a flat array indexed by
+// PageId — count (32 bits), age epoch (24 bits), cached tier (1 bit), and a
+// tracked flag (1 bit) — plus a parallel pos_ array giving the page's slot in
+// its bin vector. This replaces a 16-byte AoS entry whose hot path also had
+// to chase TieredMemory::tier_of on every record; the tier bit is kept in
+// sync by the migration listener instead, so the common record_access — a
+// same-bin count bump — inlines to one word load, a shift, a power-of-two
+// test, and one word store. Logical bins 1..kBins-1 live in a circular array
+// offset by base_, so age() merges logical bin 1 into bin 0 and advances
+// base_ instead of moving kBins vectors. A renormalization sweep every
+// kRenormPeriod ages rewrites stored counts to their effective values, which
+// keeps the 24-bit stored epoch unambiguous.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +37,7 @@
 
 namespace mtat {
 
-class PageHotness {
+class PageHotness : public MigrationListener {
  public:
   static constexpr int kBins = 32;
 
@@ -45,17 +58,40 @@ class PageHotness {
   /// call this once at attach time.
   void seed_allocated_pages();
 
-  /// Record one sampled access to page `p` by workload `w`.
-  void record_access(WorkloadId w, PageId p);
+  /// Record one sampled access to page `p` by workload `w`. The overwhelmingly
+  /// common case — tracked page whose count stays within its bin — is a single
+  /// load/store on the packed word; bin moves and first-touch tracking take
+  /// the out-of-line paths.
+  void record_access(WorkloadId w, PageId p) {
+    if (filter_ != kInvalidWorkload && w != filter_) return;
+    if (p >= words_.size()) {
+      record_untracked(p);
+      return;
+    }
+    const std::uint64_t word = words_[p];
+    if (!(word & kTrackedBit)) {
+      record_untracked(p);
+      return;
+    }
+    const std::uint32_t eff = effective_of(word);
+    // The bin changes exactly when eff+1 is a power of two (covers eff == 0
+    // entering bin 1, and unsigned wrap at eff == UINT32_MAX).
+    if ((eff & (eff + 1)) != 0) {
+      words_[p] = (word & (kTierBit | kTrackedBit)) | packed_epoch() |
+                  static_cast<std::uint64_t>(eff + 1);
+      return;
+    }
+    record_bin_move(p, word, eff);
+  }
 
   /// Current (aged) access count of a page; 0 if never seen.
   std::uint32_t count_of(PageId p) const {
-    return p < entries_.size() && entries_[p].tracked ? effective(entries_[p]) : 0;
+    return p < words_.size() && (words_[p] & kTrackedBit) ? effective_of(words_[p]) : 0;
   }
 
   /// Histogram bin of a page; -1 if untracked.
   int bin_of_page(PageId p) const {
-    return p < entries_.size() && entries_[p].tracked ? bin_of(effective(entries_[p])) : -1;
+    return p < words_.size() && (words_[p] & kTrackedBit) ? bin_of(effective_of(words_[p])) : -1;
   }
 
   /// Halve every count (the §3.3.2 aging step).
@@ -64,21 +100,51 @@ class PageHotness {
   /// Up to `max_n` of the hottest tracked pages currently resident in `tier`,
   /// hottest bins first. Pages with zero effective count never qualify.
   std::vector<PageId> hottest_in_tier(Tier tier, std::size_t max_n) const {
-    return scan(tier, max_n, /*from_hot=*/true);
+    std::vector<PageId> out;
+    out.reserve(max_n < 4096 ? max_n : 4096);
+    scan(tier, max_n, /*from_hot=*/true, out);
+    return out;
   }
 
   /// Up to `max_n` of the coldest tracked pages in `tier`, coldest first
   /// (seeded/aged-out pages in bin 0 lead).
   std::vector<PageId> coldest_in_tier(Tier tier, std::size_t max_n) const {
-    return scan(tier, max_n, /*from_hot=*/false);
+    std::vector<PageId> out;
+    out.reserve(max_n < 4096 ? max_n : 4096);
+    scan(tier, max_n, /*from_hot=*/false, out);
+    return out;
   }
+
+  /// Non-allocating pulls: clear `out` and fill it with the same pages (and
+  /// order) the allocating overloads return. Policies that pull every
+  /// interval keep a scratch vector and reuse its capacity.
+  void hottest_in_tier(Tier tier, std::size_t max_n, std::vector<PageId>& out) const {
+    out.clear();
+    scan(tier, max_n, /*from_hot=*/true, out);
+  }
+  void coldest_in_tier(Tier tier, std::size_t max_n, std::vector<PageId>& out) const {
+    out.clear();
+    scan(tier, max_n, /*from_hot=*/false, out);
+  }
+
+  /// Single hottest / coldest tracked page in `tier` (what the allocating
+  /// pulls return for max_n == 1), or kInvalidPage when no page qualifies.
+  PageId hottest_page(Tier tier) const;
+  PageId coldest_page(Tier tier) const;
 
   /// Number of tracked pages in `tier` at bin `b` or hotter — lets policies
   /// size "how much of my quota is genuinely warm" without a scan.
   std::uint64_t pages_at_or_above(Tier tier, int b) const;
 
+  /// The pages of one (tier, bin), in structural order — the order pulls and
+  /// aging observe them in. Exposed for determinism fingerprints and the
+  /// differential equivalence test.
+  const std::vector<PageId>& bin_pages(Tier tier, int b) const {
+    return bin_ref(static_cast<int>(tier), b);
+  }
+
   std::size_t bin_size(Tier tier, int b) const {
-    return bins_[static_cast<int>(tier)][b].size();
+    return bin_ref(static_cast<int>(tier), b).size();
   }
   std::size_t tracked_pages() const { return tracked_; }
   std::uint32_t age_epoch() const { return epoch_; }
@@ -92,47 +158,76 @@ class PageHotness {
   }
 
  private:
-  struct Entry {
-    std::uint32_t count = 0;
-    std::uint32_t epoch = 0;
-    std::uint32_t pos = 0;    // index within its (tier, bin) vector
-    std::uint8_t tier = 0;    // which tier's bin array holds it
-    bool tracked = false;
-  };
+  // Packed-word fields. Stored epochs are 24-bit; the renormalization sweep
+  // bounds the distance to epoch_ well below 2^24, so the masked difference
+  // is the true age delta.
+  static constexpr std::uint64_t kCountMask = 0xFFFFFFFFull;
+  static constexpr int kEpochShift = 32;
+  static constexpr std::uint32_t kEpochMask = 0xFFFFFFu;
+  static constexpr std::uint64_t kTierBit = 1ull << 56;
+  static constexpr std::uint64_t kTrackedBit = 1ull << 57;
+  static constexpr std::uint32_t kRenormPeriod = 1u << 16;
 
-  std::uint32_t effective(const Entry& e) const {
-    const std::uint32_t shift = epoch_ - e.epoch;
-    return shift >= 32 ? 0 : e.count >> shift;
+  std::uint64_t packed_epoch() const {
+    return static_cast<std::uint64_t>(epoch_ & kEpochMask) << kEpochShift;
+  }
+
+  std::uint32_t effective_of(std::uint64_t word) const {
+    const std::uint32_t stored_epoch =
+        static_cast<std::uint32_t>(word >> kEpochShift) & kEpochMask;
+    const std::uint32_t shift = (epoch_ - stored_epoch) & kEpochMask;
+    return shift >= 32 ? 0 : static_cast<std::uint32_t>(word & kCountMask) >> shift;
+  }
+
+  /// Logical bin b of a tier: bin 0 is its own pool; bins 1..kBins-1 rotate
+  /// through a circular array so age() is a base increment, not kBins moves.
+  std::vector<PageId>& bin_ref(int tier, int b) {
+    return b == 0 ? bin0_[tier] : ring_[tier][(base_ + b - 1) % (kBins - 1)];
+  }
+  const std::vector<PageId>& bin_ref(int tier, int b) const {
+    return b == 0 ? bin0_[tier] : ring_[tier][(base_ + b - 1) % (kBins - 1)];
   }
 
   void ensure(PageId p) {
-    if (p >= entries_.size()) entries_.resize(static_cast<std::size_t>(p) + 1);
+    if (p >= words_.size()) {
+      words_.resize(static_cast<std::size_t>(p) + 1, 0);
+      pos_.resize(static_cast<std::size_t>(p) + 1, 0);
+    }
   }
 
   void push(PageId p, int tier, int bin) {
-    auto& v = bins_[tier][bin];
-    entries_[p].pos = static_cast<std::uint32_t>(v.size());
-    entries_[p].tier = static_cast<std::uint8_t>(tier);
+    auto& v = bin_ref(tier, bin);
+    pos_[p] = static_cast<std::uint32_t>(v.size());
     v.push_back(p);
   }
 
   void remove(PageId p, int tier, int bin) {
-    auto& v = bins_[tier][bin];
-    const std::uint32_t pos = entries_[p].pos;
+    auto& v = bin_ref(tier, bin);
+    const std::uint32_t pos = pos_[p];
     v[pos] = v.back();
-    entries_[v[pos]].pos = pos;
+    pos_[v[pos]] = pos;
     v.pop_back();
   }
 
-  void on_migration(PageId p, Tier from, Tier to);
-  std::vector<PageId> scan(Tier tier, std::size_t max_n, bool from_hot) const;
+  // Cold paths of record_access: first touch of a page, and a count bump
+  // that crosses a bin boundary.
+  void record_untracked(PageId p);
+  void record_bin_move(PageId p, std::uint64_t word, std::uint32_t eff);
+
+  void on_migration(PageId p, Tier from, Tier to) override;
+  void renormalize();
+  void scan(Tier tier, std::size_t max_n, bool from_hot, std::vector<PageId>& out) const;
 
   TieredMemory* mem_;
   WorkloadId filter_;
-  std::vector<Entry> entries_;
-  std::vector<PageId> bins_[2][kBins];
+  std::vector<std::uint64_t> words_;   ///< packed per-page state, indexed by PageId
+  std::vector<std::uint32_t> pos_;     ///< slot within the page's bin vector
+  std::vector<PageId> bin0_[2];        ///< per-tier count-zero pools
+  std::vector<PageId> ring_[2][kBins - 1];  ///< per-tier circular bins 1..kBins-1
+  int base_ = 0;                       ///< ring slot of logical bin 1
   std::size_t tracked_ = 0;
   std::uint32_t epoch_ = 0;
+  std::uint32_t ages_since_renorm_ = 0;
 };
 
 }  // namespace mtat

@@ -28,12 +28,14 @@ BEWorkload::BEWorkload(TieredMemory& mem, WorkloadId id, BEConfig cfg, AllocPoli
   for (std::size_t i = 0; i < pages.size(); ++i)
     if (mem.tier_of(pages[i]) == Tier::kFMem) fmem_weight_ += cfg_.profile.weight[i];
 
-  mem.add_migration_listener([this](PageId p, Tier, Tier to) {
-    if (p < first_page_ || p >= first_page_ + space_->num_pages()) return;
-    const double w = cfg_.profile.weight[p - first_page_];
-    fmem_weight_ += to == Tier::kFMem ? w : -w;
-    ++migrations_pending_;
-  });
+  mem.add_migration_listener(this);
+}
+
+void BEWorkload::on_migration(PageId p, Tier, Tier to) {
+  if (p < first_page_ || p >= first_page_ + space_->num_pages()) return;
+  const double w = cfg_.profile.weight[p - first_page_];
+  fmem_weight_ += to == Tier::kFMem ? w : -w;
+  ++migrations_pending_;
 }
 
 double BEWorkload::rate_for_weight(double fmem_weight) const {

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "mem/address_space.h"
+#include "mem/tiered_memory.h"
 #include "workloads/be/page_profile.h"
 
 namespace mtat {
@@ -44,11 +45,12 @@ struct BEConfig {
   std::uint64_t sample_period = 1024;  ///< PEBS-like sampling divisor
 };
 
-class BEWorkload {
+class BEWorkload : public MigrationListener {
  public:
   /// `sampler` (may be null) receives the sampled access stream.
-  /// The workload registers a migration listener on `mem`, so it must not be
-  /// moved and must outlive any further use of `mem`'s placement primitives.
+  /// The workload registers itself as a migration listener on `mem`, so it
+  /// must not be moved and must outlive any further use of `mem`'s placement
+  /// primitives.
   BEWorkload(TieredMemory& mem, WorkloadId id, BEConfig cfg, AllocPolicy alloc,
              AccessObserver* sampler, std::uint64_t seed);
 
@@ -98,6 +100,8 @@ class BEWorkload {
 
  private:
   double rate_for_weight(double fmem_weight) const;
+  /// Maintains the incremental FMem-resident weight sum (MigrationListener).
+  void on_migration(PageId p, Tier from, Tier to) override;
 
   TieredMemory* mem_;
   WorkloadId id_;

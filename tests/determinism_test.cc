@@ -10,10 +10,16 @@
 // obs::names::is_wall_time_metric() names exactly that set.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "core/mtat_policy.h"
 #include "obs/names.h"
+#include "policy/memtis_policy.h"
 #include "sim/colocation_sim.h"
+#include "sim/experiments.h"
+#include "telemetry/page_hotness.h"
 #include "workloads/be/be_suite.h"
 
 namespace mtat {
@@ -96,6 +102,40 @@ void expect_identical_registries(const obs::MetricsRegistry& a,
   }
 }
 
+// Full structural dump of one histogram: tracked/epoch plus every (tier, bin)
+// page sequence in bin order. Comparing the *sequences* — not just sizes —
+// is what catches iteration-order nondeterminism in the SoA bin vectors:
+// pulls and aging observe pages in exactly this order, so any divergence here
+// eventually becomes a divergent migration decision.
+std::string hotness_fingerprint(const PageHotness& h) {
+  std::ostringstream os;
+  os << "tracked=" << h.tracked_pages() << " epoch=" << h.age_epoch();
+  for (int t = 0; t < 2; ++t) {
+    for (int b = 0; b < PageHotness::kBins; ++b) {
+      const std::vector<PageId>& v = h.bin_pages(static_cast<Tier>(t), b);
+      if (v.empty()) continue;
+      os << " " << t << ":" << b << "=";
+      for (PageId p : v) os << p << ",";
+    }
+  }
+  return os.str();
+}
+
+// Every histogram a sim's policy maintains, in a fixed order. MemtisPolicy
+// holds one unified histogram; MtatPolicy holds one per tenant inside PP-E.
+std::vector<std::string> sim_hotness_fingerprints(ColocationSim& sim) {
+  std::vector<std::string> out;
+  if (auto* memtis = dynamic_cast<MemtisPolicy*>(&sim.policy())) {
+    out.push_back(hotness_fingerprint(memtis->histogram()));
+  } else if (auto* mtat = dynamic_cast<MtatPolicy*>(&sim.policy())) {
+    PartitionEnforcer& ppe = mtat->ppe();
+    for (std::size_t i = 0; i < ppe.histogram_count(); ++i) {
+      out.push_back(hotness_fingerprint(ppe.histogram(i)));
+    }
+  }
+  return out;
+}
+
 class SameSeedRuns : public ::testing::TestWithParam<PolicyKind> {};
 
 TEST_P(SameSeedRuns, AreBitIdentical) {
@@ -108,6 +148,14 @@ TEST_P(SameSeedRuns, AreBitIdentical) {
   const SimResult r2 = run_once(cfg, &reg2, sim2);
   expect_identical_results(r1, r2);
   expect_identical_registries(*reg1, *reg2);
+
+  // The histogram internals must replay too — identical end results with
+  // divergent bin state would mean a latent nondeterminism waiting for a
+  // longer run to surface it.
+  const std::vector<std::string> fp1 = sim_hotness_fingerprints(sim1);
+  const std::vector<std::string> fp2 = sim_hotness_fingerprints(sim2);
+  ASSERT_FALSE(fp1.empty()) << "policy exposes no histogram to fingerprint";
+  EXPECT_EQ(fp1, fp2);
 }
 
 // kMtatFull exercises the full stack (SAC updates, PP-M/PP-E, migration);
@@ -127,6 +175,45 @@ TEST(SameSeedRuns, DifferentSeedDiverges) {
   sim1.run(pat, seconds(8));
   sim2.run(pat, seconds(8));
   EXPECT_NE(sim1.result().lc_p99_ms, sim2.result().lc_p99_ms);
+}
+
+// The ParallelRunner determinism contract (DESIGN.md §11) extended down to
+// histogram internals: a fleet of sims run with jobs=1 (the serial reference
+// path, MTAT_JOBS=1) and jobs=4 must produce bit-identical results AND
+// bit-identical bin-occupancy dumps. Worker scheduling must never leak into
+// the SoA bin order.
+TEST(JobCountInvariance, HotnessStateMatchesAcrossJobsOneAndFour) {
+  struct Probe {
+    SimResult result;
+    std::vector<std::string> hotness;
+  };
+  const auto run_fleet = [](int jobs) {
+    const PolicyKind kinds[] = {PolicyKind::kMemtis, PolicyKind::kMtatFull};
+    std::vector<Probe> probes(std::size(kinds));
+    std::vector<experiments::RunSpec> specs;
+    for (std::size_t i = 0; i < std::size(kinds); ++i) {
+      specs.push_back({policy_name(kinds[i]), [&probes, &kinds, i](obs::RunContext& ctx) {
+                         SimConfig cfg = tiny_config(kinds[i]);
+                         ColocationSim sim(cfg, &ctx);
+                         const LoadPattern pat =
+                             LoadPattern::constant(cfg.lc.max_load_krps * 1000.0 * 0.5);
+                         sim.run(pat, seconds(4));
+                         probes[i] = {sim.result(), sim_hotness_fingerprints(sim)};
+                       }});
+    }
+    experiments::ParallelRunner runner(jobs);
+    runner.run_all(specs);
+    return probes;
+  };
+  const std::vector<Probe> serial = run_fleet(1);
+  const std::vector<Probe> parallel = run_fleet(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("spec " + std::to_string(i));
+    expect_identical_results(serial[i].result, parallel[i].result);
+    ASSERT_FALSE(serial[i].hotness.empty());
+    EXPECT_EQ(serial[i].hotness, parallel[i].hotness);
+  }
 }
 
 }  // namespace

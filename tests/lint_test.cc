@@ -164,6 +164,22 @@ TEST(LintSource, ClusterDomainLiteralsFlaggedAnywhereOnALine) {
       << dump(findings);
 }
 
+TEST(LintSource, PerfDomainLiteralsFlaggedAnywhereOnALine) {
+  const auto findings = lint_fixture("bad_perf_literal.cc");
+  // A known perf.* name at a call site: both the call-site rule and the
+  // stricter anywhere-rule fire.
+  EXPECT_TRUE(has(findings, "perf-name", 6, "use the obs::names:: constant"))
+      << dump(findings);
+  // A known perf.* name in a bare comparison — no registry call, so only
+  // perf-name can catch it.
+  EXPECT_TRUE(has(findings, "perf-name", 7, "use the obs::names:: constant"))
+      << dump(findings);
+  EXPECT_FALSE(has(findings, "metric-name", 7, "")) << dump(findings);
+  // A typo'd perf.* name reads as an unknown to declare.
+  EXPECT_TRUE(has(findings, "perf-name", 8, "unknown perf-domain name"))
+      << dump(findings);
+}
+
 TEST(LintSource, NonCanonicalUnitSuffixesAtCallSites) {
   const auto findings = lint_fixture("bad_unit_suffix.cc");
   EXPECT_TRUE(has(findings, "unit-suffix", 4, "use _us")) << dump(findings);
@@ -237,6 +253,8 @@ TEST(Suppression, RealAllowlistParses) {
   EXPECT_FALSE(allow.allows("fault-name", "src/faults/fault_plan.h"));
   EXPECT_TRUE(allow.allows("cluster-name", "src/obs/names.h"));
   EXPECT_FALSE(allow.allows("cluster-name", "src/cluster/cluster_sim.cc"));
+  EXPECT_TRUE(allow.allows("perf-name", "src/obs/names.h"));
+  EXPECT_FALSE(allow.allows("perf-name", "bench/perf_core.cc"));
 }
 
 // ----------------------------------------------------------------- doc sync --
@@ -282,8 +300,8 @@ TEST(Run, FixtureTreeProducesEveryRule) {
   opt.check_docs = false;
   const std::vector<Finding> findings = run(opt);
   ASSERT_FALSE(findings.empty());
-  for (const char* rule : {"metric-name", "fault-name", "cluster-name", "unit-suffix",
-                           "nondet", "unsafe-parse", "getenv", "ns-header"}) {
+  for (const char* rule : {"metric-name", "fault-name", "cluster-name", "perf-name",
+                           "unit-suffix", "nondet", "unsafe-parse", "getenv", "ns-header"}) {
     EXPECT_TRUE(std::any_of(findings.begin(), findings.end(),
                             [&](const Finding& f) { return f.rule == rule; }))
         << "rule " << rule << " never fired:\n" << dump(findings);

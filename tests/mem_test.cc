@@ -2,6 +2,8 @@
 // primitives, migration budgets, and the address-space translation layer.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "common/rng.h"
 #include "mem/address_space.h"
 #include "mem/migration_engine.h"
@@ -116,16 +118,24 @@ TEST(TieredMemory, UsageRatioTracksPlacement) {
   EXPECT_DOUBLE_EQ(mem.fmem_usage_ratio(0), 0.4);
 }
 
+/// Test adapter: a MigrationListener that forwards to a lambda.
+struct FnListener : MigrationListener {
+  std::function<void(PageId, Tier, Tier)> fn;
+  explicit FnListener(std::function<void(PageId, Tier, Tier)> f) : fn(std::move(f)) {}
+  void on_migration(PageId p, Tier from, Tier to) override { fn(p, from, to); }
+};
+
 TEST(TieredMemory, MigrationListenerFires) {
   TieredMemory mem(small_config());
   const auto p = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
   int calls = 0;
-  mem.add_migration_listener([&](PageId pid, Tier from, Tier to) {
+  FnListener listener([&](PageId pid, Tier from, Tier to) {
     ++calls;
     EXPECT_EQ(pid, p[0]);
     EXPECT_EQ(from, Tier::kSMem);
     EXPECT_EQ(to, Tier::kFMem);
   });
+  mem.add_migration_listener(&listener);
   mem.migrate(p[0], Tier::kFMem);
   EXPECT_EQ(calls, 1);
 }
@@ -315,8 +325,8 @@ TEST(TieredMemory, ExchangeNotifiesBothPages) {
   const auto f = mem.allocate(0, 1, AllocPolicy::kFMemOnly);
   const auto s = mem.allocate(1, 1, AllocPolicy::kSMemOnly);
   std::vector<std::pair<PageId, Tier>> events;
-  mem.add_migration_listener(
-      [&](PageId p, Tier, Tier to) { events.push_back({p, to}); });
+  FnListener listener([&](PageId p, Tier, Tier to) { events.push_back({p, to}); });
+  mem.add_migration_listener(&listener);
   mem.exchange(s[0], f[0]);
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0], (std::pair<PageId, Tier>{s[0], Tier::kFMem}));

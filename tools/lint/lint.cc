@@ -432,7 +432,8 @@ void lint_source(const std::string& rel_path, const std::string& contents,
     // declared in names.h. The fault.* counters are how resilience claims
     // are audited; the cluster.* gauges are what the fleet's telemetry-aware
     // placement decides on, so a forked spelling would silently blind the
-    // balancer.
+    // balancer; the perf.* series are what tools/perf_diff gates on, so a
+    // forked spelling would fork the performance trajectory.
     struct StrictDomain {
       const char* prefix;
       const char* rule;
@@ -441,6 +442,7 @@ void lint_source(const std::string& rel_path, const std::string& contents,
     static const StrictDomain kStrictDomains[] = {
         {"fault.", "fault-name", "fault-domain"},        // mtat-lint: allow(fault-name)
         {"cluster.", "cluster-name", "cluster-domain"},  // mtat-lint: allow(cluster-name)
+        {"perf.", "perf-name", "perf-domain"},           // mtat-lint: allow(perf-name)
     };
     for (std::size_t pos = scan.find('"'); pos != std::string::npos;
          pos = scan.find('"', pos + 1)) {

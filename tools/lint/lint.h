@@ -30,6 +30,12 @@
 //                placement policy, so a forked spelling silently blinds the
 //                balancer. Unknown cluster.* literals are typos; known ones
 //                are literals to migrate; names.h is the declaration site.
+//  perf-name     Same anywhere-on-a-line strictness for the perf.*
+//                namespace: those series are the BENCH_core.json keys that
+//                tools/perf_diff compares across entries, so a forked
+//                spelling shows up as a missing-metric error (or worse, an
+//                ungated series) in the perf gate. names.h declares; every
+//                other file uses the constants.
 //  nondet        Nondeterminism sources are banned from simulation code:
 //                rand(), srand(), std::random_device, std::chrono::
 //                system_clock, time(), gettimeofday(), localtime/gmtime.
