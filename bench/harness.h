@@ -52,7 +52,9 @@ struct FaultsEnvHook {
   }
 };
 
-inline FaultsEnvHook g_faults_env_hook;
+// Ownership: zero-size tag object whose constructor runs once before
+// main(); never touched again.
+inline FaultsEnvHook g_faults_env_hook;  // mtat-lint: allow(shared-mutable)
 
 /// Process-lifetime hook: constructed before main() in every binary that
 /// includes this header, it enables tracing when MTAT_TRACE names an output
@@ -82,7 +84,9 @@ struct TraceEnvHook {
   }
 };
 
-inline TraceEnvHook g_trace_env_hook;
+// Ownership: constructed once before main() (enables tracing), destroyed
+// once after main() (writes the file); never touched in between.
+inline TraceEnvHook g_trace_env_hook;  // mtat-lint: allow(shared-mutable)
 
 struct Scale {
   Bytes fmem;

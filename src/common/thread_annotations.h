@@ -1,0 +1,55 @@
+// Clang thread-safety analysis macros (lint v2 guarded-by support).
+//
+// Two enforcement layers share these annotations:
+//  * clang builds with -Wthread-safety (the MTAT_THREAD_SAFETY CMake option,
+//    run as its own CI lane) *prove* that every GUARDED_BY member is only
+//    touched with its mutex held and every REQUIRES method is called under
+//    the right lock;
+//  * mtat_lint's guarded-by rule runs everywhere — GCC-only machines
+//    included — and enforces the structural half: every mutex data member
+//    must be referenced by at least one annotation in its class, so the
+//    lock-to-data mapping is always written down.
+//
+// On compilers without the attributes (GCC) the macros compile away, so
+// annotating costs nothing outside the clang lane.
+//
+// Usage:
+//   class Cache {
+//    public:
+//     Value get(Key k) EXCLUDES(mu_);
+//    private:
+//     std::mutex mu_;
+//     std::map<Key, Value> entries_ GUARDED_BY(mu_);
+//   };
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MTAT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MTAT_THREAD_ANNOTATION
+#define MTAT_THREAD_ANNOTATION(x)  // not supported by this compiler
+#endif
+
+#define CAPABILITY(x) MTAT_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY MTAT_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) MTAT_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) MTAT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) MTAT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) MTAT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) MTAT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) MTAT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) MTAT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) MTAT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) MTAT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) MTAT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) MTAT_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) MTAT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  MTAT_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) MTAT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) MTAT_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) MTAT_THREAD_ANNOTATION(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) MTAT_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS MTAT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -56,9 +56,11 @@ std::optional<FaultPlan> FaultPlan::from_spec(const std::string& spec) {
 }
 
 namespace {
-// Storage for the process-global default plan (see header).
-FaultPlan g_default_plan;        // NOLINT(cert-err58-cpp)
-bool g_default_plan_set = false;
+// Storage for the process-global default plan (see header). Ownership:
+// written only by set_default_plan()/clear_default_plan() from the harness
+// before any sim runs, read-only afterwards — never mutated concurrently.
+FaultPlan g_default_plan;        // NOLINT(cert-err58-cpp)  mtat-lint: allow(shared-mutable)
+bool g_default_plan_set = false;  // mtat-lint: allow(shared-mutable)
 }  // namespace
 
 void set_default_plan(const FaultPlan& plan) {

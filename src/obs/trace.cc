@@ -7,7 +7,11 @@
 namespace mtat::obs {
 
 TraceRecorder& trace() {
-  static TraceRecorder instance;
+  // Ownership: THE process-global recorder — the single sanctioned piece of
+  // ambient trace state (see the threading contract in trace.h). Everything
+  // else threads a RunContext/TraceRecorder& through; the context-escape
+  // lint rule polices new callers of this accessor.
+  static TraceRecorder instance;  // mtat-lint: allow(shared-mutable)
   return instance;
 }
 

@@ -11,6 +11,8 @@
 #include <string>
 #include <thread>
 
+#include "common/thread_annotations.h"
+
 namespace mtat::experiments {
 
 namespace {
@@ -18,8 +20,26 @@ namespace {
 // One flag for every runner instance: nested run_all is forbidden whichever
 // runner it goes through, because the inner call would deadlock a one-worker
 // pool on itself and scramble the deterministic trace-merge order on any
-// larger one.
-std::atomic<bool> g_run_all_active{false};
+// larger one. Ownership: a process-wide reentrancy latch, atomic, reset by
+// RAII on every exit path — never carries data between runs.
+std::atomic<bool> g_run_all_active{false};  // mtat-lint: allow(shared-mutable)
+
+/// First-error capture shared by the worker pool: whichever worker throws
+/// first wins, later errors are dropped, and the winning exception is
+/// rethrown on the calling thread after the pool joins.
+struct ErrorSlot {
+  std::exception_ptr take() EXCLUDES(mu) {
+    std::lock_guard<std::mutex> lock(mu);
+    return first;
+  }
+  void offer(std::exception_ptr e) EXCLUDES(mu) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (first == nullptr) first = std::move(e);
+  }
+
+  std::mutex mu;
+  std::exception_ptr first GUARDED_BY(mu);
+};
 
 }  // namespace
 
@@ -42,7 +62,9 @@ void ParallelRunner::run_all(const std::vector<RunSpec>& specs) {
   // Contexts are created up front, in spec order, on the calling thread:
   // private trace rings only exist (and only cost memory) when the global
   // recorder is enabled, i.e. when someone asked for a trace file.
-  obs::TraceRecorder& shared = obs::default_trace();
+  // Sanctioned context-escape: run_all IS the merge site — it creates the
+  // per-spec private contexts and folds them into the shared timeline below.
+  obs::TraceRecorder& shared = obs::default_trace();  // mtat-lint: allow(context-escape)
   const bool tracing = shared.enabled();
   std::vector<std::unique_ptr<obs::RunContext>> ctxs;
   ctxs.reserve(specs.size());
@@ -53,8 +75,7 @@ void ParallelRunner::run_all(const std::vector<RunSpec>& specs) {
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  ErrorSlot error;
 
   const auto worker = [&] {
     for (;;) {
@@ -64,8 +85,7 @@ void ParallelRunner::run_all(const std::vector<RunSpec>& specs) {
       try {
         specs[i].fn(*ctxs[i]);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error == nullptr) first_error = std::current_exception();
+        error.offer(std::current_exception());
         failed.store(true, std::memory_order_relaxed);
       }
     }
@@ -82,7 +102,7 @@ void ParallelRunner::run_all(const std::vector<RunSpec>& specs) {
     for (std::thread& t : threads) t.join();
   }
 
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (std::exception_ptr e = error.take()) std::rethrow_exception(e);
 
   // Fold the private rings into the shared timeline in spec order: merge
   // order — and therefore the track ids each spec's events land on — depends

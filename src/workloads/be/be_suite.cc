@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "common/thread_annotations.h"
 #include "workloads/graph/graph_layout.h"
 #include "workloads/graph/kernels.h"
 #include "workloads/xsbench/xsbench.h"
@@ -14,17 +15,36 @@ namespace {
 /// Profile extraction runs the real kernel, which is the expensive part of
 /// building a BE config — memoize per (workload, scale) for the process. The
 /// cache is shared across threads (parallel runner workers build sims
-/// concurrently); map node references are stable, so handing the reference
-/// out after unlocking is safe. build() runs under the lock: first-touch
-/// extraction is serialized, every later lookup is a cheap map find.
+/// concurrently). build() runs under the lock: first-touch extraction is
+/// serialized (the extraction kernels are deterministic but heavy, and
+/// running two builds of the same key concurrently would waste the work),
+/// every later lookup is a cheap map find. std::map node references are
+/// stable across inserts, so handing the reference out after unlocking is
+/// safe. Note build() must never re-enter the cache: mu_ is not recursive,
+/// and the profile builders below only run kernels.
+class BEProfileCache {
+ public:
+  const PageProfile& get(const std::string& key, const std::function<PageProfile()>& build)
+      EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) it = cache_.emplace(key, build()).first;
+    return it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, PageProfile> cache_ GUARDED_BY(mu_);
+};
+
 const PageProfile& memoized(const std::string& key,
                             const std::function<PageProfile()>& build) {
-  static std::mutex mu;
-  static std::map<std::string, PageProfile> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(key);
-  if (it == cache.end()) it = cache.emplace(key, build()).first;
-  return it->second;
+  // Ownership: the one process-global profile memo. Guarded by its internal
+  // mutex, append-only, and keyed purely by (workload, scale) — cached
+  // values are deterministic functions of the key, so sharing it across
+  // threads cannot fork results.
+  static BEProfileCache cache;  // mtat-lint: allow(shared-mutable)
+  return cache.get(key, build);
 }
 
 int graph_scale(BEScale s) { return s == BEScale::kTest ? 10 : 17; }

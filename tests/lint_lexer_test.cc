@@ -1,0 +1,223 @@
+// Tokenizer unit tests for mtat_lint pass 1 (tools/lint/lexer.h): the edge
+// cases the v1 line-oriented scanner got wrong, pinned down one by one so the
+// lexer can never quietly regress to line-level heuristics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace mtat::lint {
+namespace {
+
+std::vector<Token> toks(const std::string& text) { return lex(text).tokens; }
+
+/// The token texts of a given kind, in stream order.
+std::vector<std::string> texts_of(const std::vector<Token>& ts, Token::Kind kind) {
+  std::vector<std::string> out;
+  for (const Token& t : ts)
+    if (t.kind == kind) out.push_back(t.text);
+  return out;
+}
+
+const Token* find_ident(const std::vector<Token>& ts, const std::string& name) {
+  const auto it = std::find_if(ts.begin(), ts.end(), [&](const Token& t) {
+    return t.kind == Token::Kind::kIdent && t.text == name;
+  });
+  return it == ts.end() ? nullptr : &*it;
+}
+
+// ---------------------------------------------------------------- raw strings --
+
+TEST(Lexer, RawStringContentsAreOpaque) {
+  // rand() inside a raw string must not become tokens; the delimiter makes a
+  // bare `)"` inside the contents harmless.
+  const auto ts = toks("const char* s = R\"x(call rand() and )\" here)x\";");
+  EXPECT_EQ(find_ident(ts, "rand"), nullptr);
+  const auto strings = texts_of(ts, Token::Kind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "call rand() and )\" here");
+}
+
+TEST(Lexer, RawStringEncodingPrefixes) {
+  for (const char* prefix : {"R", "u8R", "uR", "UR", "LR"}) {
+    const auto ts = toks(std::string(prefix) + "\"(time(0))\";");
+    EXPECT_EQ(find_ident(ts, "time"), nullptr) << prefix;
+    const auto strings = texts_of(ts, Token::Kind::kString);
+    ASSERT_EQ(strings.size(), 1u) << prefix;
+    EXPECT_EQ(strings[0], "time(0)") << prefix;
+  }
+}
+
+TEST(Lexer, SpliceInsideRawStringIsLiteral) {
+  // Inside a raw string nothing is special — a backslash-newline stays two
+  // characters of content, it is not a line splice.
+  const auto ts = toks("auto s = R\"(a\\\nb)\";");
+  const auto strings = texts_of(ts, Token::Kind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "a\\\nb");
+}
+
+// --------------------------------------------------------------- line splices --
+
+TEST(Lexer, SplicedLineCommentSwallowsContinuation) {
+  // The backslash-newline splices the next physical line into the comment, so
+  // rand() there is commented out — v1 treated it as live code.
+  const auto ts = toks("int x = 1; // comment \\\nrand();\nint y = 2;");
+  EXPECT_EQ(find_ident(ts, "rand"), nullptr);
+  const Token* y = find_ident(ts, "y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->line, 3);  // physical line numbers, not logical
+}
+
+TEST(Lexer, SplicedIdentifierIsOneToken) {
+  const auto ts = toks("int ra\\\nnd = 0;");
+  const Token* t = find_ident(ts, "rand");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->line, 1);  // the token starts on the first physical line
+}
+
+// -------------------------------------------------------------- block comments --
+
+TEST(Lexer, BlockCommentsDoNotNest) {
+  // C++ block comments end at the FIRST `*/`: `c` below is code. Pinned so
+  // nobody "fixes" the lexer into nonstandard nesting.
+  const auto ts = toks("/* a /* b */ int c = 0;");
+  EXPECT_NE(find_ident(ts, "c"), nullptr);
+  EXPECT_EQ(find_ident(ts, "a"), nullptr);
+  EXPECT_EQ(find_ident(ts, "b"), nullptr);
+}
+
+TEST(Lexer, MultiLineBlockCommentTracksLines) {
+  const auto ts = toks("/* one\ntwo\nthree */ int after = 0;");
+  const Token* t = find_ident(ts, "after");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->line, 3);
+}
+
+// ------------------------------------------------------------------- literals --
+
+TEST(Lexer, DigitSeparatorsStayOneNumberToken) {
+  // v1 opened a bogus char literal at the first `'`; the lexer must produce
+  // exactly one number token and no char token.
+  const auto ts = toks("long n = 1'000'000;");
+  const auto numbers = texts_of(ts, Token::Kind::kNumber);
+  ASSERT_EQ(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0], "1'000'000");
+  EXPECT_TRUE(texts_of(ts, Token::Kind::kChar).empty());
+}
+
+TEST(Lexer, AdjacentStringLiteralsStaySeparateTokens) {
+  const auto strings = texts_of(toks("auto s = \"a\" \"b\";"), Token::Kind::kString);
+  ASSERT_EQ(strings.size(), 2u);
+  EXPECT_EQ(strings[0], "a");
+  EXPECT_EQ(strings[1], "b");
+}
+
+TEST(Lexer, UdlSuffixLexesAsStringThenIdent) {
+  const auto ts = toks("auto p = \"pages\"_suffix;");
+  const auto strings = texts_of(ts, Token::Kind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "pages");
+  EXPECT_NE(find_ident(ts, "_suffix"), nullptr);
+}
+
+TEST(Lexer, EscapesInsideStringsAndChars) {
+  // String token text is the DECODED contents: `\"` becomes a plain quote.
+  const auto ts = toks("auto s = \"a\\\"b\"; char c = '\\'';");
+  const auto strings = texts_of(ts, Token::Kind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "a\"b");
+  EXPECT_EQ(texts_of(ts, Token::Kind::kChar).size(), 1u);
+}
+
+// ------------------------------------------------------------------ operators --
+
+TEST(Lexer, CompoundOperatorsAreSingleTokens) {
+  // `<=` must never lex as `<` + `=`: the model's template-angle heuristic
+  // would see a template-argument list opening in `a <= b`.
+  const auto punct = texts_of(toks("if (a <= b && c >= d) x += y;"), Token::Kind::kPunct);
+  EXPECT_NE(std::find(punct.begin(), punct.end(), "<="), punct.end());
+  EXPECT_NE(std::find(punct.begin(), punct.end(), ">="), punct.end());
+  EXPECT_NE(std::find(punct.begin(), punct.end(), "+="), punct.end());
+  EXPECT_EQ(std::find(punct.begin(), punct.end(), "<"), punct.end());
+  EXPECT_EQ(std::find(punct.begin(), punct.end(), "="), punct.end());
+}
+
+// --------------------------------------------------------------- preprocessor --
+
+TEST(Lexer, PreprocessorTokensAreKeptAndMarked) {
+  // A banned call hidden in a macro body must still be visible to token
+  // rules, but flagged `pp` so scope tracking skips the directive.
+  const auto ts = toks("#define SEED() rand()\nint x = SEED();");
+  const Token* r = find_ident(ts, "rand");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->pp);
+  const Token* x = find_ident(ts, "x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_FALSE(x->pp);
+}
+
+TEST(Lexer, QuotedIncludeEdgesAreExtracted) {
+  const LexedFile f = lex("#include <vector>\n#include \"obs/names.h\"\n");
+  ASSERT_EQ(f.includes.size(), 1u);  // only quoted (local) includes are edges
+  EXPECT_EQ(f.includes[0].path, "obs/names.h");
+  EXPECT_EQ(f.includes[0].line, 2);
+}
+
+// -------------------------------------------------------------- allow markers --
+
+TEST(Lexer, AllowMarkersHarvestedPerLine) {
+  // Every marker carries the full prefix — a trailing bare "allow(x)" is
+  // prose, not a second suppression.
+  const LexedFile f = lex(
+      "int a = rand();  // mtat-lint: allow(nondet)\n"
+      "int b = 0;\n"
+      "int c = atoi(\"4\");  // mtat-lint: allow(unsafe-parse) mtat-lint: allow(nondet)\n");
+  ASSERT_EQ(f.allows.count(1), 1u);
+  EXPECT_TRUE(f.allows.at(1).count("nondet"));
+  EXPECT_EQ(f.allows.count(2), 0u);
+  ASSERT_EQ(f.allows.count(3), 1u);
+  EXPECT_TRUE(f.allows.at(3).count("unsafe-parse"));
+  EXPECT_TRUE(f.allows.at(3).count("nondet"));
+}
+
+TEST(Lexer, BlockCommentMarkersAttachToTheirPhysicalLine) {
+  // A multi-line block comment harvests each marker on the line it appears
+  // on — not on every line the comment spans.
+  const LexedFile f = lex(
+      "/* docs\n"
+      " * mtat-lint: allow(nondet)\n"
+      " * more docs */\n"
+      "int x = 0;\n");
+  EXPECT_EQ(f.allows.count(1), 0u);
+  ASSERT_EQ(f.allows.count(2), 1u);
+  EXPECT_TRUE(f.allows.at(2).count("nondet"));
+  EXPECT_EQ(f.allows.count(3), 0u);
+}
+
+TEST(Lexer, ProseMentionOfAllowWithoutMarkerPrefixIsIgnored) {
+  // Only the exact marker form `mtat-lint: allow(<rule>)` harvests; a bare
+  // "allow(x)" in prose (or a rule id with bad characters) is not one.
+  const LexedFile f = lex("// we should allow(nondet) here someday\n");
+  EXPECT_TRUE(f.allows.empty());
+}
+
+TEST(Lexer, MarkersInsideStringsAreNotHarvested) {
+  const LexedFile f = lex("const char* s = \"mtat-lint: allow(nondet)\";\n");
+  EXPECT_TRUE(f.allows.empty());
+}
+
+// ------------------------------------------------------------------ resilience --
+
+TEST(Lexer, UnterminatedLiteralsDegradeGracefully) {
+  // Malformed input must not throw or loop: best-effort tokens, keep going.
+  EXPECT_NO_THROW(toks("auto s = \"unterminated"));
+  EXPECT_NO_THROW(toks("auto s = R\"x(never closed"));
+  EXPECT_NO_THROW(toks("/* never closed"));
+}
+
+}  // namespace
+}  // namespace mtat::lint

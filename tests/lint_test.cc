@@ -222,6 +222,57 @@ TEST(LintSource, UsingNamespaceOnlyFlaggedInHeaders) {
   EXPECT_TRUE(cc_findings.empty()) << dump(cc_findings);
 }
 
+TEST(LintSource, GlobalTraceContextIsAnEscape) {
+  const auto findings = lint_fixture("bad_context_escape.cc");
+  EXPECT_TRUE(has(findings, "context-escape", 6, "trace context trace()")) << dump(findings);
+  EXPECT_TRUE(has(findings, "context-escape", 8, "trace context default_trace()"))
+      << dump(findings);
+  EXPECT_EQ(findings.size(), 2u) << dump(findings);
+}
+
+TEST(LintSource, MutableSharedStateIsReportedPerScope) {
+  const auto findings = lint_fixture("bad_shared_state.cc");
+  EXPECT_TRUE(has(findings, "shared-mutable", 4, "'g_calls' (namespace scope)"))
+      << dump(findings);
+  EXPECT_TRUE(has(findings, "shared-mutable", 9, "'count' (function-local static)"))
+      << dump(findings);
+  EXPECT_TRUE(has(findings, "shared-mutable", 14, "'live' (static data member)"))
+      << dump(findings);
+  // The const namespace-scope constant on line 5 must NOT be flagged.
+  EXPECT_EQ(findings.size(), 3u) << dump(findings);
+}
+
+TEST(LintSource, UnorderedIterationOrderLeaks) {
+  const auto findings = lint_fixture("bad_unordered_iter.cc");
+  // Both spellings: the range-for and the explicit .begin() iterator loop.
+  EXPECT_TRUE(has(findings, "unordered-iter", 10, "'scores'")) << dump(findings);
+  EXPECT_TRUE(has(findings, "unordered-iter", 11, "'scores'")) << dump(findings);
+  EXPECT_EQ(findings.size(), 2u) << dump(findings);
+}
+
+TEST(LintSource, PointerKeyedOrderIsNondeterministic) {
+  const auto findings = lint_fixture("bad_pointer_order.cc");
+  EXPECT_TRUE(has(findings, "pointer-order", 10, "std::set with a pointer key"))
+      << dump(findings);
+  EXPECT_TRUE(has(findings, "pointer-order", 11, "std::map with a pointer key"))
+      << dump(findings);
+  EXPECT_TRUE(has(findings, "pointer-order", 12, "uintptr_t")) << dump(findings);
+  EXPECT_EQ(findings.size(), 3u) << dump(findings);
+}
+
+TEST(LintSource, UnannotatedMutexMemberIsReported) {
+  const auto findings = lint_fixture("bad_guarded_by.cc");
+  EXPECT_TRUE(has(findings, "guarded-by", 14, "mutex member 'mu_' of BadLocked"))
+      << dump(findings);
+  EXPECT_EQ(findings.size(), 1u) << dump(findings);
+}
+
+TEST(LintSource, StaleInlineAllowMarkerIsReported) {
+  const auto findings = lint_fixture("bad_stale_allow.cc");
+  EXPECT_TRUE(has(findings, "stale-suppression", 4, "allow(nondet)")) << dump(findings);
+  EXPECT_EQ(findings.size(), 1u) << dump(findings);
+}
+
 // -------------------------------------------------------------- suppression --
 
 TEST(Suppression, InlineAllowMarkersSuppressEachRule) {
@@ -300,8 +351,10 @@ TEST(Run, FixtureTreeProducesEveryRule) {
   opt.check_docs = false;
   const std::vector<Finding> findings = run(opt);
   ASSERT_FALSE(findings.empty());
-  for (const char* rule : {"metric-name", "fault-name", "cluster-name", "perf-name",
-                           "unit-suffix", "nondet", "unsafe-parse", "getenv", "ns-header"}) {
+  for (const char* rule :
+       {"metric-name", "fault-name", "cluster-name", "perf-name", "unit-suffix", "nondet",
+        "unsafe-parse", "getenv", "ns-header", "context-escape", "shared-mutable",
+        "unordered-iter", "pointer-order", "guarded-by", "stale-suppression"}) {
     EXPECT_TRUE(std::any_of(findings.begin(), findings.end(),
                             [&](const Finding& f) { return f.rule == rule; }))
         << "rule " << rule << " never fired:\n" << dump(findings);
@@ -311,6 +364,24 @@ TEST(Run, FixtureTreeProducesEveryRule) {
     EXPECT_EQ(f.file.find("allowed.cc"), std::string::npos) << dump(findings);
     EXPECT_GT(f.line, 0);  // every source finding carries a line number
   }
+}
+
+TEST(Run, StaleAllowlistEntriesAreReported) {
+  Options opt;
+  opt.root = kRepoRoot / "tools" / "lint";
+  opt.dirs = {"fixtures"};
+  opt.names_header = "../../src/obs/names.h";
+  opt.allowlist_file = "fixtures/stale_allowlist.txt";
+  opt.check_docs = false;
+  const std::vector<Finding> findings = run(opt);
+  const bool stale_entry_reported =
+      std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.rule == "stale-suppression" &&
+               f.file == "fixtures/stale_allowlist.txt" && f.line == 3 &&
+               f.message.find("stale allowlist entry `nondet fixtures/good.cc`") !=
+                   std::string::npos;
+      });
+  EXPECT_TRUE(stale_entry_reported) << dump(findings);
 }
 
 TEST(Run, RealTreeIsClean) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "telemetry/access_sampler.h"
 #include "workloads/be/be_suite.h"
@@ -300,6 +302,29 @@ TEST(BESuite, CoversPaperTable2) {
     EXPECT_FALSE(c.description.empty());
     EXPECT_EQ(c.profile.num_pages(), bytes_to_pages(c.rss));
     EXPECT_GT(c.profile.accesses_per_iteration, 0.0);
+  }
+}
+
+TEST(BESuite, ProfileMemoIsThreadSafeAndDeterministic) {
+  // The per-process profile memo (BEProfileCache in be_suite.cc) is shared
+  // across parallel-runner workers. Hammer it from several threads — first
+  // touch races included — and every caller must see bit-identical profiles,
+  // equal to a serially built reference.
+  const BEConfig ref = sssp_config(BEScale::kTest, 8_MiB, 4);
+  constexpr int kThreads = 4;
+  std::vector<BEConfig> got(kThreads);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i)
+      pool.emplace_back([&got, i] { got[static_cast<std::size_t>(i)] =
+                                        sssp_config(BEScale::kTest, 8_MiB, 4); });
+    for (std::thread& t : pool) t.join();
+  }
+  for (const BEConfig& c : got) {
+    EXPECT_EQ(c.profile.accesses_per_iteration, ref.profile.accesses_per_iteration);
+    ASSERT_EQ(c.profile.weight.size(), ref.profile.weight.size());
+    EXPECT_TRUE(c.profile.weight == ref.profile.weight);  // bitwise, no tolerance
   }
 }
 

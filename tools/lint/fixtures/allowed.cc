@@ -7,4 +7,6 @@ void allowed(mtat::obs::MetricsRegistry& reg) {
   const int n = atoi("42");                   // mtat-lint: allow(unsafe-parse)
   (void)n;
   (void)rand();                               // mtat-lint: allow(nondet)
+  static int reuse = 0;                       // mtat-lint: allow(shared-mutable)
+  ++reuse;
 }

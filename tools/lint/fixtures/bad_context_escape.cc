@@ -1,0 +1,10 @@
+// Fixture: reaching for the process-global trace context instead of
+// threading a RunContext / TraceRecorder& through the call chain.
+#include "obs/trace.h"
+
+void bad_escape() {
+  mtat::obs::trace().instant(mtat::obs::names::kEvQueueOverload,
+                             mtat::obs::names::kCatQueue, "backlog", 1.0);
+  auto& rec = mtat::obs::default_trace();
+  (void)rec;
+}

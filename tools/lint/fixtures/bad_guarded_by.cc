@@ -1,0 +1,16 @@
+// Fixture: a mutex member with no thread-safety annotation anywhere in the
+// class — nothing records what it guards, so the clang -Wthread-safety lane
+// has nothing to prove.
+#include <mutex>
+
+class BadLocked {
+ public:
+  void set(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  std::mutex mu_;
+  int value_;
+};

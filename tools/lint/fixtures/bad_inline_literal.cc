@@ -1,6 +1,6 @@
 // Fixture: a correctly spelled name, but inline — call sites must use the
 // obs::names constant so renames stay atomic.
-void bad(mtat::obs::MetricsRegistry& reg) {
+void bad(mtat::obs::MetricsRegistry& reg, mtat::obs::TraceRecorder& rec) {
   reg.counter("queue.arrivals").inc();
-  mtat::obs::trace().instant("queue.overload", "queue", "backlog", 1.0);
+  rec.instant("queue.overload", "queue", "backlog", 1.0);
 }

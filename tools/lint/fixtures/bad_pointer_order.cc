@@ -1,0 +1,17 @@
+// Fixture: ordering/keying by pointer value — allocation addresses differ
+// run to run, so any order derived from them is nondeterministic.
+#include <cstdint>
+#include <map>
+#include <set>
+
+struct Node;
+
+void bad_pointer_keys(Node* a) {
+  std::set<Node*> keyed;
+  std::map<const Node*, int> ranks;
+  std::uintptr_t addr = 0;
+  (void)a;
+  (void)keyed;
+  (void)ranks;
+  (void)addr;
+}

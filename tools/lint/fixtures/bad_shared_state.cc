@@ -1,0 +1,15 @@
+// Fixture: mutable state shared across threads and calls — namespace scope,
+// a function-local static, and a mutable static data member.
+namespace fixture {
+int g_calls = 0;
+const int kLimit = 8;  // const namespace-scope state is fine
+}  // namespace fixture
+
+int counted() {
+  static int count = 0;
+  return ++count;
+}
+
+struct Holder {
+  static int live;
+};

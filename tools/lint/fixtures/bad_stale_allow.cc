@@ -1,0 +1,5 @@
+// Fixture: a suppression marker that no longer suppresses anything must be
+// reported and removed — left in place it hides future regressions.
+int stale_math(int x) {
+  return x + 1;  // mtat-lint: allow(nondet)
+}

@@ -1,0 +1,14 @@
+// Fixture: iteration order over unordered containers is hash/bucket
+// dependent — anything accumulated in visit order differs run to run.
+#include <string>
+#include <unordered_map>
+
+int bad_sum() {
+  std::unordered_map<std::string, int> scores;
+  scores["a"] = 1;
+  int sum = 0;
+  for (const auto& [name, score] : scores) sum = sum * 31 + score;
+  auto it = scores.begin();
+  (void)it;
+  return sum;
+}

@@ -1,18 +1,36 @@
-// Clean fixture: every rule passes. Call sites use obs::names constants,
-// randomness comes from the seeded Rng, parsing is checked.
+// Clean fixture: every rule passes. Call sites use obs::names constants and
+// a threaded TraceRecorder&, randomness comes from the seeded Rng, parsing
+// is checked, the mutex is annotated, and iteration is over ordered maps.
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "obs/names.h"
 
-void good(mtat::obs::MetricsRegistry& reg) {
+class GoodCounter {
+ public:
+  void bump(int key) EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_[key];
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<int, int> counts_ GUARDED_BY(mu_);
+};
+
+void good(mtat::obs::MetricsRegistry& reg, mtat::obs::TraceRecorder& rec) {
   reg.counter(mtat::obs::names::kQueueArrivals).inc();
   reg.gauge(mtat::obs::names::kBwFmemFactor).set(1.0);
-  mtat::obs::trace().instant(mtat::obs::names::kEvQueueOverload,
-                             mtat::obs::names::kCatQueue, "backlog", 3.0);
+  rec.instant(mtat::obs::names::kEvQueueOverload,
+              mtat::obs::names::kCatQueue, "backlog", 3.0);
   // A string mentioning rand() or atoi( must not trip the token rules, and
   // neither must this comment: std::random_device, system_clock, time(0).
   const char* text = "calling rand() or atoi(x) inside a string is fine";
   (void)text;
   char* end = nullptr;
   (void)std::strtol("42", &end, 10);  // the checked primitive is allowed
+  std::map<int, int> ordered{{1, 2}};
+  for (const auto& [k, v] : ordered) (void)(k + v);
 }

@@ -1,0 +1,356 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace mtat::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Encoding prefixes that may glue onto a string literal. The trailing-R
+/// forms open raw strings.
+bool is_string_prefix(const std::string& s, bool& raw) {
+  raw = s == "R" || s == "u8R" || s == "uR" || s == "UR" || s == "LR";
+  return raw || s == "u8" || s == "u" || s == "U" || s == "L";
+}
+
+/// Harvest `mtat-lint: allow(<rule>)` markers from comment text. Rule ids
+/// are [a-z0-9-]+ only, so prose like "allow(<rule>)" in documentation never
+/// parses as a marker.
+void harvest_allows(const std::string& comment, int line,
+                    std::map<int, std::set<std::string>>& allows) {
+  static const std::string kKey = "mtat-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kKey, pos)) != std::string::npos) {
+    std::size_t p = pos + kKey.size();
+    std::string rule;
+    while (p < comment.size() &&
+           (std::islower(static_cast<unsigned char>(comment[p])) ||
+            std::isdigit(static_cast<unsigned char>(comment[p])) || comment[p] == '-'))
+      rule.push_back(comment[p++]);
+    if (p < comment.size() && comment[p] == ')' && !rule.empty())
+      allows[line].insert(rule);
+    pos = p;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  LexedFile run() {
+    split_lines();
+    while (i_ < text_.size()) lex_one();
+    return std::move(out_);
+  }
+
+ private:
+  // -- low-level cursor ------------------------------------------------------
+  //
+  // peek()/get() see a *spliced* view of the input: a backslash immediately
+  // followed by a newline (optionally \r\n) vanishes, joining physical lines
+  // exactly as translation phase 2 does — so a line-spliced `//` comment
+  // swallows its continuation line and a spliced string literal keeps
+  // lexing. Raw strings bypass these accessors on purpose: inside
+  // R"(...)" nothing is special, splices included.
+
+  bool splice_at(std::size_t p) const {
+    if (p + 1 >= text_.size() || text_[p] != '\\') return false;
+    if (text_[p + 1] == '\n') return true;
+    return p + 2 < text_.size() && text_[p + 1] == '\r' && text_[p + 2] == '\n';
+  }
+
+  void skip_splices() {
+    while (splice_at(i_)) {
+      i_ += text_[i_ + 1] == '\r' ? 3 : 2;
+      ++line_;
+    }
+  }
+
+  char peek() {
+    skip_splices();
+    return i_ < text_.size() ? text_[i_] : '\0';
+  }
+
+  char peek2() {
+    skip_splices();
+    std::size_t p = i_ + 1;
+    while (splice_at(p)) p += text_[p + 1] == '\r' ? 3 : 2;
+    return p < text_.size() ? text_[p] : '\0';
+  }
+
+  char get() {
+    skip_splices();
+    const char c = text_[i_++];
+    if (c == '\n') {
+      ++line_;
+      at_line_start_ = true;
+      in_pp_ = false;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      at_line_start_ = false;
+    }
+    return c;
+  }
+
+  void emit(Token::Kind kind, std::string text, int line) {
+    out_.tokens.push_back({kind, std::move(text), line, in_pp_});
+  }
+
+  // -- token-level scanners --------------------------------------------------
+
+  void lex_one() {
+    const char c = peek();
+    if (c == '\0') {
+      ++i_;
+      return;
+    }
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      get();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      // Directive: mark everything to the logical end of line as pp tokens.
+      // They stay in the stream (a banned call in a macro body must still
+      // trip token rules) but the model's scope tracking ignores them.
+      get();
+      in_pp_ = true;
+      emit(Token::Kind::kPunct, "#", line_);
+      lex_pp_directive();
+      return;
+    }
+    if (c == '/' && peek2() == '/') {
+      lex_line_comment();
+      return;
+    }
+    if (c == '/' && peek2() == '*') {
+      lex_block_comment();
+      return;
+    }
+    if (ident_start(c)) {
+      lex_ident_or_prefixed_string();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek2())))) {
+      lex_number();
+      return;
+    }
+    if (c == '"') {
+      lex_string(/*raw=*/false);
+      return;
+    }
+    if (c == '\'') {
+      lex_char();
+      return;
+    }
+    lex_punct();
+  }
+
+  void lex_pp_directive() {
+    // Tokenize the directive body with the normal scanners (in_pp_ stays set
+    // until the unspliced newline). `#include "x"` edges are harvested from
+    // the token stream afterwards by watching for the include ident.
+    while (true) {
+      const char c = peek();
+      if (c == '\0' || c == '\n') {
+        if (c == '\n') get();
+        break;
+      }
+      const std::size_t before = out_.tokens.size();
+      lex_one();
+      if (!in_pp_) break;  // a comment scanner consumed the newline
+      if (out_.tokens.size() > before) {
+        const Token& t = out_.tokens.back();
+        if (t.kind == Token::Kind::kString && include_pending_) {
+          out_.includes.push_back({t.line, t.text});
+          include_pending_ = false;
+        } else {
+          include_pending_ = t.kind == Token::Kind::kIdent &&
+                             (t.text == "include" || t.text == "include_next");
+        }
+      }
+    }
+    include_pending_ = false;
+    in_pp_ = false;
+  }
+
+  void lex_line_comment() {
+    const int start = line_;
+    std::string body;
+    get();  // '/'
+    get();  // '/'
+    // get() splices, so a `\`-continued comment swallows the next physical
+    // line too — the case the v1 scanner treated as code.
+    while (peek() != '\0' && peek() != '\n') body.push_back(get());
+    for (int l = start; l <= line_; ++l) harvest_allows(body, l, out_.allows);
+    if (peek() == '\n') get();
+    in_pp_ = false;
+  }
+
+  void lex_block_comment() {
+    int seg_line = line_;
+    std::string segment;
+    get();  // '/'
+    get();  // '*'
+    // Harvest markers per physical line, not per comment: a marker in a
+    // multi-line comment suppresses only on the line it is written on.
+    while (i_ < text_.size()) {
+      if (peek() == '*' && peek2() == '/') {
+        get();
+        get();
+        break;
+      }
+      const char c = get();
+      if (c == '\n') {
+        harvest_allows(segment, seg_line, out_.allows);
+        segment.clear();
+        seg_line = line_;
+      } else {
+        segment.push_back(c);
+      }
+    }
+    harvest_allows(segment, seg_line, out_.allows);
+  }
+
+  void lex_ident_or_prefixed_string() {
+    const int start = line_;
+    std::string s;
+    while (ident_char(peek())) s.push_back(get());
+    bool raw = false;
+    if (peek() == '"' && is_string_prefix(s, raw)) {
+      lex_string(raw);
+      return;
+    }
+    emit(Token::Kind::kIdent, std::move(s), start);
+  }
+
+  void lex_number() {
+    // pp-number: digits, idents, dots, exponent signs, and digit separators.
+    // Lexing `1'000'000` here is what keeps the `'` from opening a bogus
+    // char literal (a v1 bug).
+    const int start = line_;
+    std::string s;
+    s.push_back(get());
+    while (true) {
+      const char c = peek();
+      if (ident_char(c) || c == '.') {
+        s.push_back(get());
+      } else if (c == '\'' && ident_char(peek2())) {
+        s.push_back(get());
+        s.push_back(get());
+      } else if ((c == '+' || c == '-') && !s.empty() &&
+                 (s.back() == 'e' || s.back() == 'E' || s.back() == 'p' || s.back() == 'P')) {
+        s.push_back(get());
+      } else {
+        break;
+      }
+    }
+    emit(Token::Kind::kNumber, std::move(s), start);
+  }
+
+  void lex_string(bool raw) {
+    const int start = line_;
+    std::string decoded;
+    get();  // opening '"'
+    if (raw) {
+      // R"delim( ... )delim" — read the delimiter from the *unspliced* text:
+      // inside a raw literal (delimiter included) no character is special.
+      std::string delim;
+      while (i_ < text_.size() && text_[i_] != '(' && text_[i_] != '\n') delim.push_back(text_[i_++]);
+      if (i_ < text_.size()) ++i_;  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (i_ < text_.size() && text_.compare(i_, closer.size(), closer) != 0) {
+        if (text_[i_] == '\n') ++line_;
+        decoded.push_back(text_[i_++]);
+      }
+      if (i_ < text_.size()) i_ += closer.size();
+    } else {
+      while (true) {
+        const char c = peek();
+        if (c == '\0' || c == '\n') break;  // unterminated: degrade gracefully
+        if (c == '\\') {
+          get();
+          if (peek() != '\0') decoded.push_back(get());  // keep escaped char, drop '\'
+          continue;
+        }
+        if (c == '"') {
+          get();
+          break;
+        }
+        decoded.push_back(get());
+      }
+    }
+    emit(Token::Kind::kString, std::move(decoded), start);
+  }
+
+  void lex_char() {
+    const int start = line_;
+    std::string decoded;
+    get();  // opening '\''
+    while (true) {
+      const char c = peek();
+      if (c == '\0' || c == '\n') break;
+      if (c == '\\') {
+        get();
+        if (peek() != '\0') decoded.push_back(get());
+        continue;
+      }
+      if (c == '\'') {
+        get();
+        break;
+      }
+      decoded.push_back(get());
+    }
+    emit(Token::Kind::kChar, std::move(decoded), start);
+  }
+
+  void lex_punct() {
+    const int start = line_;
+    const char c = get();
+    std::string s(1, c);
+    // Merge the multi-char punctuators that matter downstream: "::"/"->" for
+    // rules, and every compound/comparison operator ending in '=' — so a
+    // `<=` never reads as a template-open `<`, and an `+=` never reads as a
+    // declarator-initializing `=` to the model's statement splitter.
+    const char n = peek();
+    const bool compound_eq =
+        n == '=' && (c == '<' || c == '>' || c == '+' || c == '-' || c == '*' ||
+                     c == '/' || c == '%' || c == '&' || c == '|' || c == '^' ||
+                     c == '!' || c == '=');
+    if (compound_eq || (c == ':' && n == ':') || (c == '-' && n == '>') ||
+        (c == '+' && n == '+') || (c == '-' && n == '-') || (c == '&' && n == '&') ||
+        (c == '|' && n == '|') || (c == '<' && n == '<') || (c == '>' && n == '>'))
+      s.push_back(get());
+    emit(Token::Kind::kPunct, std::move(s), start);
+  }
+
+  void split_lines() {
+    std::size_t start = 0;
+    for (std::size_t p = 0; p <= text_.size(); ++p) {
+      if (p == text_.size() || text_[p] == '\n') {
+        out_.raw_lines.push_back(text_.substr(start, p - start));
+        start = p + 1;
+      }
+    }
+  }
+
+  const std::string& text_;
+  LexedFile out_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  bool in_pp_ = false;
+  bool include_pending_ = false;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& text) { return Lexer(text).run(); }
+
+}  // namespace mtat::lint

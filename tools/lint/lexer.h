@@ -1,0 +1,70 @@
+// mtat_lint pass 1: a real C++ tokenizer (lint v2).
+//
+// The v1 scanner was line-oriented: it blanked comments and string contents
+// in place and ran regexes over what was left. That model cannot see a call
+// whose argument opens on the next line, silently mis-lexes digit separators
+// (`1'000'000` opened a bogus char literal), and treats a line-spliced `//`
+// comment's continuation as code. Lint v2 lexes each translation unit into a
+// proper token stream once, and every rule — old and new — runs over tokens
+// (or over the file model pass 1 also builds, see model.h).
+//
+// What the lexer handles, deliberately, because the v1 scanner did not:
+//  * line splices (backslash-newline) everywhere, including inside `//`
+//    comments and string literals, with line numbers tracking the physical
+//    line a token starts on;
+//  * raw string literals with arbitrary delimiters and encoding prefixes
+//    (R"x(...)x", u8R"(...)", LR"(...)"), inside which nothing — not even a
+//    splice — is special;
+//  * pp-numbers with digit separators (`1'000'000` is one number token, not
+//    a number and a char literal);
+//  * adjacent string literals ("a" "b" stays two string tokens) and
+//    string-adjacent identifiers ("pages"_suffix lexes as string + ident);
+//  * preprocessor directives: their tokens are kept (marked `pp`) so token
+//    rules still see a banned call hidden in a macro body, but the model's
+//    scope tracking skips them, and `#include "..."` edges are extracted.
+//
+// Block comments do not nest in C++ and the lexer follows the language:
+// `/* a /* b */ c` ends at the first `*/` and `c` is code. The tokenizer
+// test pins this down so nobody "fixes" it into nonstandard nesting.
+//
+// Comments are not tokens, but two things are harvested from them while
+// lexing: `mtat-lint: allow(<rule>)` suppression markers (per line, possibly
+// several per comment) and nothing else — rule text in comments can never
+// trip a rule.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mtat::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;  ///< identifiers/punct verbatim; strings: decoded contents
+  int line = 0;      ///< 1-based physical line the token starts on
+  bool pp = false;   ///< true when the token is part of a preprocessor line
+};
+
+/// A quoted `#include "path"` edge (the local-dependency graph of the file).
+struct IncludeEdge {
+  int line = 0;
+  std::string path;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<std::string> raw_lines;  ///< physical lines, verbatim
+  /// line -> rule ids allowed on that line via `mtat-lint: allow(<rule>)`.
+  std::map<int, std::set<std::string>> allows;
+  std::vector<IncludeEdge> includes;
+};
+
+/// Tokenize one translation unit. Never fails: malformed input (unterminated
+/// literals, stray bytes) degrades to best-effort tokens, because a linter
+/// must keep scanning the rest of the tree.
+LexedFile lex(const std::string& text);
+
+}  // namespace mtat::lint

@@ -7,6 +7,9 @@
 #include <regex>
 #include <sstream>
 
+#include "lexer.h"
+#include "model.h"
+
 namespace mtat::lint {
 
 namespace {
@@ -22,229 +25,19 @@ bool read_file(const std::filesystem::path& p, std::string& out) {
   return true;
 }
 
-// ------------------------------------------------------- comment/string strip --
-//
-// One pass over the file produces two same-shape views (comments and literal
-// contents are replaced by spaces so column offsets line up between them):
-//   code: comments blanked, string/char literals kept verbatim
-//   scan: comments blanked AND literal contents blanked
-// Token rules run on `scan` (so a banned word inside a comment or a string
-// never fires); call-site name extraction finds the call in `scan` and reads
-// the literal out of `code` at the same offset.
-
-struct StrippedFile {
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-  std::vector<std::string> scan;
-};
-
-StrippedFile strip(const std::string& text) {
-  enum class St { kNormal, kLine, kBlock, kString, kChar, kRaw };
-  St st = St::kNormal;
-  std::string code, scan, raw_delim;
-  code.reserve(text.size());
-  scan.reserve(text.size());
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  auto put = [&](char c, char s) {
-    code.push_back(c);
-    scan.push_back(s);
-  };
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      // Newlines always pass through so line numbers stay aligned; a line
-      // comment ends here, everything else continues.
-      if (st == St::kLine) st = St::kNormal;
-      put('\n', '\n');
-      ++i;
-      continue;
-    }
-    switch (st) {
-      case St::kNormal:
-        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-          st = St::kLine;
-          put(' ', ' ');
-        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-          st = St::kBlock;
-          put(' ', ' ');
-          put(' ', ' ');
-          ++i;
-        } else if (c == '"' && i > 0 && text[i - 1] == 'R') {
-          // Raw string literal R"delim( ... )delim".
-          raw_delim = ")";
-          std::size_t j = i + 1;
-          while (j < n && text[j] != '(') raw_delim.push_back(text[j++]);
-          raw_delim.push_back('"');
-          st = St::kRaw;
-          put('"', '"');
-        } else if (c == '"') {
-          st = St::kString;
-          put('"', '"');
-        } else if (c == '\'') {
-          st = St::kChar;
-          put('\'', '\'');
-        } else {
-          put(c, c);
-        }
-        ++i;
-        break;
-      case St::kLine:
-        put(' ', ' ');
-        ++i;
-        break;
-      case St::kBlock:
-        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
-          put(' ', ' ');
-          put(' ', ' ');
-          i += 2;
-          st = St::kNormal;
-        } else {
-          put(' ', ' ');
-          ++i;
-        }
-        break;
-      case St::kString:
-        if (c == '\\' && i + 1 < n) {
-          put(c, ' ');
-          put(text[i + 1], ' ');
-          i += 2;
-        } else if (c == '"') {
-          put('"', '"');
-          ++i;
-          st = St::kNormal;
-        } else {
-          put(c, ' ');
-          ++i;
-        }
-        break;
-      case St::kChar:
-        if (c == '\\' && i + 1 < n) {
-          put(c, ' ');
-          put(text[i + 1], ' ');
-          i += 2;
-        } else if (c == '\'') {
-          put('\'', '\'');
-          ++i;
-          st = St::kNormal;
-        } else {
-          put(c, ' ');
-          ++i;
-        }
-        break;
-      case St::kRaw:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (char d : raw_delim) {
-            put(d, d == '"' ? '"' : ' ');
-          }
-          i += raw_delim.size();
-          st = St::kNormal;
-        } else {
-          put(c, ' ');
-          ++i;
-        }
-        break;
-    }
-  }
-
-  StrippedFile out;
-  auto split = [](const std::string& s, std::vector<std::string>& lines) {
-    std::size_t start = 0;
-    for (std::size_t p = 0; p <= s.size(); ++p) {
-      if (p == s.size() || s[p] == '\n') {
-        lines.push_back(s.substr(start, p - start));
-        start = p + 1;
-      }
-    }
-  };
-  split(text, out.raw);
-  split(code, out.code);
-  split(scan, out.scan);
-  return out;
-}
-
-// ------------------------------------------------------------------- helpers --
-
-bool inline_allowed(const std::string& raw_line, const std::string& rule) {
-  return raw_line.find("mtat-lint: allow(" + rule + ")") != std::string::npos;
-}
-
 bool is_header(const std::string& path) {
   return path.ends_with(".h") || path.ends_with(".hpp");
 }
 
-/// Extract the string literal starting at code[pos] (which must be '"').
-/// Returns false when the literal does not close on this line.
-bool extract_literal(const std::string& code_line, std::size_t pos, std::string& out) {
-  if (pos >= code_line.size() || code_line[pos] != '"') return false;
-  out.clear();
-  for (std::size_t i = pos + 1; i < code_line.size(); ++i) {
-    const char c = code_line[i];
-    if (c == '\\' && i + 1 < code_line.size()) {
-      out.push_back(code_line[i + 1]);
-      ++i;
-    } else if (c == '"') {
-      return true;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return false;
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
 }
 
-const std::regex& call_token_re() {
-  static const std::regex re(R"(\b(counter|gauge|histogram|instant|complete|WallSpan)\b)");
-  return re;
-}
-
-struct TokenRule {
-  const char* rule;
-  std::regex re;
-  const char* what;
-};
-
-const std::vector<TokenRule>& nondet_rules() {
-  // Determinism wall: every one of these either reads the host environment or
-  // wall clock. Simulation randomness must come from the seeded common/rng.h;
-  // wall timing from std::chrono::steady_clock (obs::WallSpan).
-  static const std::vector<TokenRule> rules = [] {
-    std::vector<TokenRule> v;
-    v.push_back({"nondet", std::regex(R"(\brand\s*\()"), "rand()"});
-    v.push_back({"nondet", std::regex(R"(\bsrand\s*\()"), "srand()"});
-    v.push_back({"nondet", std::regex(R"(\brandom_device\b)"), "std::random_device"});
-    v.push_back({"nondet", std::regex(R"(\bsystem_clock\b)"), "std::chrono::system_clock"});
-    v.push_back({"nondet", std::regex(R"(\btime\s*\()"), "time()"});
-    v.push_back({"nondet", std::regex(R"(\bclock\s*\()"), "clock()"});
-    v.push_back({"nondet", std::regex(R"(\bgettimeofday\s*\()"), "gettimeofday()"});
-    v.push_back({"nondet", std::regex(R"(\blocaltime\b)"), "localtime"});
-    v.push_back({"nondet", std::regex(R"(\bgmtime\b)"), "gmtime"});
-    return v;
-  }();
-  return rules;
-}
-
-const std::vector<TokenRule>& parse_rules() {
-  static const std::vector<TokenRule> rules = [] {
-    std::vector<TokenRule> v;
-    v.push_back({"unsafe-parse", std::regex(R"(\bato(?:i|f|l|ll)\s*\()"),
-                 "atoi/atof family (errors collapse to 0)"});
-    v.push_back({"unsafe-parse", std::regex(R"(\bsto(?:i|l|ul|ll|ull|f|d|ld)\s*\()"),
-                 "std::sto* family (throws on bad input)"});
-    return v;
-  }();
-  return rules;
-}
-
-const std::vector<TokenRule>& env_rules() {
-  // Environment knobs are parsed exactly once, with validation, by bench::Env
-  // (bench/env.h — the allowlisted construction site). A scattered getenv
-  // re-reads the knob unvalidated and invisibly to the Env documentation.
-  static const std::vector<TokenRule> rules = [] {
-    std::vector<TokenRule> v;
-    v.push_back({"getenv", std::regex(R"(\bgetenv\s*\()"), "std::getenv"});
-    return v;
-  }();
-  return rules;
+bool in_set(const std::string& s, const std::set<std::string>& set) {
+  return set.count(s) != 0;
 }
 
 }  // namespace
@@ -363,6 +156,7 @@ Allowlist load_allowlist(const std::filesystem::path& file, std::vector<Finding>
       continue;
     }
     std::replace(path.begin(), path.end(), '\\', '/');
+    allow.entries.push_back({lineno, rule, path});
     allow.files_by_rule[rule].insert(path);
   }
   return allow;
@@ -370,70 +164,155 @@ Allowlist load_allowlist(const std::filesystem::path& file, std::vector<Finding>
 
 // --------------------------------------------------------------- lint_source --
 
-void lint_source(const std::string& rel_path, const std::string& contents,
-                 const NameTable& names, const Allowlist& allow, std::vector<Finding>& out) {
-  const StrippedFile f = strip(contents);
-  const bool header = is_header(rel_path);
+namespace {
 
-  auto report = [&](int line, const std::string& rule, const std::string& msg) {
-    if (allow.allows(rule, rel_path)) return;
-    if (inline_allowed(f.raw[static_cast<std::size_t>(line - 1)], rule)) return;
-    out.push_back({rel_path, line, rule, msg});
-  };
+/// Rule engine for one lexed translation unit. Each check_* method walks the
+/// token stream or the file model and calls report(), which applies the
+/// suppression machinery (inline markers first, then the file allowlist) and
+/// tracks which suppressions fired.
+class SourceLinter {
+ public:
+  SourceLinter(const std::string& rel_path, const LexedFile& lexed, const FileModel& model,
+               const NameTable& names, const Allowlist& allow, std::vector<Finding>& out,
+               SuppressionUsage* usage)
+      : rel_(rel_path),
+        lexed_(lexed),
+        model_(model),
+        names_(names),
+        allow_(allow),
+        out_(out),
+        usage_(usage) {}
 
-  for (std::size_t li = 0; li < f.scan.size(); ++li) {
-    const std::string& scan = f.scan[li];
-    const std::string& code = f.code[li];
-    const int lineno = static_cast<int>(li) + 1;
+  void run() {
+    check_tokens();
+    check_shared_mutable();
+    check_unordered_iter();
+    check_guarded_by();
+    check_stale_inline();  // must run last: it needs the full usage picture
+  }
 
-    // -- metric/trace name call sites ---------------------------------------
-    for (auto it = std::sregex_iterator(scan.begin(), scan.end(), call_token_re());
-         it != std::sregex_iterator(); ++it) {
-      std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
-      const bool wallspan = (*it)[1] == "WallSpan";
-      auto skip_ws = [&] {
-        while (pos < scan.size() && std::isspace(static_cast<unsigned char>(scan[pos]))) ++pos;
-      };
-      skip_ws();
-      if (wallspan && pos < scan.size() &&
-          (std::isalpha(static_cast<unsigned char>(scan[pos])) || scan[pos] == '_')) {
-        // `obs::WallSpan span(...)` — skip the variable name.
-        while (pos < scan.size() &&
-               (std::isalnum(static_cast<unsigned char>(scan[pos])) || scan[pos] == '_'))
-          ++pos;
-        skip_ws();
-      }
-      if (pos >= scan.size() || scan[pos] != '(') continue;
-      ++pos;
-      skip_ws();
-      std::string name;
-      if (!extract_literal(code, pos, name)) continue;
-      if (!names.contains(name)) {
-        report(lineno, "metric-name",
-               "unknown metric/trace name \"" + name +
-                   "\": not declared in src/obs/names.h (declare it there and add it to the "
-                   "DESIGN.md name table)");
-      } else {
-        report(lineno, "metric-name",
-               "metric/trace name literal \"" + name +
-                   "\": use the obs::names:: constant from src/obs/names.h");
-      }
-      if (const char* canon = bad_unit_suffix(name))
-        report(lineno, "unit-suffix",
-               "metric name \"" + name + "\" uses a non-canonical unit suffix; use _" + canon);
+ private:
+  void report(int line, const std::string& rule, const std::string& msg) {
+    const auto it = lexed_.allows.find(line);
+    if (it != lexed_.allows.end() && it->second.count(rule) != 0) {
+      inline_used_.insert({line, rule});
+      return;
     }
+    if (allow_.allows(rule, rel_)) {
+      if (usage_ != nullptr) usage_->allowlist_entries.insert({rule, rel_});
+      return;
+    }
+    out_.push_back({rel_, line, rule, msg});
+  }
 
-    // -- strict-domain name literals anywhere -------------------------------
-    //
-    // Some name families get a stricter rule than the call-site-only
-    // metric-name check: a literal in one of these namespaces is flagged
-    // wherever it appears (comparisons, map keys, test expectations
-    // included) — the only blessed spelling is the obs::names:: constant,
-    // declared in names.h. The fault.* counters are how resilience claims
-    // are audited; the cluster.* gauges are what the fleet's telemetry-aware
-    // placement decides on, so a forked spelling would silently blind the
-    // balancer; the perf.* series are what tools/perf_diff gates on, so a
-    // forked spelling would fork the performance trajectory.
+  const Token* tok(std::size_t i) const {
+    return i < lexed_.tokens.size() ? &lexed_.tokens[i] : nullptr;
+  }
+
+  // -- token rules ----------------------------------------------------------
+
+  void check_tokens() {
+    const bool header = is_header(rel_);
+    const std::vector<Token>& toks = lexed_.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == Token::Kind::kString) {
+        check_strict_domains(t);
+        continue;
+      }
+      if (t.kind != Token::Kind::kIdent) continue;
+      const Token* next = tok(i + 1);
+      const bool call = next != nullptr && is_punct(*next, "(");
+
+      check_banned_idents(t, call);
+      if (header && t.text == "using" && next != nullptr && is_ident(*next, "namespace"))
+        report(t.line, "ns-header",
+               "`using namespace` in a header leaks into every includer; qualify names or "
+               "move the directive into a .cc file");
+      check_metric_call(i);
+      check_context_escape(i);
+      check_pointer_order(i);
+      check_unordered_begin(i);
+    }
+  }
+
+  void check_banned_idents(const Token& t, bool call) {
+    // Map an ident to its display spelling; call-style entries (value ends
+    // in "()") only fire when the ident is followed by `(`.
+    static const std::map<std::string, const char*> kNondet = {
+        {"rand", "rand()"},
+        {"srand", "srand()"},
+        {"time", "time()"},
+        {"clock", "clock()"},
+        {"gettimeofday", "gettimeofday()"},
+        {"random_device", "std::random_device"},
+        {"system_clock", "std::chrono::system_clock"},
+        {"localtime", "localtime"},
+        {"gmtime", "gmtime"}};
+    static const std::set<std::string> kAtoi = {"atoi", "atof", "atol", "atoll"};
+    static const std::set<std::string> kSto = {"stoi", "stol",   "stoul", "stoll",
+                                               "stoull", "stof", "stod",  "stold"};
+    const auto nd = kNondet.find(t.text);
+    if (nd != kNondet.end()) {
+      const std::string what = nd->second;
+      if (call || !what.ends_with("()"))
+        report(t.line, "nondet",
+               "nondeterminism source " + what +
+                   ": use the seeded common/rng.h (randomness) or steady_clock (wall time)");
+    }
+    if (call && (in_set(t.text, kAtoi) || in_set(t.text, kSto)))
+      report(t.line, "unsafe-parse",
+             std::string("unchecked number parse ") +
+                 (in_set(t.text, kAtoi) ? "atoi/atof family (errors collapse to 0)"
+                                        : "std::sto* family (throws on bad input)") +
+                 ": use common/parse.h or a checked strtol/strtoull pattern");
+    if (call && t.text == "getenv")
+      report(t.line, "getenv",
+             "direct environment read std::getenv: MTAT_* knobs are parsed once by bench::Env "
+             "(bench/env.h); read the parsed struct instead");
+  }
+
+  /// counter("x")/gauge/histogram/instant/complete, and WallSpan — the first
+  /// argument must be an obs::names:: constant, never a literal. Token-based,
+  /// so a literal that opens on the line after the `(` is caught too.
+  void check_metric_call(std::size_t i) {
+    static const std::set<std::string> kCalls = {"counter", "gauge", "histogram", "instant",
+                                                 "complete"};
+    const Token& t = lexed_.tokens[i];
+    std::size_t open = i + 1;
+    if (t.text == "WallSpan") {
+      // `obs::WallSpan span(name, ...)` — skip the variable name if present.
+      const Token* n = tok(open);
+      if (n != nullptr && n->kind == Token::Kind::kIdent) ++open;
+    } else if (!in_set(t.text, kCalls)) {
+      return;
+    }
+    const Token* paren = tok(open);
+    const Token* arg = tok(open + 1);
+    if (paren == nullptr || !is_punct(*paren, "(") || arg == nullptr ||
+        arg->kind != Token::Kind::kString)
+      return;
+    const std::string& name = arg->text;
+    if (!names_.contains(name)) {
+      report(arg->line, "metric-name",
+             "unknown metric/trace name \"" + name +
+                 "\": not declared in src/obs/names.h (declare it there and add it to the "
+                 "DESIGN.md name table)");
+    } else {
+      report(arg->line, "metric-name",
+             "metric/trace name literal \"" + name +
+                 "\": use the obs::names:: constant from src/obs/names.h");
+    }
+    if (const char* canon = bad_unit_suffix(name))
+      report(arg->line, "unit-suffix",
+             "metric name \"" + name + "\" uses a non-canonical unit suffix; use _" + canon);
+  }
+
+  /// fault.* / cluster.* / perf.* literals are banned anywhere on any line —
+  /// comparisons, map keys, and test expectations included. Those families
+  /// are audited across tools (perf_diff, the placement policy, resilience
+  /// claims), so the only blessed spelling is the obs::names:: constant.
+  void check_strict_domains(const Token& t) {
     struct StrictDomain {
       const char* prefix;
       const char* rule;
@@ -444,54 +323,177 @@ void lint_source(const std::string& rel_path, const std::string& contents,
         {"cluster.", "cluster-name", "cluster-domain"},  // mtat-lint: allow(cluster-name)
         {"perf.", "perf-name", "perf-domain"},           // mtat-lint: allow(perf-name)
     };
-    for (std::size_t pos = scan.find('"'); pos != std::string::npos;
-         pos = scan.find('"', pos + 1)) {
-      std::string lit;
-      if (!extract_literal(code, pos, lit)) break;  // unclosed on this line
-      const std::size_t close = scan.find('"', pos + 1);
-      if (close == std::string::npos) break;
-      pos = close;
-      for (const StrictDomain& d : kStrictDomains) {
-        if (lit.rfind(d.prefix, 0) != 0) continue;
-        if (names.contains(lit)) {
-          report(lineno, d.rule,
-                 std::string(d.what) + " name literal \"" + lit +
-                     "\": use the obs::names:: constant from src/obs/names.h");
-        } else {
-          report(lineno, d.rule,
-                 std::string("unknown ") + d.what + " name \"" + lit + "\": every " + d.prefix +
-                     "* metric/trace name must be declared in src/obs/names.h "
-                     "and referenced via its obs::names:: constant");
-        }
+    for (const StrictDomain& d : kStrictDomains) {
+      if (t.text.rfind(d.prefix, 0) != 0) continue;
+      if (names_.contains(t.text)) {
+        report(t.line, d.rule,
+               std::string(d.what) + " name literal \"" + t.text +
+                   "\": use the obs::names:: constant from src/obs/names.h");
+      } else {
+        report(t.line, d.rule,
+               std::string("unknown ") + d.what + " name \"" + t.text + "\": every " +
+                   d.prefix +
+                   "* metric/trace name must be declared in src/obs/names.h "
+                   "and referenced via its obs::names:: constant");
+      }
+      return;
+    }
+  }
+
+  /// obs::trace() / obs::default_trace() (and bare default_trace()) reach for
+  /// the process-global trace context. This is the lint form of the old
+  /// check.sh grep gate, generalized: thread a RunContext / TraceRecorder&
+  /// through the call chain instead. Sanctioned sites are allowlisted.
+  void check_context_escape(std::size_t i) {
+    const Token& t = lexed_.tokens[i];
+    if (t.text != "trace" && t.text != "default_trace") return;
+    const Token* open = tok(i + 1);
+    const Token* close = tok(i + 2);
+    if (open == nullptr || close == nullptr || !is_punct(*open, "(") || !is_punct(*close, ")"))
+      return;
+    const bool obs_qualified = i >= 2 && is_punct(lexed_.tokens[i - 1], "::") &&
+                               is_ident(lexed_.tokens[i - 2], "obs");
+    if (!obs_qualified && t.text != "default_trace") return;
+    report(t.line, "context-escape",
+           "process-global trace context " + t.text +
+               "(): thread the RunContext (or a TraceRecorder&) through the call chain; "
+               "sanctioned construction/merge sites carry an explicit suppression");
+  }
+
+  /// std::map/std::set (or their unordered cousins) keyed by a pointer type,
+  /// and pointer-to-integer types: both order or key by allocation address.
+  void check_pointer_order(std::size_t i) {
+    const Token& t = lexed_.tokens[i];
+    if (t.text == "uintptr_t" || t.text == "intptr_t") {
+      report(t.line, "pointer-order",
+             "pointer-to-integer type " + t.text +
+                 ": ordering, keying, or hashing by address is allocation-dependent and "
+                 "differs run to run; derive a stable id instead");
+      return;
+    }
+    static const std::set<std::string> kKeyed = {"map",           "set",
+                                                 "multimap",      "multiset",
+                                                 "unordered_map", "unordered_set"};
+    if (!in_set(t.text, kKeyed)) return;
+    const Token* open = tok(i + 1);
+    if (open == nullptr || !is_punct(*open, "<")) return;
+    // Walk the key type (up to the first top-level `,` or the closing `>`);
+    // a `*` there means the container is keyed by pointer value.
+    int depth = 1;
+    for (std::size_t j = i + 2; j < lexed_.tokens.size() && j < i + 64; ++j) {
+      const Token& u = lexed_.tokens[j];
+      if (u.kind != Token::Kind::kPunct) continue;
+      if (u.text == "<") ++depth;
+      else if (u.text == ">") --depth;
+      else if (u.text == ">>") depth -= 2;
+      else if (u.text == "(") return;  // not a template-argument list after all
+      if (depth <= 0) return;
+      if (depth == 1 && u.text == ",") return;  // key type ended cleanly
+      if (depth == 1 && u.text == "*") {
+        report(t.line, "pointer-order",
+               "container keyed by pointer value (std::" + t.text +
+                   " with a pointer key): iteration and compare order follow allocation "
+                   "addresses, which differ run to run; key by a stable id instead");
+        return;
+      }
+    }
+  }
+
+  /// `x.begin()` on a name declared with an unordered container type: the
+  /// iterator-loop spelling of unordered-iter (range-for is handled from the
+  /// model).
+  void check_unordered_begin(std::size_t i) {
+    const Token& t = lexed_.tokens[i];
+    if (model_.unordered_names.count(t.text) == 0) return;
+    const Token* dot = tok(i + 1);
+    const Token* method = tok(i + 2);
+    if (dot == nullptr || method == nullptr) return;
+    if (!is_punct(*dot, ".") && !is_punct(*dot, "->")) return;
+    if (!is_ident(*method, "begin") && !is_ident(*method, "cbegin")) return;
+    report(t.line, "unordered-iter",
+           "iteration over unordered container '" + t.text +
+               "': visit order is hash/bucket-dependent and can leak into results, metrics, "
+               "or trace order; use std::map/std::set or drain into a sorted vector first");
+  }
+
+  // -- model rules ----------------------------------------------------------
+
+  void check_shared_mutable() {
+    for (const StateDecl& d : model_.state_decls) {
+      if (d.is_const) continue;
+      const char* where = "namespace scope";
+      if (d.where == StateDecl::Where::kLocalStatic)
+        where = d.is_thread_local ? "function-local thread_local" : "function-local static";
+      else if (d.where == StateDecl::Where::kStaticMember)
+        where = "static data member";
+      report(d.line, "shared-mutable",
+             "mutable shared state '" + d.name + "' (" + where +
+                 "): shared across threads and calls, so writes are schedule-dependent; pass "
+                 "the state through explicitly, or document single-owner initialization with "
+                 "an inline suppression and an ownership note");
+    }
+  }
+
+  void check_unordered_iter() {
+    for (const RangeForStmt& rf : model_.range_fors) {
+      for (const std::string& id : rf.range_idents) {
+        if (model_.unordered_names.count(id) == 0) continue;
+        report(rf.line, "unordered-iter",
+               "iteration over unordered container '" + id +
+                   "': visit order is hash/bucket-dependent and can leak into results, "
+                   "metrics, or trace order; use std::map/std::set or drain into a sorted "
+                   "vector first");
         break;
       }
     }
-
-    // -- banned tokens ------------------------------------------------------
-    for (const TokenRule& r : nondet_rules())
-      if (std::regex_search(scan, r.re))
-        report(lineno, r.rule,
-               std::string("nondeterminism source ") + r.what +
-                   ": use the seeded common/rng.h (randomness) or steady_clock (wall time)");
-    for (const TokenRule& r : parse_rules())
-      if (std::regex_search(scan, r.re))
-        report(lineno, r.rule,
-               std::string("unchecked number parse ") + r.what +
-                   ": use common/parse.h or a checked strtol/strtoull pattern");
-    for (const TokenRule& r : env_rules())
-      if (std::regex_search(scan, r.re))
-        report(lineno, r.rule,
-               std::string("direct environment read ") + r.what +
-                   ": MTAT_* knobs are parsed once by bench::Env (bench/env.h); read the "
-                   "parsed struct instead");
-
-    // -- using namespace in headers -----------------------------------------
-    static const std::regex using_ns_re(R"(^\s*using\s+namespace\b)");
-    if (header && std::regex_search(scan, using_ns_re))
-      report(lineno, "ns-header",
-             "`using namespace` in a header leaks into every includer; qualify names or move "
-             "the directive into a .cc file");
   }
+
+  void check_guarded_by() {
+    for (const ClassModel& c : model_.classes) {
+      for (const MemberDecl& m : c.members) {
+        if (!m.is_mutex || c.annotation_targets.count(m.name) != 0) continue;
+        report(m.line, "guarded-by",
+               "mutex member '" + m.name + "' of " + c.name +
+                   " is not referenced by any thread-safety annotation; mark the state it "
+                   "guards with GUARDED_BY(" + m.name + ") and lock-holding methods with "
+                   "REQUIRES(" + m.name + ") (src/common/thread_annotations.h)");
+      }
+    }
+  }
+
+  // -- stale inline suppressions --------------------------------------------
+
+  void check_stale_inline() {
+    for (const auto& [line, rules] : lexed_.allows) {
+      for (const std::string& r : rules) {
+        if (r == "stale-suppression") continue;  // meta-markers never rot
+        if (inline_used_.count({line, r}) != 0) continue;
+        report(line, "stale-suppression",
+               "stale suppression: no " + r +
+                   " finding on this line is suppressed by `mtat-lint: allow(" + r +
+                   ")`; remove the marker");
+      }
+    }
+  }
+
+  const std::string& rel_;
+  const LexedFile& lexed_;
+  const FileModel& model_;
+  const NameTable& names_;
+  const Allowlist& allow_;
+  std::vector<Finding>& out_;
+  SuppressionUsage* usage_;
+  std::set<std::pair<int, std::string>> inline_used_;
+};
+
+}  // namespace
+
+void lint_source(const std::string& rel_path, const std::string& contents,
+                 const NameTable& names, const Allowlist& allow, std::vector<Finding>& out,
+                 SuppressionUsage* usage) {
+  const LexedFile lexed = lex(contents);
+  const FileModel model = build_model(lexed);
+  SourceLinter(rel_path, lexed, model, names, allow, out, usage).run();
 }
 
 // ------------------------------------------------------------------ doc sync --
@@ -573,6 +575,8 @@ std::vector<Finding> run(const Options& opt) {
                    "no names parsed from " + opt.names_header + " (missing section markers?)"});
   const Allowlist allow = load_allowlist(opt.root / opt.allowlist_file, out);
 
+  SuppressionUsage usage;
+  std::set<std::string> scanned;
   const std::set<std::string> exts = {".h", ".hpp", ".cc", ".cpp"};
   for (const std::string& dir : opt.dirs) {
     const std::filesystem::path base = opt.root / dir;
@@ -592,9 +596,24 @@ std::vector<Finding> run(const Options& opt) {
       if (!read_file(p, contents)) continue;
       const std::string rel =
           std::filesystem::relative(p, opt.root).generic_string();
-      lint_source(rel, contents, names, allow, out);
+      scanned.insert(rel);
+      lint_source(rel, contents, names, allow, out, &usage);
     }
   }
+
+  // Stale allowlist entries: the file was scanned this run, yet no finding of
+  // that rule needed the exemption. Entries for files outside the scanned
+  // dirs are left alone (a scoped run must not declare them dead).
+  for (const Allowlist::Entry& e : allow.entries) {
+    if (e.rule == "stale-suppression") continue;
+    if (scanned.count(e.path) == 0) continue;
+    if (usage.allowlist_entries.count({e.rule, e.path}) != 0) continue;
+    out.push_back({opt.allowlist_file, e.line, "stale-suppression",
+                   "stale allowlist entry `" + e.rule + " " + e.path +
+                       "`: the file was scanned and produced no " + e.rule +
+                       " finding; remove the entry"});
+  }
+
   if (opt.check_docs)
     crosscheck_design(opt.root / opt.design_doc, opt.design_doc, names, out);
 

@@ -3,9 +3,11 @@
 //   mtat_lint --root=/path/to/repo              lint the whole tree
 //   mtat_lint --root=. src tools                lint a subset of directories
 //   mtat_lint --root=. --no-doc-sync bad_dir    skip the DESIGN.md cross-check
+//   mtat_lint --root=. --time-budget-ms=20000   also fail if the run is slow
 //
-// Exit status: 0 clean, 1 findings, 2 usage error. Findings print as
-// `file:line: [rule] message`, one per line, compiler-style.
+// Exit status: 0 clean, 1 findings, 2 usage error, 3 over time budget.
+// Findings print as `file:line: [rule] message`, one per line, compiler-style.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -23,6 +25,8 @@ namespace {
       "  --design=FILE    design doc for the doc-sync rule (default DESIGN.md)\n"
       "  --allowlist=FILE per-rule file exemptions (default tools/lint/allowlist.txt)\n"
       "  --no-doc-sync    skip the DESIGN.md name-table cross-check\n"
+      "  --time-budget-ms=N  exit 3 when the full run takes longer than N ms\n"
+      "                   (the ctest lane's guard against the linter crawling)\n"
       "  [DIR...]         directories to scan, relative to root\n"
       "                   (default: src bench tests tools examples)\n");
   std::exit(code);
@@ -33,6 +37,7 @@ namespace {
 int main(int argc, char** argv) {
   mtat::lint::Options opt;
   opt.root = ".";
+  long budget_ms = 0;
   std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -45,7 +50,14 @@ int main(int argc, char** argv) {
     else if (key == "--design") opt.design_doc = val;
     else if (key == "--allowlist") opt.allowlist_file = val;
     else if (key == "--no-doc-sync") opt.check_docs = false;
-    else if (!arg.empty() && arg[0] == '-') {
+    else if (key == "--time-budget-ms") {
+      char* end = nullptr;
+      budget_ms = std::strtol(val.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || budget_ms <= 0) {
+        std::fprintf(stderr, "bad --time-budget-ms value: %s\n\n", val.c_str());
+        usage(2);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n\n", arg.c_str());
       usage(2);
     } else {
@@ -53,5 +65,15 @@ int main(int argc, char** argv) {
     }
   }
   if (!dirs.empty()) opt.dirs = dirs;
-  return mtat::lint::run_and_report(opt, std::cout) == 0 ? 0 : 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  const int findings = mtat::lint::run_and_report(opt, std::cout);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  if (budget_ms > 0 && elapsed > budget_ms) {
+    std::fprintf(stderr, "mtat_lint: run took %lld ms, over the %ld ms budget\n",
+                 static_cast<long long>(elapsed), budget_ms);
+    return 3;
+  }
+  return findings == 0 ? 0 : 1;
 }

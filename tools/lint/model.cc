@@ -1,0 +1,491 @@
+#include "model.h"
+
+#include <algorithm>
+
+namespace mtat::lint {
+
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+const std::set<std::string>& annotation_macros() {
+  static const std::set<std::string> kMacros = {
+      "GUARDED_BY",        "PT_GUARDED_BY",            "REQUIRES",
+      "REQUIRES_SHARED",   "ACQUIRE",                  "ACQUIRE_SHARED",
+      "RELEASE",           "RELEASE_SHARED",           "RELEASE_GENERIC",
+      "TRY_ACQUIRE",       "TRY_ACQUIRE_SHARED",       "EXCLUDES",
+      "ASSERT_CAPABILITY", "ASSERT_SHARED_CAPABILITY", "RETURN_CAPABILITY"};
+  return kMacros;
+}
+
+bool is_unordered_ident(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
+         s == "unordered_multiset";
+}
+
+bool is_mutex_ident(const std::string& s) {
+  return s == "mutex" || s == "shared_mutex" || s == "recursive_mutex" ||
+         s == "timed_mutex" || s == "recursive_timed_mutex" || s == "shared_timed_mutex" ||
+         s == "Mutex";
+}
+
+/// Heads that mean "this statement is not a variable declaration".
+bool is_non_decl_head(const std::string& s) {
+  static const std::set<std::string> kHeads = {
+      "using",  "typedef", "namespace", "friend", "template", "static_assert",
+      "public", "private", "protected", "return", "if",       "for",
+      "while",  "do",      "switch",    "break",  "continue", "goto",
+      "throw",  "case",    "default",   "else",   "try",      "catch",
+      "asm",    "concept", "requires",  "operator"};
+  return kHeads.count(s) != 0;
+}
+
+bool is_const_keyword(const std::string& s) {
+  return s == "const" || s == "constexpr" || s == "constinit" || s == "consteval";
+}
+
+/// Does `<` at stmt[i] plausibly open a template argument list? (It follows
+/// an identifier, `::`, or a closing `>`.)
+bool opens_angle(const std::vector<Token>& stmt, std::size_t i) {
+  if (i == 0) return false;
+  const Token& prev = stmt[i - 1];
+  return prev.kind == Token::Kind::kIdent || is_punct(prev, "::") || is_punct(prev, ">");
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kEnum, kFunction };
+  Kind kind = Kind::kNamespace;
+  int cls = -1;  ///< index into ModelBuilder::open_classes_ for kClass
+};
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(const LexedFile& lexed) : lexed_(lexed) {}
+
+  FileModel run() {
+    model_.includes = lexed_.includes;
+    scopes_.push_back({Scope::Kind::kNamespace, -1});
+    for (const Token& t : lexed_.tokens) {
+      if (t.pp) continue;  // directives never affect scope or declarations
+      step(t);
+    }
+    // Unterminated bodies (malformed input): keep what was gathered.
+    for (ClassModel& c : open_classes_) model_.classes.push_back(std::move(c));
+    return std::move(model_);
+  }
+
+ private:
+  // -- statement machinery ---------------------------------------------------
+  //
+  // Tokens accumulate into `stmt_` until a top-level `;` (classify) or `{`
+  // (open a scope, or swallow an initializer list). "Top level" means paren
+  // depth zero: a `;` inside `for (...)` or a `{` passed inside a call never
+  // splits the statement. Template-argument depth is tracked heuristically
+  // (`<` after an identifier/`::`/`>` opens, `>`/`>>` close) and resets with
+  // the statement, so a stray comparison can never corrupt more than the
+  // statement it appears in.
+
+  void step(const Token& t) {
+    if (paren_depth_ == 0 && t.kind == Token::Kind::kPunct) {
+      // `;` / `{` / `}` always split, even when the angle heuristic thinks a
+      // template-argument list is open: a plain comparison (`a < b`) bumps
+      // the depth with nothing to close it, and must not be able to poison
+      // scope tracking past its own statement.
+      if (t.text == ";") {
+        end_statement();
+        return;
+      }
+      if (t.text == "{") {
+        open_brace();
+        return;
+      }
+      if (t.text == "}") {
+        close_brace();
+        return;
+      }
+      if (angle_depth_ == 0) {
+        if (t.text == ":" && current_kind() == Scope::Kind::kClass && stmt_.size() == 1 &&
+            is_non_decl_head(stmt_[0].text)) {
+          stmt_.clear();  // access specifier `public:` etc.
+          return;
+        }
+        if (t.text == "=") has_top_level_eq_ = true;
+      }
+    }
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "(" || t.text == "[") ++paren_depth_;
+      if ((t.text == ")" || t.text == "]") && paren_depth_ > 0) --paren_depth_;
+      if (paren_depth_ == 0) {
+        if (t.text == "<" && opens_angle(stmt_, stmt_.size())) ++angle_depth_;
+        if (t.text == ">" && angle_depth_ > 0) --angle_depth_;
+        if (t.text == ">>" && angle_depth_ > 0) angle_depth_ = std::max(0, angle_depth_ - 2);
+      }
+    }
+    stmt_.push_back(t);
+  }
+
+  void end_statement() {
+    // `struct X {...};` seeds the statement with "X" so a trailing declarator
+    // (`struct X {...} name;`) classifies — but the bare `};` spelling leaves
+    // only the seed, which is not a declaration.
+    if (!(seeded_ && stmt_.size() == 1)) classify(stmt_);
+    stmt_.clear();
+    angle_depth_ = 0;
+    has_top_level_eq_ = false;
+    seeded_ = false;
+  }
+
+  Scope::Kind current_kind() const { return scopes_.back().kind; }
+
+  /// Inside any brace-initializer (which is where lambda bodies in
+  /// initializers live), declarations behave like function-local ones.
+  Scope::Kind effective_kind() const {
+    return brace_init_depth_ > 0 ? Scope::Kind::kFunction : current_kind();
+  }
+
+  ClassModel* current_class() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+      if (it->kind == Scope::Kind::kClass && it->cls >= 0)
+        return &open_classes_[static_cast<std::size_t>(it->cls)];
+    return nullptr;
+  }
+
+  bool stmt_has_top_level_paren() const {
+    int angle = 0;
+    for (std::size_t i = 0; i < stmt_.size(); ++i) {
+      const Token& t = stmt_[i];
+      if (t.kind != Token::Kind::kPunct) continue;
+      if (t.text == "<" && opens_angle(stmt_, i)) ++angle;
+      else if (t.text == ">" && angle > 0) --angle;
+      else if (t.text == ">>" && angle > 0) angle = std::max(0, angle - 2);
+      else if (t.text == "(" && angle == 0) return true;
+    }
+    return false;
+  }
+
+  /// Is the pending `{` a declarator's brace initializer (`Type name{...}`)
+  /// rather than a scope? Functions end in `)` or a qualifier chain after
+  /// parens; class/namespace/enum heads are recognized by head_kind().
+  bool is_declarator_init() const {
+    if (stmt_.empty()) return false;
+    if (is_non_decl_head(stmt_.front().text)) return false;
+    const Token& last = stmt_.back();
+    const bool last_ok = last.kind == Token::Kind::kIdent || is_punct(last, ">") ||
+                         is_punct(last, "]");
+    return last_ok && head_kind() == Scope::Kind::kFunction && !stmt_has_top_level_paren();
+  }
+
+  void open_brace() {
+    if (has_top_level_eq_ || brace_init_depth_ > 0 || is_declarator_init()) {
+      ++brace_init_depth_;
+      stmt_.push_back(Token{Token::Kind::kPunct, "{", 0, false});
+      return;
+    }
+    const Scope::Kind kind = head_kind();
+    if (kind == Scope::Kind::kClass) {
+      ClassModel cls;
+      cls.line = stmt_.empty() ? 0 : stmt_.front().line;
+      cls.name = class_name_from_head();
+      open_classes_.push_back(std::move(cls));
+      scopes_.push_back({Scope::Kind::kClass, static_cast<int>(open_classes_.size()) - 1});
+      pending_class_intro_.push_back(open_classes_.back().name);
+    } else {
+      if (current_kind() == Scope::Kind::kClass && !stmt_.empty())
+        harvest_annotations(stmt_);  // method signature before its body
+      harvest_range_for(stmt_);
+      scopes_.push_back({kind, -1});
+    }
+    stmt_.clear();
+    angle_depth_ = 0;
+    has_top_level_eq_ = false;
+    seeded_ = false;
+  }
+
+  void close_brace() {
+    if (brace_init_depth_ > 0) {
+      --brace_init_depth_;
+      stmt_.push_back(Token{Token::Kind::kPunct, "}", 0, false});
+      return;
+    }
+    if (!stmt_.empty()) end_statement();  // statement without `;` before `}`
+    if (scopes_.size() > 1) {
+      const Scope closed = scopes_.back();
+      scopes_.pop_back();
+      if (closed.kind == Scope::Kind::kClass && !open_classes_.empty()) {
+        model_.classes.push_back(std::move(open_classes_.back()));
+        open_classes_.pop_back();
+        // `struct X {...} name;` — seed the next statement with the class
+        // name so the trailing declarator classifies as a variable of it.
+        if (!pending_class_intro_.empty()) {
+          stmt_.push_back(Token{Token::Kind::kIdent, pending_class_intro_.back(),
+                                model_.classes.back().line, false});
+          pending_class_intro_.pop_back();
+          seeded_ = stmt_.size() == 1;
+        }
+      }
+    }
+  }
+
+  /// What does a `{` after the current statement head open?
+  Scope::Kind head_kind() const {
+    if (stmt_.empty()) return Scope::Kind::kFunction;  // bare block
+    if (is_ident(stmt_.front(), "namespace")) return Scope::Kind::kNamespace;
+    // `extern "C" {` reopens namespace scope.
+    if (is_ident(stmt_.front(), "extern") && stmt_.size() >= 2 &&
+        stmt_[1].kind == Token::Kind::kString)
+      return Scope::Kind::kNamespace;
+    bool saw_paren = false;
+    int angle = 0;
+    for (std::size_t i = 0; i < stmt_.size(); ++i) {
+      const Token& t = stmt_[i];
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == "<" && opens_angle(stmt_, i)) ++angle;
+        else if (t.text == ">" && angle > 0) --angle;
+        else if (t.text == ">>" && angle > 0) angle = std::max(0, angle - 2);
+        else if (t.text == "(" && angle == 0) saw_paren = true;
+        continue;
+      }
+      if (angle > 0 || t.kind != Token::Kind::kIdent) continue;
+      if (t.text == "enum") return Scope::Kind::kEnum;
+      if ((t.text == "class" || t.text == "struct" || t.text == "union") && !saw_paren)
+        return Scope::Kind::kClass;
+    }
+    return Scope::Kind::kFunction;
+  }
+
+  std::string class_name_from_head() const {
+    // Last identifier before any base-clause `:` — `class Foo : public Bar`.
+    std::string name = "<anonymous>";
+    for (const Token& t : stmt_) {
+      if (is_punct(t, ":")) break;
+      if (t.kind == Token::Kind::kIdent && t.text != "class" && t.text != "struct" &&
+          t.text != "union" && t.text != "final" && t.text != "alignas")
+        name = t.text;
+    }
+    return name;
+  }
+
+  // -- classification --------------------------------------------------------
+
+  /// Drop thread-safety annotation spans (`GUARDED_BY(mu_)` etc.) so an
+  /// annotated member (`std::map<K,V> cache_ GUARDED_BY(mu_);`) still
+  /// classifies as a data member, not as a function declaration.
+  static std::vector<Token> strip_annotations(const std::vector<Token>& stmt) {
+    std::vector<Token> out;
+    out.reserve(stmt.size());
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      if (stmt[i].kind == Token::Kind::kIdent && annotation_macros().count(stmt[i].text) != 0 &&
+          i + 1 < stmt.size() && is_punct(stmt[i + 1], "(")) {
+        int depth = 0;
+        std::size_t j = i + 1;
+        for (; j < stmt.size(); ++j) {
+          if (is_punct(stmt[j], "(")) ++depth;
+          else if (is_punct(stmt[j], ")") && --depth == 0) break;
+        }
+        i = j;
+        continue;
+      }
+      out.push_back(stmt[i]);
+    }
+    return out;
+  }
+
+  void classify(const std::vector<Token>& raw_stmt) {
+    if (raw_stmt.empty()) return;
+    harvest_range_for(raw_stmt);
+    harvest_using_alias(raw_stmt);
+    const Scope::Kind kind = effective_kind();
+    if (kind == Scope::Kind::kClass) harvest_annotations(raw_stmt);
+    const std::vector<Token> stmt = strip_annotations(raw_stmt);
+    if (stmt.empty()) return;
+    if (kind == Scope::Kind::kEnum) return;
+    if (is_non_decl_head(stmt.front().text)) return;
+    if (is_ident(stmt.front(), "extern") && stmt.size() >= 2 &&
+        stmt[1].kind == Token::Kind::kString)
+      return;  // linkage declaration
+    // Forward declarations (`class Foo;`, `enum class E : int;`) and the
+    // rare elaborated-type variable are not state declarations.
+    for (const Token& t : stmt)
+      if (t.kind == Token::Kind::kIdent &&
+          (t.text == "class" || t.text == "struct" || t.text == "union" || t.text == "enum"))
+        return;
+
+    // One pass over the top level of the statement: storage/const keywords,
+    // `(` before any initializer (function declaration), and the declarator
+    // name — the last top-level identifier before `=` / `{` / `[`.
+    bool has_static = false, has_tl = false, has_const = false;
+    bool fn_paren = false, seen_init = false;
+    int angle = 0;
+    std::vector<std::size_t> top_idents;
+    for (std::size_t i = 0; i < stmt.size() && !seen_init; ++i) {
+      const Token& t = stmt[i];
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == "<" && opens_angle(stmt, i)) ++angle;
+        else if (t.text == ">" && angle > 0) --angle;
+        else if (t.text == ">>" && angle > 0) angle = std::max(0, angle - 2);
+        if (angle > 0) continue;
+        if (t.text == "=" || t.text == "{" || t.text == "[") seen_init = true;
+        if (t.text == "(") fn_paren = true;
+        continue;
+      }
+      if (angle > 0 || t.kind != Token::Kind::kIdent) continue;
+      if (t.text == "static") { has_static = true; continue; }
+      if (t.text == "thread_local") { has_tl = true; continue; }
+      if (is_const_keyword(t.text)) { has_const = true; continue; }
+      if (t.text == "inline" || t.text == "extern" || t.text == "volatile" ||
+          t.text == "mutable")
+        continue;
+      top_idents.push_back(i);
+    }
+    if (top_idents.empty() || fn_paren) return;
+
+    const std::size_t name_idx = top_idents.back();
+    const Token& name_tok = stmt[name_idx];
+    // A declaration names a type before the declarator. An expression
+    // statement (`x = y;`, `++x;`, `x += 1;`) has no identifier there.
+    bool has_type_ident = false;
+    for (std::size_t i = 0; i < name_idx && !has_type_ident; ++i)
+      has_type_ident = stmt[i].kind == Token::Kind::kIdent;
+    if (!has_type_ident) return;
+    std::string type;
+    for (std::size_t i = 0; i < name_idx; ++i) {
+      if (!type.empty()) type += ' ';
+      type += stmt[i].text;
+    }
+    const auto type_has = [&](auto&& pred) {
+      return std::any_of(stmt.begin(), stmt.begin() + static_cast<std::ptrdiff_t>(name_idx),
+                         [&](const Token& t) {
+                           return t.kind == Token::Kind::kIdent && pred(t.text);
+                         });
+    };
+    if (type_has([this](const std::string& s) {
+          return is_unordered_ident(s) || unordered_aliases_.count(s) != 0;
+        }))
+      model_.unordered_names.insert(name_tok.text);
+
+    switch (kind) {
+      case Scope::Kind::kNamespace:
+        record_state(StateDecl::Where::kNamespaceScope, name_tok, type, has_const, has_tl);
+        break;
+      case Scope::Kind::kClass: {
+        if (ClassModel* cls = current_class()) {
+          MemberDecl m;
+          m.line = name_tok.line;
+          m.name = name_tok.text;
+          m.type = type;
+          m.is_mutex = type_has(is_mutex_ident);
+          cls->members.push_back(std::move(m));
+        }
+        if (has_static && !has_const)
+          record_state(StateDecl::Where::kStaticMember, name_tok, type, has_const, has_tl);
+        break;
+      }
+      case Scope::Kind::kFunction:
+        if (has_static || has_tl)
+          record_state(StateDecl::Where::kLocalStatic, name_tok, type, has_const, has_tl);
+        break;
+      case Scope::Kind::kEnum:
+        break;
+    }
+  }
+
+  void record_state(StateDecl::Where where, const Token& name_tok, const std::string& type,
+                    bool is_const, bool is_tl) {
+    StateDecl d;
+    d.where = where;
+    d.line = name_tok.line;
+    d.name = name_tok.text;
+    d.type = type;
+    d.is_const = is_const;
+    d.is_thread_local = is_tl;
+    model_.state_decls.push_back(std::move(d));
+  }
+
+  // -- harvesters ------------------------------------------------------------
+
+  void harvest_annotations(const std::vector<Token>& stmt) {
+    ClassModel* cls = current_class();
+    if (cls == nullptr) return;
+    for (std::size_t i = 0; i + 1 < stmt.size(); ++i) {
+      if (stmt[i].kind != Token::Kind::kIdent || annotation_macros().count(stmt[i].text) == 0)
+        continue;
+      if (!is_punct(stmt[i + 1], "(")) continue;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < stmt.size(); ++j) {
+        if (is_punct(stmt[j], "(")) {
+          ++depth;
+        } else if (is_punct(stmt[j], ")")) {
+          if (--depth == 0) break;
+        } else if (stmt[j].kind == Token::Kind::kIdent && depth == 1) {
+          cls->annotation_targets.insert(stmt[j].text);
+        }
+      }
+    }
+  }
+
+  void harvest_using_alias(const std::vector<Token>& stmt) {
+    // `using Alias = ...unordered_map...;` — remember Alias as an unordered
+    // type so declarations through it still register.
+    if (stmt.size() < 4 || !is_ident(stmt.front(), "using")) return;
+    if (stmt[1].kind != Token::Kind::kIdent || !is_punct(stmt[2], "=")) return;
+    for (std::size_t i = 3; i < stmt.size(); ++i)
+      if (stmt[i].kind == Token::Kind::kIdent &&
+          (is_unordered_ident(stmt[i].text) || unordered_aliases_.count(stmt[i].text) != 0)) {
+        unordered_aliases_.insert(stmt[1].text);
+        return;
+      }
+  }
+
+  void harvest_range_for(const std::vector<Token>& stmt) {
+    for (std::size_t i = 0; i + 1 < stmt.size(); ++i) {
+      if (!is_ident(stmt[i], "for") || !is_punct(stmt[i + 1], "(")) continue;
+      int depth = 0;
+      std::size_t colon = 0, close = 0;
+      bool classic = false;
+      for (std::size_t j = i + 1; j < stmt.size(); ++j) {
+        if (is_punct(stmt[j], "(") || is_punct(stmt[j], "[")) {
+          ++depth;
+        } else if (is_punct(stmt[j], ")") || is_punct(stmt[j], "]")) {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (depth == 1 && is_punct(stmt[j], ";")) {
+          classic = true;  // `for (init; cond; step)`
+        } else if (depth == 1 && is_punct(stmt[j], ":") && colon == 0) {
+          colon = j;
+        }
+      }
+      if (classic || colon == 0 || close == 0) continue;
+      RangeForStmt rf;
+      rf.line = stmt[i].line;
+      for (std::size_t j = colon + 1; j < close; ++j)
+        if (stmt[j].kind == Token::Kind::kIdent) rf.range_idents.push_back(stmt[j].text);
+      model_.range_fors.push_back(std::move(rf));
+    }
+  }
+
+  const LexedFile& lexed_;
+  FileModel model_;
+  std::vector<Scope> scopes_;
+  std::vector<ClassModel> open_classes_;
+  std::vector<std::string> pending_class_intro_;
+  std::vector<Token> stmt_;
+  std::set<std::string> unordered_aliases_;
+  int paren_depth_ = 0;
+  int angle_depth_ = 0;
+  int brace_init_depth_ = 0;
+  bool has_top_level_eq_ = false;
+  bool seeded_ = false;  ///< stmt_ currently starts with a class-intro seed
+};
+
+}  // namespace
+
+FileModel build_model(const LexedFile& lexed) { return ModelBuilder(lexed).run(); }
+
+}  // namespace mtat::lint

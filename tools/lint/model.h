@@ -1,0 +1,88 @@
+// mtat_lint pass 1b: a lightweight file model built from the token stream.
+//
+// Rules that only need to pattern-match tokens (banned calls, name literals)
+// read the LexedFile directly; rules about *declarations* — where state
+// lives, who owns it, what a loop iterates — need scope context a flat token
+// stream cannot give. build_model() walks the tokens once with a scope stack
+// (namespace / class / enum / function-or-block) and records:
+//
+//  * namespace-scope variable declarations, with const-ness — the raw
+//    material of the shared-mutable rule;
+//  * function-local `static` / `thread_local` declarations (the memo-cache
+//    pattern) and non-const `static` data members;
+//  * classes with their data members and any thread-safety-annotation
+//    arguments seen in the class body (GUARDED_BY(mu_), REQUIRES(mu_), ...)
+//    — the raw material of the guarded-by rule;
+//  * names declared with an unordered container type (including through
+//    local `using Alias = std::unordered_map<...>` aliases) and every
+//    range-for statement's range-expression identifiers — the raw material
+//    of the unordered-iter rule;
+//  * local #include edges (from the lexer), exposed for completeness.
+//
+// This is a lexical model, not a compiler front end. The known, accepted
+// approximations (each chosen to fail toward silence, not noise):
+//  * a namespace-scope declaration that direct-initializes with parens
+//    (`Foo x(1);`) reads as a function declaration (the vexing parse) and is
+//    skipped — brace or `=` initialization, the tree's style, is modeled;
+//  * `template<...>` declarations are skipped wholesale (no variable
+//    templates in this tree);
+//  * statements inside lambda bodies that appear in initializers are not
+//    re-entered (a `static` inside such a lambda escapes the model);
+//  * type aliases are resolved only within the same file.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace mtat::lint {
+
+/// A variable declaration the shared-mutable rule cares about.
+struct StateDecl {
+  enum class Where {
+    kNamespaceScope,  ///< namespace or global scope variable
+    kLocalStatic,     ///< function-local `static` (or `thread_local`)
+    kStaticMember,    ///< non-const `static` data member
+  };
+  Where where = Where::kNamespaceScope;
+  int line = 0;
+  std::string name;
+  std::string type;       ///< joined declaration tokens before the name
+  bool is_const = false;  ///< const / constexpr / constinit at the top level
+  bool is_thread_local = false;
+};
+
+struct MemberDecl {
+  int line = 0;
+  std::string name;
+  std::string type;
+  bool is_mutex = false;  ///< type mentions mutex/shared_mutex/... or Mutex
+};
+
+struct ClassModel {
+  int line = 0;
+  std::string name;  ///< "<anonymous>" when unnamed
+  std::vector<MemberDecl> members;
+  /// Arguments of every thread-safety annotation in the class body
+  /// (GUARDED_BY(mu_) contributes "mu_", EXCLUDES(!mu_) contributes "mu_").
+  std::set<std::string> annotation_targets;
+};
+
+struct RangeForStmt {
+  int line = 0;
+  std::vector<std::string> range_idents;  ///< identifiers in the range expr
+};
+
+struct FileModel {
+  std::vector<StateDecl> state_decls;
+  std::vector<ClassModel> classes;
+  std::vector<RangeForStmt> range_fors;
+  std::set<std::string> unordered_names;  ///< vars/members of unordered type
+  std::vector<IncludeEdge> includes;      ///< copied from the lexer
+};
+
+FileModel build_model(const LexedFile& lexed);
+
+}  // namespace mtat::lint
