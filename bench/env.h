@@ -24,6 +24,11 @@
 //                                      the harness hook (faults::FaultPlan)
 //   MTAT_PERF_LABEL   non-empty string label for the BENCH_*.json entry a
 //                                      perf_* bench appends (default "run")
+//   MTAT_TOPOLOGY     spec             tier topology override for the
+//                                      co-location benches, fastest first
+//                                      (e.g. dram:8G:73;cxl:64G:202;nvm:256G:450);
+//                                      validated by the harness via
+//                                      mtat::parse_topology
 #pragma once
 
 #include <cstdio>
@@ -50,6 +55,11 @@ struct Env {
   /// anything malformed.
   std::string faults;
   std::string perf_label = "run";     ///< MTAT_PERF_LABEL
+  /// MTAT_TOPOLOGY, verbatim (empty: benches keep their two-tier default).
+  /// Raw for the same reason as `faults`: parsing lives with mem/topology.h's
+  /// parse_topology, and bench/harness.h's topology_from_env() warns and
+  /// falls back on anything malformed.
+  std::string topology;
 
   /// The process's parsed environment (parsed on first use, then cached).
   static const Env& get();
@@ -100,6 +110,7 @@ inline Env parse_env() {
   }
   if (const auto s = env_string("MTAT_FAULTS")) e.faults = *s;
   if (const auto s = env_string("MTAT_PERF_LABEL")) e.perf_label = *s;
+  if (const auto s = env_string("MTAT_TOPOLOGY")) e.topology = *s;
   if (const auto s = env_string("MTAT_NODES")) {
     const auto v = parse_int(*s);
     if (v && *v > 0 && *v <= 100'000) {

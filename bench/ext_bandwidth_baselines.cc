@@ -81,7 +81,7 @@ int main() {
                          const LoadPattern pattern = LoadPattern::figure7(peak * 1000.0);
                          sim.run(pattern, pattern.total_length());
                          ext2[a].r = sim.result();
-                         ext2[a].fmem_factor = sim.mem().contention_factor(Tier::kFMem);
+                         ext2[a].fmem_factor = sim.mem().contention_factor(kFastestTier);
                        }});
     runner.run_all(specs);
   }

@@ -1,0 +1,187 @@
+// Extension: N-tier topologies through the tier-vector memory API.
+//
+// The paper's platform is the classic two-tier DRAM+CXL box; this bench
+// exercises the same policies on deeper memory hierarchies:
+//
+//  1. A DRAM/CXL/NVM three-tier node vs the classic two-tier preset, same
+//     LC/BE co-location and dynamic load — the slower-aggregate telemetry
+//     and TierId-generalized policies must keep the LC tenant serviceable
+//     when the "slow tier" is itself split by latency.
+//  2. A four-tier topology (DRAM/CXL/NVM/remote) with the fast tier halved,
+//     so watermark reclaim has to *cascade* cold pages link by link toward
+//     the tail. The per-link traffic counters (migration.link0..2_pages_moved,
+//     registered only beyond two tiers) are the receipts: nonzero link1/link2
+//     traffic is movement the two-tier API could not even express.
+//  3. A small ClusterSim fleet whose node template is the three-tier box,
+//     placed by the telemetry-aware policy — fleet aggregates (the
+//     cluster.* gauge family) flow through unchanged on N-tier nodes.
+//
+// Topologies here are spelled with the same TierSpec vectors MTAT_TOPOLOGY
+// and mtat_sim --topology parse into; the two-tier rows double as a sanity
+// anchor (they go through the identical tier-vector code path).
+#include <algorithm>
+
+#include "bench/cluster_env.h"
+#include "common/csv.h"
+#include "obs/names.h"
+
+using namespace mtat;
+using namespace mtat::bench;
+
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024 * 1024;
+
+/// DRAM/CXL/NVM: DRAM keeps the preset's fast-tier size, CXL takes a quarter
+/// of the preset slow tier, NVM the rest; latencies follow the paper's DRAM
+/// and CXL numbers with an NVM-class tail, and the NVM link gets half the
+/// migration bandwidth.
+std::vector<TierSpec> three_tier(const Scale& sc) {
+  return {{"dram", bytes_to_pages(sc.fmem), 73, 4.0 * kGiB},
+          {"cxl", bytes_to_pages(sc.smem / 4), 202, 4.0 * kGiB},
+          {"nvm", bytes_to_pages(sc.smem), 450, 2.0 * kGiB}};
+}
+
+/// Four tiers, each of the first three only half the preset fast tier: the
+/// LC footprint alone (sized ~1.05x the preset fast tier) overflows
+/// DRAM+CXL, and with BE tenants on top even NVM stays at its watermark, so
+/// cold pages must keep cascading remote-ward and every link sees traffic.
+std::vector<TierSpec> four_tier(const Scale& sc) {
+  return {{"dram", bytes_to_pages(sc.fmem / 2), 73, 4.0 * kGiB},
+          {"cxl", bytes_to_pages(sc.fmem / 2), 202, 4.0 * kGiB},
+          {"nvm", bytes_to_pages(sc.fmem / 2), 450, 2.0 * kGiB},
+          {"remote", bytes_to_pages(sc.smem), 900, 1.0 * kGiB}};
+}
+
+struct Outcome {
+  SimResult r;
+  double link_pages[3] = {0, 0, 0};
+  double demotions = 0;
+};
+
+}  // namespace
+
+int main() {
+  const Scale sc = scale_from_env();
+  banner("ext_ntier_topologies", "extension: N-tier topologies (tier-vector API)");
+  experiments::ParallelRunner runner = make_runner();
+  const LCConfig redis = scaled_lc_config(redis_config(), sc);
+  // The surge peak all patterns share; a fixed fraction of the calibrated
+  // max load rather than a measured FMEM_ALL peak — the comparison here is
+  // across topologies under one identical offered pattern, so the absolute
+  // operating point only needs to be load-bearing, not calibrated per tier
+  // vector.
+  const double peak = 0.8 * redis.max_load_krps;
+  CsvWriter csv("ext_ntier_topologies.csv",
+                {"experiment", "topology", "policy", "p99_ms", "viol_pct", "fairness",
+                 "be_tput", "link0_pages", "link1_pages", "link2_pages"});
+
+  const auto run_one = [&sc, &redis, peak](PolicyKind policy,
+                                           const std::vector<TierSpec>& tiers,
+                                           Outcome& out, obs::RunContext& ctx) {
+    SimConfig cfg = make_sim_config(sc, redis, policy);
+    cfg.tiers = tiers;  // empty = the preset's classic two tiers
+    ColocationSim sim(cfg, &ctx);
+    train_if_mtat(sim, sc.train_epochs, peak);
+    const LoadPattern pattern = LoadPattern::figure7(peak * 1000.0);
+    sim.run(pattern, pattern.total_length());
+    out.r = sim.result();
+    const char* const kLinkNames[3] = {obs::names::kMigrationLink0PagesMoved,
+                                       obs::names::kMigrationLink1PagesMoved,
+                                       obs::names::kMigrationLink2PagesMoved};
+    for (int k = 0; k < 3; ++k) {
+      const obs::Counter* c = sim.metrics().find_counter(kLinkNames[k]);
+      out.link_pages[k] = c != nullptr ? c->value() : 0.0;
+    }
+    const obs::Counter* d = sim.metrics().find_counter(obs::names::kMigrationDemotions);
+    out.demotions = d != nullptr ? d->value() : 0.0;
+  };
+
+  // --- [1] three-tier DRAM/CXL/NVM vs the classic two-tier preset ----------
+  const std::vector<PolicyKind> policies = {PolicyKind::kMtatFull, PolicyKind::kMemtis,
+                                            PolicyKind::kTpp};
+  struct Leg {
+    const char* label;
+    std::vector<TierSpec> tiers;
+  };
+  const Leg legs[2] = {{"2tier", {}}, {"3tier_dram_cxl_nvm", three_tier(sc)}};
+  std::vector<Outcome> ext1(policies.size() * 2);
+  {
+    std::vector<experiments::RunSpec> specs;
+    for (std::size_t l = 0; l < 2; ++l)
+      for (std::size_t i = 0; i < policies.size(); ++i)
+        specs.push_back({std::string(legs[l].label) + "/" + policy_name(policies[i]),
+                         [&run_one, &legs, &policies, &ext1, l, i](obs::RunContext& ctx) {
+                           run_one(policies[i], legs[l].tiers,
+                                   ext1[l * policies.size() + i], ctx);
+                         }});
+    runner.run_all(specs);
+  }
+  std::printf("[1] three-tier DRAM/CXL/NVM vs classic two-tier (Figure-5 conditions)\n");
+  std::printf("%-20s %-13s %10s %9s %10s %13s\n", "topology", "policy", "P99(ms)", "viol%",
+              "fairness", "BE tput");
+  for (std::size_t l = 0; l < 2; ++l)
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      const Outcome& o = ext1[l * policies.size() + i];
+      std::printf("%-20s %-13s %10.2f %8.1f%% %10.3f %13.3e\n", legs[l].label,
+                  policy_name(policies[i]), o.r.lc_p99_ms, 100.0 * o.r.slo_violation_rate,
+                  o.r.fairness, o.r.be_total_throughput);
+      csv.row(std::vector<std::string>{"three_tier", legs[l].label, policy_name(policies[i])},
+              {o.r.lc_p99_ms, 100.0 * o.r.slo_violation_rate, o.r.fairness,
+               o.r.be_total_throughput, o.link_pages[0], o.link_pages[1], o.link_pages[2]});
+    }
+
+  // --- [2] four-tier cascaded demotion, per-link traffic -------------------
+  const std::vector<PolicyKind> cascade_policies = {PolicyKind::kTpp, PolicyKind::kMemtis};
+  std::vector<Outcome> ext2(cascade_policies.size());
+  {
+    std::vector<experiments::RunSpec> specs;
+    for (std::size_t i = 0; i < cascade_policies.size(); ++i)
+      specs.push_back({std::string("4tier/") + policy_name(cascade_policies[i]),
+                       [&run_one, &sc, &cascade_policies, &ext2, i](obs::RunContext& ctx) {
+                         run_one(cascade_policies[i], four_tier(sc), ext2[i], ctx);
+                       }});
+    runner.run_all(specs);
+  }
+  std::printf("\n[2] four-tier cascade (DRAM/CXL/NVM/remote, fast tier halved)\n");
+  std::printf("%-13s %10s %9s %12s %12s %12s %12s\n", "policy", "P99(ms)", "viol%",
+              "demotions", "link0_pages", "link1_pages", "link2_pages");
+  for (std::size_t i = 0; i < cascade_policies.size(); ++i) {
+    const Outcome& o = ext2[i];
+    std::printf("%-13s %10.2f %8.1f%% %12.0f %12.0f %12.0f %12.0f\n",
+                policy_name(cascade_policies[i]), o.r.lc_p99_ms,
+                100.0 * o.r.slo_violation_rate, o.demotions, o.link_pages[0], o.link_pages[1],
+                o.link_pages[2]);
+    csv.row(std::vector<std::string>{"four_tier_cascade", "4tier_dram_cxl_nvm_remote",
+                                     policy_name(cascade_policies[i])},
+            {o.r.lc_p99_ms, 100.0 * o.r.slo_violation_rate, o.r.fairness,
+             o.r.be_total_throughput, o.link_pages[0], o.link_pages[1], o.link_pages[2]});
+  }
+
+  // --- [3] three-tier nodes at fleet scale ----------------------------------
+  // A deliberately small fleet (this is an API exercise, not the placement
+  // study — ext_cluster_slo owns that): three-tier nodes, telemetry-aware
+  // placement, the standard cluster.* aggregate pipeline.
+  {
+    cluster::ClusterConfig cc = make_cluster_config(sc, redis, peak);
+    cc.nodes = std::min(cc.nodes, 16);
+    cc.node.tiers = three_tier(sc);
+    const auto policy = cluster::make_placement("telemetry");
+    cluster::ClusterSim sim(cc);
+    const cluster::ClusterResult r = sim.run(*policy, &runner);
+    std::printf("\n[3] three-tier fleet, telemetry placement (%d nodes, %zu tenants)\n",
+                cc.nodes, sim.tenants().size());
+    std::printf("offered %.1fk  completed %.1fk  slo %.2f%%  tail_p99 %.3fms  fmem %.1f%%  "
+                "overloaded %d  moved %d\n",
+                r.offered_krps, r.completed_krps, r.slo_compliance_pct, r.max_p99_ms,
+                r.fmem_util_pct, r.overloaded_nodes, r.rebalanced_tenants);
+    csv.row(std::vector<std::string>{"three_tier_fleet", "3tier_dram_cxl_nvm", "telemetry"},
+            {r.max_p99_ms, 100.0 - r.slo_compliance_pct, 0.0, r.completed_krps, 0.0, 0.0,
+             0.0});
+  }
+
+  std::printf("\nexpected: the 3-tier box tracks the 2-tier anchor (the CXL middle tier\n"
+              "absorbs warm spillover), and the halved-DRAM 4-tier run shows nonzero\n"
+              "link1/link2 traffic — demotion cascading the two-tier API had no words for.\n");
+  return 0;
+}

@@ -33,9 +33,9 @@ int main() {
                      // interpolation S(f) = f*S_f + (1-f)*S_s, driven
                      // slightly below saturation.
                      const double s_f =
-                         static_cast<double>(sim.lc().ideal_service_time(Tier::kFMem));
+                         static_cast<double>(sim.lc().ideal_service_time(kFastestTier));
                      const double s_s =
-                         static_cast<double>(sim.lc().ideal_service_time(Tier::kSMem));
+                         static_cast<double>(sim.lc().ideal_service_time(kFastestTier + 1));
                      std::vector<double> fractions_of_max;
                      std::printf("load staircase (max tput at FMem level, KRPS):");
                      for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {

@@ -22,6 +22,7 @@
 
 #include "bench/env.h"
 #include "faults/fault_plan.h"
+#include "mem/topology.h"
 #include "obs/manifest.h"
 #include "obs/trace.h"
 #include "sim/colocation_sim.h"
@@ -151,12 +152,28 @@ inline std::vector<LCConfig> scaled_lc_configs(const Scale& sc) {
   return out;
 }
 
+/// The MTAT_TOPOLOGY tier vector, if one was given and parses. A malformed
+/// spec warns and behaves as unset (benches keep their built-in two-tier
+/// scale preset) — the same fail-safe direction as every other env knob.
+inline std::optional<std::vector<TierSpec>> topology_from_env() {
+  const std::string& spec = Env::get().topology;
+  if (spec.empty()) return std::nullopt;
+  std::string error;
+  if (auto tiers = parse_topology(spec, &error)) return tiers;
+  std::fprintf(stderr, "warning: invalid MTAT_TOPOLOGY=%s (%s); using the bench default\n",
+               spec.c_str(), error.c_str());
+  return std::nullopt;
+}
+
 /// Standard co-location SimConfig: one LC + n BE workloads under `policy`.
+/// MTAT_TOPOLOGY, when set and valid, replaces the preset's two tiers with
+/// the given tier vector (capacities, latencies, and link bandwidths).
 inline SimConfig make_sim_config(const Scale& sc, const LCConfig& lc, PolicyKind policy,
                                  int n_be = 4, int be_cores = 4) {
   SimConfig cfg;
   cfg.fmem = sc.fmem;
   cfg.smem = sc.smem;
+  if (const auto topo = topology_from_env()) cfg.tiers = *topo;
   cfg.lc = lc;
   cfg.be = be_suite(sc.be_scale, sc.be_rss, be_cores, n_be);
   cfg.policy = policy;

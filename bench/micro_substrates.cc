@@ -45,25 +45,23 @@ void BM_AliasSamplerDraw(benchmark::State& state) {
 BENCHMARK(BM_AliasSamplerDraw);
 
 void BM_TieredMemoryMigrate(benchmark::State& state) {
-  TieredMemory::Config c;
-  c.fmem_pages = 1 << 16;
-  c.smem_pages = 1 << 18;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(1 << 16, 1 << 18);
   TieredMemory mem(c);
-  mem.allocate(0, 1 << 17, AllocPolicy::kFMemFirst);
+  mem.allocate(0, 1 << 17, kFastestFirst);
   Rng rng(4);
   for (auto _ : state) {
     const auto p = static_cast<PageId>(rng.next_below(mem.page_count()));
-    mem.migrate(p, rng.next_bool(0.5) ? Tier::kFMem : Tier::kSMem);
+    mem.migrate(p, rng.next_bool(0.5) ? kFastestTier : kFastestTier + 1);
   }
 }
 BENCHMARK(BM_TieredMemoryMigrate);
 
 void BM_PageHotnessRecord(benchmark::State& state) {
-  TieredMemory::Config c;
-  c.fmem_pages = 1 << 16;
-  c.smem_pages = 1 << 18;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(1 << 16, 1 << 18);
   TieredMemory mem(c);
-  mem.allocate(0, 1 << 17, AllocPolicy::kFMemFirst);
+  mem.allocate(0, 1 << 17, kFastestFirst);
   PageHotness h(mem);
   h.seed_allocated_pages();
   Rng rng(5);
@@ -73,11 +71,10 @@ void BM_PageHotnessRecord(benchmark::State& state) {
 BENCHMARK(BM_PageHotnessRecord);
 
 void BM_PageHotnessAge(benchmark::State& state) {
-  TieredMemory::Config c;
-  c.fmem_pages = 1 << 16;
-  c.smem_pages = 1 << 18;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(1 << 16, 1 << 18);
   TieredMemory mem(c);
-  mem.allocate(0, 1 << 17, AllocPolicy::kFMemFirst);
+  mem.allocate(0, 1 << 17, kFastestFirst);
   PageHotness h(mem);
   h.seed_allocated_pages();
   Rng rng(6);
@@ -88,13 +85,12 @@ void BM_PageHotnessAge(benchmark::State& state) {
 BENCHMARK(BM_PageHotnessAge);
 
 void BM_HashStoreGet(benchmark::State& state) {
-  TieredMemory::Config c;
-  c.fmem_pages = 1;
-  c.smem_pages = 1 << 18;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(1, 1 << 18);
   TieredMemory mem(c);
   HashStore::Config hc;
   hc.n_records = 100'000;
-  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly, 1024);
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), kTierOnly(kFastestTier + 1), 1024);
   HashStore store(space, hc);
   Rng rng(7);
   for (auto _ : state) benchmark::DoNotOptimize(store.get(rng.next_below(hc.n_records)));
@@ -102,13 +98,12 @@ void BM_HashStoreGet(benchmark::State& state) {
 BENCHMARK(BM_HashStoreGet);
 
 void BM_BTreeStoreGet(benchmark::State& state) {
-  TieredMemory::Config c;
-  c.fmem_pages = 1;
-  c.smem_pages = 1 << 18;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(1, 1 << 18);
   TieredMemory mem(c);
   BTreeStore::Config bc;
   bc.n_records = 100'000;
-  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly, 1024);
+  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), kTierOnly(kFastestTier + 1), 1024);
   BTreeStore store(space, bc);
   Rng rng(8);
   for (auto _ : state) benchmark::DoNotOptimize(store.get(rng.next_below(bc.n_records)));
@@ -118,11 +113,10 @@ BENCHMARK(BM_BTreeStoreGet);
 void BM_BfsScale12(benchmark::State& state) {
   Rng rng(9);
   const Graph g = make_uniform_graph(1 << 12, 16 << 12, rng);
-  TieredMemory::Config c;
-  c.fmem_pages = 1;
-  c.smem_pages = 1 << 18;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(1, 1 << 18);
   TieredMemory mem(c);
-  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly, 1 << 20);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kTierOnly(kFastestTier + 1), 1 << 20);
   GraphLayout layout(space, g);
   std::vector<std::uint64_t> dist;
   for (auto _ : state) benchmark::DoNotOptimize(bfs(layout, 0, dist).edges_processed);
@@ -132,12 +126,11 @@ void BM_BfsScale12(benchmark::State& state) {
 BENCHMARK(BM_BfsScale12);
 
 void BM_XsbenchLookup(benchmark::State& state) {
-  TieredMemory::Config c;
-  c.fmem_pages = 1;
-  c.smem_pages = 1 << 18;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(1, 1 << 18);
   TieredMemory mem(c);
   XSBenchKernel::Config xc;
-  AddressSpace space(mem, 0, XSBenchKernel::required_bytes(xc), AllocPolicy::kSMemOnly,
+  AddressSpace space(mem, 0, XSBenchKernel::required_bytes(xc), kTierOnly(kFastestTier + 1),
                      1 << 20);
   XSBenchKernel kernel(space, xc, 10);
   for (auto _ : state) benchmark::DoNotOptimize(kernel.lookup());
@@ -177,13 +170,12 @@ void BM_SaPartitionSearch(benchmark::State& state) {
 BENCHMARK(BM_SaPartitionSearch);
 
 void BM_QueueSimSecond(benchmark::State& state) {
-  TieredMemory::Config c;
-  c.fmem_pages = 1;
-  c.smem_pages = 1 << 17;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(1, 1 << 17);
   TieredMemory mem(c);
   LCConfig lc = redis_config();
   lc.n_records = 50'000;
-  LCWorkload wl(mem, 0, lc, AllocPolicy::kSMemOnly, 13);
+  LCWorkload wl(mem, 0, lc, kTierOnly(kFastestTier + 1), 13);
   QueueSim q(wl, seconds(1), 14);
   const LoadPattern pat = LoadPattern::constant(4000.0);
   q.set_pattern(&pat, 0);

@@ -102,9 +102,8 @@ double rate(std::uint64_t ops_per_rep, int reps, bool warmup,
 }
 
 TieredMemory::Config mem_config(std::uint64_t pages) {
-  TieredMemory::Config cfg;
-  cfg.fmem_pages = pages / 2 + 1;
-  cfg.smem_pages = pages;
+  TieredMemory::Config cfg =
+      TieredMemory::Config::two_tier(pages / 2 + 1, pages);
   return cfg;
 }
 
@@ -117,7 +116,7 @@ TieredMemory::Config mem_config(std::uint64_t pages) {
 /// whose increments mostly stay within their (doubling-width) bin.
 double bench_hotness_record_age(const PerfSizes& s) {
   TieredMemory mem(mem_config(s.pages));
-  mem.allocate(0, s.pages, AllocPolicy::kFMemFirst);
+  mem.allocate(0, s.pages, kFastestFirst);
   PageHotness hist(mem);
   hist.seed_allocated_pages();
   Rng rng(2024);
@@ -146,7 +145,7 @@ double bench_hotness_record_age(const PerfSizes& s) {
 /// read path: MEMTIS pulls promotion/demotion candidate batches).
 double bench_hotness_pull(const PerfSizes& s) {
   TieredMemory mem(mem_config(s.pages));
-  mem.allocate(0, s.pages, AllocPolicy::kFMemFirst);
+  mem.allocate(0, s.pages, kFastestFirst);
   PageHotness hist(mem);
   hist.seed_allocated_pages();
   Rng rng(7);
@@ -155,12 +154,12 @@ double bench_hotness_pull(const PerfSizes& s) {
   const std::size_t batch = 64;
   // Pulls are const reads: every iteration returns the same page count, so
   // the op count per rep is fixed and computable up front.
-  const std::uint64_t per_iter = hist.hottest_in_tier(Tier::kSMem, batch).size() +
-                                 hist.coldest_in_tier(Tier::kFMem, batch).size();
+  const std::uint64_t per_iter = hist.hottest_in_tier(kFastestTier + 1, batch).size() +
+                                 hist.coldest_in_tier(kFastestTier, batch).size();
   return rate(s.pull_iters * per_iter, s.reps, true, [&] {
     for (std::uint64_t i = 0; i < s.pull_iters; ++i) {
-      const auto hot = hist.hottest_in_tier(Tier::kSMem, batch);
-      const auto cold = hist.coldest_in_tier(Tier::kFMem, batch);
+      const auto hot = hist.hottest_in_tier(kFastestTier + 1, batch);
+      const auto cold = hist.coldest_in_tier(kFastestTier, batch);
       g_sink = g_sink + hot.size() + cold.size();
     }
   });
@@ -170,8 +169,8 @@ double bench_hotness_pull(const PerfSizes& s) {
 /// interval counters, and the PageHotness sink fan-out.
 double bench_sampler_ingest(const PerfSizes& s) {
   TieredMemory mem(mem_config(s.pages));
-  mem.allocate(0, s.pages / 2, AllocPolicy::kFMemFirst);
-  mem.allocate(1, s.pages / 2, AllocPolicy::kFMemFirst);
+  mem.allocate(0, s.pages / 2, kFastestFirst);
+  mem.allocate(1, s.pages / 2, kFastestFirst);
   AccessSampler sampler(mem, 199);
   PageHotness hist(mem);
   hist.seed_allocated_pages();
@@ -194,10 +193,12 @@ double bench_sampler_ingest(const PerfSizes& s) {
 /// attached so the measured path includes the telemetry's migration hook.
 double bench_migrations(const PerfSizes& s) {
   TieredMemory mem(mem_config(s.pages));
-  mem.allocate(0, s.pages, AllocPolicy::kSMemOnly);
+  mem.allocate(0, s.pages, kTierOnly(kFastestTier + 1));
   PageHotness hist(mem);
   hist.seed_allocated_pages();
-  MigrationEngine eng(mem, {64.0 * 1024 * 1024 * 1024});
+  MigrationEngine::Config eng_cfg;
+  eng_cfg.bandwidth_bytes_per_sec = 64.0 * 1024 * 1024 * 1024;
+  MigrationEngine eng(mem, eng_cfg);
   const std::vector<PageId>& all = mem.pages_of(0);
   const std::size_t ring = std::min<std::size_t>(all.size(), 1024);
   return rate(s.migrations * 2, s.reps, true, [&] {

@@ -32,11 +32,10 @@ int main() {
     const double measured = experiments::find_max_load(
         sustainable, 0.3 * lc.max_load_krps, 1.6 * lc.max_load_krps, 6, runner);
     // RSS: rebuild once to read the true footprint.
-    TieredMemory::Config mc;
-    mc.fmem_pages = 1;
-    mc.smem_pages = bytes_to_pages(sc.smem) + bytes_to_pages(sc.fmem);
+    TieredMemory::Config mc =
+        TieredMemory::Config::two_tier(1, bytes_to_pages(sc.smem) + bytes_to_pages(sc.fmem));
     TieredMemory mem(mc);
-    LCWorkload wl(mem, 0, lc, AllocPolicy::kSMemOnly, 1);
+    LCWorkload wl(mem, 0, lc, kTierOnly(kFastestTier + 1), 1);
     const double rss_gib = static_cast<double>(wl.rss()) / (1024.0 * 1024.0 * 1024.0);
     const double slo_ms = static_cast<double>(lc.slo) / 1e6;
     std::printf("%-10s %9.3f %8.0f %14.2f %14.2f\n", lc.name.c_str(), rss_gib, slo_ms,

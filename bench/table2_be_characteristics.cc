@@ -15,13 +15,12 @@ int main() {
                  "np_at_zero_fmem"});
   std::printf("%-9s %9s %12s %5s %13s %12s  %s\n", "workload", "RSS(GiB)", "acc/iter", "mlp",
               "hot10%mass", "NP@0 FMem", "description");
-  TieredMemory::Config mc;
-  mc.fmem_pages = bytes_to_pages(sc.fmem);
-  mc.smem_pages = bytes_to_pages(sc.smem);
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(bytes_to_pages(sc.fmem), bytes_to_pages(sc.smem));
   TieredMemory mem(mc);
   WorkloadId id = 0;
   for (const BEConfig& cfg : be_suite(sc.be_scale, sc.be_rss, 4, 4)) {
-    BEWorkload be(mem, id++, cfg, AllocPolicy::kSMemOnly, nullptr, 1);
+    BEWorkload be(mem, id++, cfg, kTierOnly(kFastestTier + 1), nullptr, 1);
     const double rss_gib = static_cast<double>(cfg.rss) / (1024.0 * 1024.0 * 1024.0);
     // Concentration: share of accesses captured by the hottest 10% of pages.
     const auto prefix = cfg.profile.best_placement_prefix();

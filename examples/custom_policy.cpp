@@ -27,7 +27,7 @@ class StaticReservePolicy : public TieringPolicy {
   StaticReservePolicy(const PolicyContext& ctx, double reserve_fraction)
       : ctx_(ctx),
         lc_quota_(static_cast<std::uint64_t>(
-            reserve_fraction * static_cast<double>(ctx.mem->capacity(Tier::kFMem)))) {
+            reserve_fraction * static_cast<double>(ctx.mem->capacity(kFastestTier)))) {
     // One histogram per tenant, fed by the shared PEBS-like sampler.
     for (const TenantInfo& t : ctx_.tenants) {
       hist_.push_back(std::make_unique<PageHotness>(*ctx_.mem, t.id));
@@ -44,8 +44,8 @@ class StaticReservePolicy : public TieringPolicy {
     const WorkloadId lc = ctx_.lc_tenant().id;
     // 1. Enforce the LC reservation: promote LC pages (hottest first) while
     //    below quota, displacing the globally coldest BE page.
-    while (mem.workload_pages(lc, Tier::kFMem) < lc_quota_ && eng.budget_pages() >= 2) {
-      const auto up = pick(lc, Tier::kSMem, /*hottest=*/true);
+    while (mem.workload_pages(lc, kFastestTier) < lc_quota_ && eng.budget_pages() >= 2) {
+      const auto up = pick(lc, kFastestTier + 1, /*hottest=*/true);
       const auto down = coldest_be_fmem_page();
       if (up == kInvalidPage || down == kInvalidPage) break;
       if (!eng.exchange(up, down)) break;
@@ -58,15 +58,15 @@ class StaticReservePolicy : public TieringPolicy {
       int best_bin = 0;
       for (std::size_t w = 0; w < ctx_.tenants.size(); ++w) {
         if (ctx_.tenants[w].is_lc) continue;
-        const auto hot = hist_[w]->hottest_in_tier(Tier::kSMem, 1);
+        const auto hot = hist_[w]->hottest_in_tier(kFastestTier + 1, 1);
         if (!hot.empty() && hist_[w]->bin_of_page(hot[0]) > best_bin) {
           best_bin = hist_[w]->bin_of_page(hot[0]);
           best_up = hot[0];
         }
       }
-      const bool lc_above_reserve = mem.workload_pages(lc, Tier::kFMem) > lc_quota_;
+      const bool lc_above_reserve = mem.workload_pages(lc, kFastestTier) > lc_quota_;
       const PageId down =
-          lc_above_reserve ? pick(lc, Tier::kFMem, /*hottest=*/false) : coldest_be_fmem_page();
+          lc_above_reserve ? pick(lc, kFastestTier, /*hottest=*/false) : coldest_be_fmem_page();
       if (best_up == kInvalidPage || down == kInvalidPage) break;
       // LC pages above the reserve are fair game regardless of bin; among BE
       // pages, only displace strictly colder ones.
@@ -80,7 +80,7 @@ class StaticReservePolicy : public TieringPolicy {
   }
 
  private:
-  PageId pick(WorkloadId w, Tier t, bool hottest) {
+  PageId pick(WorkloadId w, TierId t, bool hottest) {
     for (std::size_t i = 0; i < ctx_.tenants.size(); ++i) {
       if (ctx_.tenants[i].id != w) continue;
       const auto v = hottest ? hist_[i]->hottest_in_tier(t, 1) : hist_[i]->coldest_in_tier(t, 1);
@@ -96,7 +96,7 @@ class StaticReservePolicy : public TieringPolicy {
     int best_bin = PageHotness::kBins;
     for (std::size_t w = 0; w < ctx_.tenants.size(); ++w) {
       if (ctx_.tenants[w].is_lc) continue;
-      const auto cold = hist_[w]->coldest_in_tier(Tier::kFMem, 1);
+      const auto cold = hist_[w]->coldest_in_tier(kFastestTier, 1);
       if (!cold.empty() && hist_[w]->bin_of_page(cold[0]) < best_bin) {
         best_bin = hist_[w]->bin_of_page(cold[0]);
         best = cold[0];
@@ -120,21 +120,21 @@ class StaticReservePolicy : public TieringPolicy {
 
 /// Hand-rolled simulation loop: the pieces ColocationSim wires for you.
 void run_custom(double reserve_fraction) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = bytes_to_pages(Bytes{128} * 1024 * 1024);
-  mc.smem_pages = bytes_to_pages(Bytes{2} * 1024 * 1024 * 1024);
+  const TieredMemory::Config mc = TieredMemory::Config::two_tier(
+      bytes_to_pages(Bytes{128} * 1024 * 1024),
+      bytes_to_pages(Bytes{2} * 1024 * 1024 * 1024));
   TieredMemory mem(mc);
   MigrationEngine engine(mem, {4.0 * 1024 * 1024 * 1024});
   AccessSampler sampler(mem, 1024);
 
   LCConfig lc_cfg = redis_config();
   lc_cfg.n_records = 130'000;
-  LCWorkload lc(mem, 0, lc_cfg, AllocPolicy::kFMemFirst, 1);
+  LCWorkload lc(mem, 0, lc_cfg, kFastestFirst, 1);
   lc.space().set_observer(&sampler);
   std::vector<std::unique_ptr<BEWorkload>> be;
   WorkloadId next_id = 1;
   for (BEConfig& bc : be_suite(BEScale::kTest, Bytes{140} * 1024 * 1024, 4, 2))
-    be.push_back(std::make_unique<BEWorkload>(mem, next_id++, bc, AllocPolicy::kFMemFirst,
+    be.push_back(std::make_unique<BEWorkload>(mem, next_id++, bc, kFastestFirst,
                                               &sampler, next_id));
 
   PolicyContext ctx;

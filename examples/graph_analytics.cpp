@@ -35,11 +35,11 @@ int main(int argc, char** argv) {
   for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     // A fresh two-tier memory sized so `fraction` of the footprint fits FMem.
     const std::uint64_t pages = bytes_to_pages(GraphLayout::required_bytes(g));
-    TieredMemory::Config mc;
-    mc.fmem_pages = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(fraction * pages));
-    mc.smem_pages = pages + 16;
+    const TieredMemory::Config mc = TieredMemory::Config::two_tier(
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(fraction * pages)),
+        pages + 16);
     TieredMemory mem(mc);
-    AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kFMemFirst,
+    AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kFastestFirst,
                        /*sample_period=*/1 << 20);
     GraphLayout layout(space, g);
 

@@ -21,9 +21,9 @@ using namespace mtat;
 
 int main() {
   // Platform: the usual miniature tier pair.
-  TieredMemory::Config mc;
-  mc.fmem_pages = bytes_to_pages(Bytes{128} * 1024 * 1024);
-  mc.smem_pages = bytes_to_pages(Bytes{2} * 1024 * 1024 * 1024);
+  const TieredMemory::Config mc = TieredMemory::Config::two_tier(
+      bytes_to_pages(Bytes{128} * 1024 * 1024),
+      bytes_to_pages(Bytes{2} * 1024 * 1024 * 1024));
   TieredMemory mem(mc);
   MigrationEngine engine(mem, {4.0 * 1024 * 1024 * 1024});
   AccessSampler sampler(mem, 1024);
@@ -33,8 +33,8 @@ int main() {
   a_cfg.n_records = 65'000;
   LCConfig b_cfg = memcached_config();
   b_cfg.n_records = 16'000;
-  LCWorkload lc_a(mem, 0, a_cfg, AllocPolicy::kSMemOnly, 11);
-  LCWorkload lc_b(mem, 1, b_cfg, AllocPolicy::kSMemOnly, 22);
+  LCWorkload lc_a(mem, 0, a_cfg, kTierOnly(kFastestTier + 1), 11);
+  LCWorkload lc_b(mem, 1, b_cfg, kTierOnly(kFastestTier + 1), 22);
   lc_a.space().set_observer(&sampler);
   lc_b.space().set_observer(&sampler);
 
@@ -42,7 +42,7 @@ int main() {
   std::vector<std::unique_ptr<BEWorkload>> be;
   WorkloadId id = 2;
   for (BEConfig& bc : be_suite(BEScale::kTest, Bytes{120} * 1024 * 1024, 4, 2)) {
-    be.push_back(std::make_unique<BEWorkload>(mem, id, bc, AllocPolicy::kFMemFirst,
+    be.push_back(std::make_unique<BEWorkload>(mem, id, bc, kFastestFirst,
                                               &sampler, id * 31));
     ++id;
   }

@@ -38,8 +38,8 @@ int main() {
 
   ColocationSim sim(cfg);
   std::printf("platform: FMem %llu pages, SMem %llu pages, LC RSS %llu pages\n",
-              (unsigned long long)sim.mem().capacity(Tier::kFMem),
-              (unsigned long long)sim.mem().capacity(Tier::kSMem),
+              (unsigned long long)sim.mem().capacity(kFastestTier),
+              (unsigned long long)sim.mem().capacity(kFastestTier + 1),
               (unsigned long long)sim.lc().space().num_pages());
 
   // 5. Drive the Figure-7 load trapezoid: one pass to train the RL agent,

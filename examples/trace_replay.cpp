@@ -22,13 +22,11 @@ int main() {
   // --- 1. Record: run a real KV workload and capture its access stream. ----
   std::uint64_t footprint = 0;
   {
-    TieredMemory::Config mc;
-    mc.fmem_pages = 1;
-    mc.smem_pages = 1 << 17;
+    const TieredMemory::Config mc = TieredMemory::Config::two_tier(1, 1 << 17);
     TieredMemory mem(mc);
     HashStore::Config hc;
     hc.n_records = 20'000;
-    AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly,
+    AddressSpace space(mem, 0, HashStore::required_bytes(hc), kTierOnly(kFastestTier + 1),
                        /*sample_period=*/4);
     TraceRecorder recorder(space);
     space.set_observer(&recorder);
@@ -54,11 +52,11 @@ int main() {
   cfg.cores = 4;
   cfg.profile = profile_from_trace(trace, /*accesses_per_iteration=*/20.0);
 
-  TieredMemory::Config mc;
-  mc.fmem_pages = trace.footprint_pages / 4;  // room for a quarter of it
-  mc.smem_pages = trace.footprint_pages * 2;
+  const TieredMemory::Config mc = TieredMemory::Config::two_tier(
+      trace.footprint_pages / 4,  // room for a quarter of it
+      trace.footprint_pages * 2);
   TieredMemory mem(mc);
-  BEWorkload replica(mem, 0, cfg, AllocPolicy::kSMemOnly, nullptr, 7);
+  BEWorkload replica(mem, 0, cfg, kTierOnly(kFastestTier + 1), nullptr, 7);
 
   // --- 3. The replica's FMem sensitivity reflects the recorded skew. -------
   std::printf("\n%12s %16s\n", "FMem pages", "replayed rate");

@@ -15,13 +15,31 @@ constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
 using WorkloadId = std::uint16_t;
 constexpr WorkloadId kInvalidWorkload = std::numeric_limits<WorkloadId>::max();
 
-/// Which memory tier a page currently resides in.
-enum class Tier : std::uint8_t {
-  kFMem = 0,  ///< fast tier (local DRAM in the paper; 73 ns)
-  kSMem = 1,  ///< slow tier (emulated CXL in the paper; 202 ns)
-};
+/// Index of a memory tier in an ordered topology: tier 0 is the fastest
+/// (local DRAM), higher ids are progressively slower (CXL, NVM, remote DRAM).
+/// Adjacent tiers k and k+1 are connected by migration link k; demotion
+/// cascades one link at a time toward the slowest tier.
+using TierId = std::uint8_t;
 
-constexpr Tier other_tier(Tier t) { return t == Tier::kFMem ? Tier::kSMem : Tier::kFMem; }
+/// Upper bound on tiers in a topology. PageHotness packs the tier into a
+/// 3-bit field of its per-page word, and real hierarchies top out well below
+/// this (DRAM/CXL/NVM/remote is four).
+inline constexpr TierId kMaxTiers = 8;
+
+/// The fastest tier, by the ordering convention above. Policies address "the
+/// fastest tier" / "one tier slower" through kFastestTier and TierId
+/// arithmetic rather than hard-coded two-tier names.
+inline constexpr TierId kFastestTier = 0;
+
+/// Legacy two-tier spellings for the paper's testbed: tier 0 is FMem
+/// (32 GiB local DRAM, ~73 ns), tier 1 is SMem (256 GiB NUMA-remote DRAM
+/// emulating CXL, ~202 ns). mtat_lint's tier-literal rule bans these
+/// spellings outside src/mem/ and tests/ — everything above the substrate
+/// speaks TierId so it generalizes to N-tier topologies unchanged.
+struct Tier {
+  static constexpr TierId kFMem = 0;  ///< fast tier (local DRAM in the paper; 73 ns)
+  static constexpr TierId kSMem = 1;  ///< slow tier (emulated CXL in the paper; 202 ns)
+};
 
 /// Read/write discriminator for sampled accesses (the paper samples loads via
 /// MEM_LOAD_L3_MISS_RETIRED.* and stores via MEM_INST_RETIRED.ALL_STORES).

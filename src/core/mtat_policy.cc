@@ -17,11 +17,11 @@ MtatPolicy::MtatPolicy(const PolicyContext& ctx, Duration interval, Duration lc_
   // Eq. 1 bounds |alpha| by the bandwidth M/2t; moving more than the whole
   // FMem in one interval is additionally meaningless, so cap there too.
   const std::uint64_t max_alpha = std::min(ctx.engine->max_pages_per_direction(interval),
-                                           ctx.mem->capacity(Tier::kFMem));
+                                           ctx.mem->capacity(kFastestTier));
   max_alpha_ = max_alpha;
-  fmem_capacity_ = ctx.mem->capacity(Tier::kFMem);
+  fmem_capacity_ = ctx.mem->capacity(kFastestTier);
   min_lc_pages_ = opt.ppm.min_lc_pages;
-  ppm_ = std::make_unique<PartitionPolicyMaker>(ctx.mem->capacity(Tier::kFMem), max_alpha,
+  ppm_ = std::make_unique<PartitionPolicyMaker>(ctx.mem->capacity(kFastestTier), max_alpha,
                                                 lc_slo, std::move(be_models), opt.ppm,
                                                 shared_agent);
 }

@@ -28,7 +28,7 @@ MultiLcMtatPolicy::MultiLcMtatPolicy(const PolicyContext& ctx, Duration interval
 
   // One PP-M per LC tenant: own agent, own SLO, no BE management (the BE
   // split happens once below over whatever all the reservations leave).
-  const std::uint64_t cap = ctx.mem->capacity(Tier::kFMem);
+  const std::uint64_t cap = ctx.mem->capacity(kFastestTier);
   const std::uint64_t max_alpha =
       std::min(ctx.engine->max_pages_per_direction(interval), cap);
   for (std::size_t i = 0; i < lcs_.size(); ++i) {
@@ -56,7 +56,7 @@ void MultiLcMtatPolicy::on_interval(SimTime, Duration, Duration lc_p99) {
   pending_p99_[0] = lc_p99;
 
   // 1. Each LC agent sizes its own reservation against the full capacity.
-  const std::uint64_t cap = ctx_.mem->capacity(Tier::kFMem);
+  const std::uint64_t cap = ctx_.mem->capacity(kFastestTier);
   std::vector<std::uint64_t> want(lcs_.size());
   for (std::size_t i = 0; i < lcs_.size(); ++i) {
     const TenantInfo& t = ctx_.tenants[lcs_[i].tenant_index];

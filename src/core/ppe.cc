@@ -17,7 +17,7 @@ PartitionEnforcer::PartitionEnforcer(const PolicyContext& ctx, Options opt)
   for (std::size_t i = 0; i < ctx_.tenants.size(); ++i) {
     const TenantInfo& t = ctx_.tenants[i];
     if (t.is_lc) lc_idx_ = i;
-    quota_[i] = ctx_.mem->workload_pages(t.id, Tier::kFMem);
+    quota_[i] = ctx_.mem->workload_pages(t.id, kFastestTier);
     hist_.push_back(std::make_unique<PageHotness>(*ctx_.mem, t.id));
     hist_.back()->seed_allocated_pages();
     ctx_.sampler->add_sink(hist_.back().get());
@@ -38,7 +38,7 @@ void PartitionEnforcer::set_plan(const std::vector<std::uint64_t>& quotas) {
     quota_[i] = quotas[i];
     delta_[i] = static_cast<std::int64_t>(quotas[i]) -
                 static_cast<std::int64_t>(
-                    ctx_.mem->workload_pages(ctx_.tenants[i].id, Tier::kFMem));
+                    ctx_.mem->workload_pages(ctx_.tenants[i].id, kFastestTier));
   }
   double backlog = 0.0;
   for (const std::int64_t d : delta_) backlog += std::abs(static_cast<double>(d));
@@ -73,13 +73,13 @@ PageId PartitionEnforcer::promote_candidate(std::size_t idx) const {
   // Hottest sampled SMem page; if the workload has no sampled-warm SMem pages
   // (e.g. an idle LC workload), any resident SMem page will do — growth of
   // the partition must not stall on telemetry sparsity.
-  const PageId hot = hist_[idx]->hottest_page(Tier::kSMem);
+  const PageId hot = hist_[idx]->hottest_slow_page();
   if (hot != kInvalidPage) return hot;
-  return hist_[idx]->coldest_page(Tier::kSMem);
+  return hist_[idx]->coldest_slow_page();
 }
 
 PageId PartitionEnforcer::demote_candidate(std::size_t idx) const {
-  return hist_[idx]->coldest_page(Tier::kFMem);
+  return hist_[idx]->coldest_page(kFastestTier);
 }
 
 std::size_t PartitionEnforcer::hottest_be_tenant() const {
@@ -87,7 +87,7 @@ std::size_t PartitionEnforcer::hottest_be_tenant() const {
   int best_bin = 0;  // require a genuinely warm page (bin >= 1)
   for (std::size_t i = 0; i < quota_.size(); ++i) {
     if (i == lc_idx_) continue;
-    const PageId hot = hist_[i]->hottest_page(Tier::kSMem);
+    const PageId hot = hist_[i]->hottest_slow_page();
     if (hot == kInvalidPage) continue;
     const int bin = hist_[i]->bin_of_page(hot);
     if (bin > best_bin) {
@@ -103,7 +103,7 @@ std::size_t PartitionEnforcer::coldest_be_tenant() const {
   int best_bin = PageHotness::kBins;
   for (std::size_t i = 0; i < quota_.size(); ++i) {
     if (i == lc_idx_) continue;
-    const PageId cold = hist_[i]->coldest_page(Tier::kFMem);
+    const PageId cold = hist_[i]->coldest_page(kFastestTier);
     if (cold == kInvalidPage) continue;
     const int bin = hist_[i]->bin_of_page(cold);
     if (bin < best_bin) {
@@ -154,8 +154,8 @@ void PartitionEnforcer::execute_plan_slice() {
         delta_[idx] = 0;  // nothing left in SMem to promote: plan impossible
         return false;
       }
-      if (ctx_.mem->free_pages(Tier::kFMem) > 0) {
-        if (!ctx_.engine->promote(up)) return false;
+      if (ctx_.mem->free_pages(kFastestTier) > 0) {
+        if (!ctx_.engine->promote_to_fastest(up)) return false;
         --delta_[idx];
         return true;
       }
@@ -228,14 +228,14 @@ void PartitionEnforcer::execute_plan_slice() {
 void PartitionEnforcer::refine() {
   // §7 bandwidth-aware extension: don't intensify a saturated fast tier.
   if (opt_.bandwidth_backoff_factor > 0.0 &&
-      ctx_.mem->contention_factor(Tier::kFMem) >= opt_.bandwidth_backoff_factor)
+      ctx_.mem->contention_factor(kFastestTier) >= opt_.bandwidth_backoff_factor)
     return;
   // Figure 4b: within-partition exchanges, hottest-SMem vs coldest-FMem.
   const auto refine_within = [&](std::size_t idx) {
     for (std::size_t k = 0; k < opt_.refine_cap; ++k) {
-      const PageId hot = hist_[idx]->hottest_page(Tier::kSMem);
+      const PageId hot = hist_[idx]->hottest_slow_page();
       if (hot == kInvalidPage) return;
-      const PageId cold = hist_[idx]->coldest_page(Tier::kFMem);
+      const PageId cold = hist_[idx]->coldest_page(kFastestTier);
       if (cold == kInvalidPage) return;
       if (hist_[idx]->bin_of_page(hot) - hist_[idx]->bin_of_page(cold) <
           opt_.refine_min_gap)
@@ -257,8 +257,8 @@ void PartitionEnforcer::refine() {
     const std::size_t di = coldest_be_tenant();
     if (di == quota_.size()) return;
     // Tenant selection above guarantees both pages exist.
-    const PageId hot = hist_[pi]->hottest_page(Tier::kSMem);
-    const PageId cold = hist_[di]->coldest_page(Tier::kFMem);
+    const PageId hot = hist_[pi]->hottest_slow_page();
+    const PageId cold = hist_[di]->coldest_page(kFastestTier);
     if (hist_[pi]->bin_of_page(hot) - hist_[di]->bin_of_page(cold) <
         opt_.refine_min_gap)
       return;

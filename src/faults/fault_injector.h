@@ -70,10 +70,16 @@ class FaultInjector {
     return migration_rng_.next_bool(p);
   }
 
-  /// Scale factor for the engine's bandwidth refill this tick (no draw):
-  /// bandwidth_collapse_factor inside a collapse window, 1.0 outside.
-  double migration_bandwidth_factor() const {
-    return in_any(plan_.bandwidth_collapses) ? plan_.bandwidth_collapse_factor : 1.0;
+  /// Scale factor for the engine's bandwidth refill of migration link `link`
+  /// this tick (no draw): bandwidth_collapse_factor inside a collapse
+  /// window, 1.0 outside. A plan targeting a specific link
+  /// (bandwidth_collapse_link >= 0) collapses only that link; the default
+  /// (-1) collapses every link, which at two tiers is the single FMem-SMem
+  /// channel — the original behaviour.
+  double migration_bandwidth_factor(int link = 0) const {
+    if (!in_any(plan_.bandwidth_collapses)) return 1.0;
+    if (plan_.bandwidth_collapse_link >= 0 && link != plan_.bandwidth_collapse_link) return 1.0;
+    return plan_.bandwidth_collapse_factor;
   }
 
   // --- simulator ------------------------------------------------------------

@@ -72,9 +72,13 @@ struct FaultPlan {
   std::vector<FaultWindow> migration_failure_bursts;
   double burst_failure_prob = 1.0;
   /// Scheduled migration-bandwidth collapse: the engine's refill is scaled
-  /// by `bandwidth_collapse_factor` inside these windows.
+  /// by `bandwidth_collapse_factor` inside these windows. By default every
+  /// migration link collapses together; setting `bandwidth_collapse_link`
+  /// to a link index (link k connects tiers k and k+1) confines the
+  /// collapse to that one channel in an N-tier topology.
   std::vector<FaultWindow> bandwidth_collapses;
   double bandwidth_collapse_factor = 0.1;
+  int bandwidth_collapse_link = -1;
 
   // --- simulator (src/sim) --------------------------------------------------
   /// Scheduled SMem latency spikes: the slow tier's effective per-access

@@ -1,13 +1,25 @@
 #include "mem/tiered_memory.h"
 
+#include <algorithm>
+
 namespace mtat {
 
 TieredMemory::TieredMemory(const Config& cfg) : cfg_(cfg) {
-  if (cfg.fmem_pages == 0 && cfg.smem_pages == 0)
-    throw std::invalid_argument("TieredMemory: zero total capacity");
-  if (cfg.smem_latency < cfg.fmem_latency)
-    throw std::invalid_argument("TieredMemory: SMem must not be faster than FMem");
-  info_.reserve(cfg.fmem_pages + cfg.smem_pages);
+  if (cfg.tiers.size() < 2)
+    throw std::invalid_argument("TieredMemory: topology needs at least two tiers");
+  if (cfg.tiers.size() > kMaxTiers)
+    throw std::invalid_argument("TieredMemory: topology exceeds kMaxTiers tiers");
+  std::uint64_t total = 0;
+  for (std::size_t t = 0; t < cfg.tiers.size(); ++t) {
+    total += cfg.tiers[t].capacity_pages;
+    if (t > 0 && cfg.tiers[t].latency < cfg.tiers[t - 1].latency)
+      throw std::invalid_argument(
+          "TieredMemory: tier latencies must be nondecreasing (tier 0 is fastest)");
+  }
+  if (total == 0) throw std::invalid_argument("TieredMemory: zero total capacity");
+  used_.assign(cfg.tiers.size(), 0);
+  contention_.assign(cfg.tiers.size(), 1.0);
+  info_.reserve(total);
 }
 
 void TieredMemory::ensure_workload(WorkloadId w) {
@@ -17,53 +29,57 @@ void TieredMemory::ensure_workload(WorkloadId w) {
 
 std::vector<PageId> TieredMemory::allocate(WorkloadId w, std::uint64_t n, AllocPolicy policy) {
   ensure_workload(w);
-  std::uint64_t want_fmem = 0;
-  switch (policy) {
-    case AllocPolicy::kFMemFirst:
-      want_fmem = std::min(n, free_pages(Tier::kFMem));
-      break;
-    case AllocPolicy::kFMemOnly:
-      if (free_pages(Tier::kFMem) < n)
-        throw std::runtime_error("TieredMemory: FMem-only allocation does not fit");
-      want_fmem = n;
-      break;
-    case AllocPolicy::kSMemOnly:
-      want_fmem = 0;
-      break;
+  // Per-tier takes, in tier order: kFastestFirst fills each tier before
+  // spilling one slower (at two tiers, exactly the old FMem-first split);
+  // kTierOnly pins the whole request.
+  std::array<std::uint64_t, kMaxTiers> take{};
+  if (policy.kind == AllocPolicy::Kind::kTierOnly) {
+    const TierId t = check_tier(policy.tier);
+    if (free_pages(t) < n)
+      throw std::runtime_error("TieredMemory: single-tier allocation does not fit");
+    take[t] = n;
+  } else {
+    std::uint64_t remaining = n;
+    for (TierId t = 0; t < tier_count() && remaining > 0; ++t) {
+      take[t] = std::min(remaining, free_pages(t));
+      remaining -= take[t];
+    }
+    if (remaining > 0)
+      throw std::runtime_error("TieredMemory: allocation exceeds total capacity");
   }
-  if (free_pages(Tier::kSMem) < n - want_fmem)
-    throw std::runtime_error("TieredMemory: allocation exceeds total capacity");
 
   std::vector<PageId> out;
   out.reserve(n);
   auto& wl = per_workload_[w];
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const Tier t = i < want_fmem ? Tier::kFMem : Tier::kSMem;
-    const auto p = static_cast<PageId>(info_.size());
-    info_.push_back(PageInfo{w, t});
-    used_[static_cast<int>(t)]++;
-    wl.pages.push_back(p);
-    wl.in_tier[static_cast<int>(t)]++;
-    out.push_back(p);
+  for (TierId t = 0; t < tier_count(); ++t) {
+    for (std::uint64_t i = 0; i < take[t]; ++i) {
+      const auto p = static_cast<PageId>(info_.size());
+      info_.push_back(PageInfo{w, t});
+      used_[t]++;
+      wl.pages.push_back(p);
+      wl.in_tier[t]++;
+      out.push_back(p);
+    }
   }
   return out;
 }
 
-void TieredMemory::place(PageId p, Tier t) {
+void TieredMemory::place(PageId p, TierId t) {
   PageInfo& pi = info_[p];
-  const Tier from = pi.tier;
-  used_[static_cast<int>(from)]--;
-  used_[static_cast<int>(t)]++;
+  const TierId from = pi.tier;
+  used_[from]--;
+  used_[t]++;
   auto& wl = per_workload_[pi.owner];
-  wl.in_tier[static_cast<int>(from)]--;
-  wl.in_tier[static_cast<int>(t)]++;
+  wl.in_tier[from]--;
+  wl.in_tier[t]++;
   pi.tier = t;
   migrations_++;
   for (MigrationListener* l : listeners_) l->on_migration(p, from, t);
 }
 
-bool TieredMemory::migrate(PageId p, Tier to) {
+bool TieredMemory::migrate(PageId p, TierId to) {
   check(p);
+  check_tier(to);
   if (info_[p].tier == to) return false;
   if (free_pages(to) == 0) return false;
   place(p, to);
@@ -73,8 +89,8 @@ bool TieredMemory::migrate(PageId p, Tier to) {
 void TieredMemory::exchange(PageId a, PageId b) {
   check(a);
   check(b);
-  const Tier ta = info_[a].tier;
-  const Tier tb = info_[b].tier;
+  const TierId ta = info_[a].tier;
+  const TierId tb = info_[b].tier;
   if (ta == tb) throw std::logic_error("TieredMemory::exchange: pages share a tier");
   place(a, tb);
   place(b, ta);

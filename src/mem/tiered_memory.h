@@ -1,8 +1,10 @@
-// The tiered-memory substrate: a two-tier (FMem/SMem) page-frame simulator.
+// The tiered-memory substrate: an N-tier page-frame simulator.
 //
 // This stands in for the paper's physical testbed — 32 GiB local DRAM (FMem,
-// ~73 ns) plus 256 GiB NUMA-remote DRAM emulating CXL memory (SMem, ~202 ns).
-// It tracks, for every simulated page frame: the owning workload and the tier
+// ~73 ns) plus 256 GiB NUMA-remote DRAM emulating CXL memory (SMem, ~202 ns)
+// — generalized to an ordered vector of tiers (tier 0 = fastest) so the
+// ROADMAP's DRAM/CXL/NVM/remote scenarios run on the same substrate. It
+// tracks, for every simulated page frame: the owning workload and the tier
 // it currently resides in, and exposes the placement primitives every policy
 // in the reproduction (MTAT's PP-E, MEMTIS-like, TPP-like, static pins) is
 // built on: allocate, migrate, and exchange.
@@ -12,8 +14,10 @@
 // only knows where pages are; policies decide where they should be.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -21,34 +25,68 @@
 
 namespace mtat {
 
+/// One tier of the topology, in fastest-to-slowest order. `link_bandwidth`
+/// describes migration link k — the channel between this tier k and the next
+/// slower tier k+1 — so the last tier's value is unused. The defaults are the
+/// paper's testbed numbers (FMem latency for tier 0 is set explicitly by
+/// Config::two_tier; migration bandwidth ~4 GB/s, §5.5).
+struct TierSpec {
+  std::string name;                   ///< informational label (e.g. "dram", "cxl")
+  std::uint64_t capacity_pages = 0;   ///< tier capacity, in pages
+  Duration latency = 0;               ///< uncontended per-access latency, ns
+  double link_bandwidth_bytes_per_sec = 4.0 * 1024 * 1024 * 1024;
+};
+
 /// Observer of page placement changes (migrate/exchange). Implementations
 /// register with TieredMemory::add_migration_listener and are invoked after
 /// every placement change; they must outlive any further migrations.
 ///
-/// This used to be a std::function<void(PageId, Tier, Tier)>: hotness
-/// telemetry keeps its cached per-page tier bit in sync through this hook,
+/// This used to be a std::function<void(PageId, TierId, TierId)>: hotness
+/// telemetry keeps its cached per-page tier field in sync through this hook,
 /// so every migration paid a type-erased call per listener. A plain virtual
 /// interface is one indirect call, and gives listeners a stable identity.
 class MigrationListener {
  public:
   virtual ~MigrationListener() = default;
-  virtual void on_migration(PageId p, Tier from, Tier to) = 0;
+  virtual void on_migration(PageId p, TierId from, TierId to) = 0;
 };
 
 /// Where freshly allocated pages should land.
-enum class AllocPolicy : std::uint8_t {
-  kFMemFirst,  ///< fill FMem until exhausted, then spill to SMem (Linux default)
-  kFMemOnly,   ///< fail if FMem cannot hold the request
-  kSMemOnly,   ///< place everything in SMem (used by SMEM_ALL pinning)
+struct AllocPolicy {
+  enum class Kind : std::uint8_t {
+    kFastestFirst,  ///< fill tier 0, spill to 1, 2, ... (Linux default)
+    kTierOnly,      ///< place everything in `tier`; fail if it cannot hold the request
+  };
+  Kind kind = Kind::kFastestFirst;
+  TierId tier = kFastestTier;  ///< target tier for kTierOnly
 };
+
+/// Fill the fastest tier first, spilling one tier slower at a time.
+inline constexpr AllocPolicy kFastestFirst{AllocPolicy::Kind::kFastestFirst, kFastestTier};
+/// Pin the whole request to tier `t` (kTierOnly(1) is the old SMem-only pin).
+constexpr AllocPolicy kTierOnly(TierId t) { return {AllocPolicy::Kind::kTierOnly, t}; }
 
 class TieredMemory {
  public:
   struct Config {
-    std::uint64_t fmem_pages = 0;  ///< capacity of the fast tier, in pages
-    std::uint64_t smem_pages = 0;  ///< capacity of the slow tier, in pages
-    Duration fmem_latency = 73;    ///< per-access latency of FMem, ns
-    Duration smem_latency = 202;   ///< per-access latency of SMem, ns
+    /// Ordered topology, fastest first. At least two tiers, at most
+    /// kMaxTiers; latencies must be nondecreasing.
+    std::vector<TierSpec> tiers;
+
+    /// The classic two-tier testbed: FMem/SMem capacities in pages, with the
+    /// paper's latencies by default.
+    static Config two_tier(std::uint64_t fmem_pages, std::uint64_t smem_pages,
+                           Duration fmem_latency = 73, Duration smem_latency = 202) {
+      Config c;
+      c.tiers.resize(2);
+      c.tiers[0].name = "fmem";
+      c.tiers[0].capacity_pages = fmem_pages;
+      c.tiers[0].latency = fmem_latency;
+      c.tiers[1].name = "smem";
+      c.tiers[1].capacity_pages = smem_pages;
+      c.tiers[1].latency = smem_latency;
+      return c;
+    }
   };
 
   explicit TieredMemory(const Config& cfg);
@@ -57,59 +95,63 @@ class TieredMemory {
 
   /// Allocates `n` pages for workload `w` under the given placement policy.
   /// Returns the new page ids. Throws std::runtime_error if total capacity
-  /// (or FMem capacity, for kFMemOnly) is insufficient.
+  /// (or the target tier's capacity, for kTierOnly) is insufficient.
   std::vector<PageId> allocate(WorkloadId w, std::uint64_t n, AllocPolicy policy);
 
   // --- Queries ---------------------------------------------------------------
 
-  Tier tier_of(PageId p) const { return info_[check(p)].tier; }
+  TierId tier_of(PageId p) const { return info_[check(p)].tier; }
   WorkloadId owner_of(PageId p) const { return info_[check(p)].owner; }
+
+  std::size_t tier_count() const { return cfg_.tiers.size(); }
+  TierId slowest_tier() const { return static_cast<TierId>(cfg_.tiers.size() - 1); }
+  /// Migration links: link k connects tiers k and k+1.
+  std::size_t link_count() const { return cfg_.tiers.size() - 1; }
+  const TierSpec& tier_spec(TierId t) const { return cfg_.tiers[t]; }
 
   /// Per-access latency of the given tier, including any contention factor
   /// currently applied (see set_contention_factor).
-  Duration latency(Tier t) const {
-    const Duration base = t == Tier::kFMem ? cfg_.fmem_latency : cfg_.smem_latency;
-    return static_cast<Duration>(static_cast<double>(base) *
-                                 contention_[static_cast<int>(t)]);
+  Duration latency(TierId t) const {
+    return static_cast<Duration>(static_cast<double>(cfg_.tiers[t].latency) * contention_[t]);
   }
 
   /// Uncontended latency of a tier (the configured constant).
-  Duration base_latency(Tier t) const {
-    return t == Tier::kFMem ? cfg_.fmem_latency : cfg_.smem_latency;
-  }
+  Duration base_latency(TierId t) const { return cfg_.tiers[t].latency; }
 
   /// Bandwidth-contention multiplier on a tier's latency (>= 1). Set by the
   /// simulation's bandwidth model each tick when tier demand approaches the
   /// tier's sustainable rate; 1.0 means uncontended. Supports the §7
   /// bandwidth-aware policy extension.
-  void set_contention_factor(Tier t, double factor) {
+  void set_contention_factor(TierId t, double factor) {
     if (factor < 1.0) throw std::invalid_argument("TieredMemory: contention factor < 1");
-    contention_[static_cast<int>(t)] = factor;
+    contention_[check_tier(t)] = factor;
   }
-  double contention_factor(Tier t) const { return contention_[static_cast<int>(t)]; }
+  double contention_factor(TierId t) const { return contention_[t]; }
   /// Latency of an access to page `p` given its current placement.
   Duration access_latency(PageId p) const { return latency(tier_of(p)); }
 
-  std::uint64_t capacity(Tier t) const {
-    return t == Tier::kFMem ? cfg_.fmem_pages : cfg_.smem_pages;
-  }
-  std::uint64_t used(Tier t) const { return used_[static_cast<int>(t)]; }
-  std::uint64_t free_pages(Tier t) const { return capacity(t) - used(t); }
+  std::uint64_t capacity(TierId t) const { return cfg_.tiers[t].capacity_pages; }
+  std::uint64_t used(TierId t) const { return used_[t]; }
+  std::uint64_t free_pages(TierId t) const { return capacity(t) - used(t); }
 
   /// Number of pages workload `w` currently has resident in tier `t`.
-  std::uint64_t workload_pages(WorkloadId w, Tier t) const {
-    return per_workload_[w].in_tier[static_cast<int>(t)];
+  std::uint64_t workload_pages(WorkloadId w, TierId t) const {
+    return per_workload_[w].in_tier[t];
   }
   /// Total pages allocated to workload `w` (its simulated RSS).
   std::uint64_t workload_total(WorkloadId w) const {
-    return per_workload_[w].in_tier[0] + per_workload_[w].in_tier[1];
+    const auto& in_tier = per_workload_[w].in_tier;
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < cfg_.tiers.size(); ++t) total += in_tier[t];
+    return total;
   }
-  /// Fraction of workload `w`'s pages resident in FMem — the paper's
-  /// "FMem Usage Ratio" state component and the Figure 2/5 residency series.
+  /// Fraction of workload `w`'s pages resident in the fastest tier — the
+  /// paper's "FMem Usage Ratio" state component and the Figure 2/5 residency
+  /// series (FMem is tier 0 in any topology).
   double fmem_usage_ratio(WorkloadId w) const {
     const std::uint64_t total = workload_total(w);
     return total == 0 ? 0.0
-                      : static_cast<double>(workload_pages(w, Tier::kFMem)) /
+                      : static_cast<double>(workload_pages(w, kFastestTier)) /
                             static_cast<double>(total);
   }
 
@@ -124,12 +166,14 @@ class TieredMemory {
 
   /// Moves page `p` to tier `to`. Returns false (and does nothing) when the
   /// destination tier is full or the page is already there. Costs one page of
-  /// migration traffic (accounted by the caller's MigrationEngine).
-  bool migrate(PageId p, Tier to);
+  /// migration traffic per link crossed (accounted by the caller's
+  /// MigrationEngine).
+  bool migrate(PageId p, TierId to);
 
   /// Swaps the tiers of two pages currently in *different* tiers — the
   /// "memory tier exchange" of §3.1, which makes progress even when both
-  /// tiers are full. Throws std::logic_error if the pages share a tier.
+  /// tiers are full. The tiers need not be adjacent. Throws std::logic_error
+  /// if the pages share a tier.
   void exchange(PageId a, PageId b);
 
   // --- Cumulative stats --------------------------------------------------------
@@ -146,27 +190,31 @@ class TieredMemory {
  private:
   struct PageInfo {
     WorkloadId owner = kInvalidWorkload;
-    Tier tier = Tier::kSMem;
+    TierId tier = Tier::kSMem;
   };
   struct WorkloadPages {
     std::vector<PageId> pages;
-    std::uint64_t in_tier[2] = {0, 0};
+    std::array<std::uint64_t, kMaxTiers> in_tier{};
   };
 
   PageId check(PageId p) const {
     if (p >= info_.size()) throw std::out_of_range("TieredMemory: bad page id");
     return p;
   }
+  TierId check_tier(TierId t) const {
+    if (t >= cfg_.tiers.size()) throw std::out_of_range("TieredMemory: bad tier id");
+    return t;
+  }
 
-  void place(PageId p, Tier t);    // internal move without full-destination check
+  void place(PageId p, TierId t);  // internal move without full-destination check
   void ensure_workload(WorkloadId w);
 
   Config cfg_;
   std::vector<PageInfo> info_;
   std::vector<WorkloadPages> per_workload_;
   std::vector<MigrationListener*> listeners_;
-  std::uint64_t used_[2] = {0, 0};
-  double contention_[2] = {1.0, 1.0};
+  std::vector<std::uint64_t> used_;
+  std::vector<double> contention_;
   std::uint64_t migrations_ = 0;
 };
 

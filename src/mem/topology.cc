@@ -1,0 +1,129 @@
+#include "mem/topology.h"
+
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+#include "common/parse.h"
+#include "common/units.h"
+
+namespace mtat {
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+/// `8G`, `512M`, `73728` -> bytes. Binary suffixes K/M/G/T (case-insensitive).
+std::optional<std::uint64_t> parse_bytes_suffixed(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t mult = 1;
+  std::string digits = s;
+  switch (std::toupper(static_cast<unsigned char>(s.back()))) {
+    case 'K': mult = 1ull << 10; break;
+    case 'M': mult = 1ull << 20; break;
+    case 'G': mult = 1ull << 30; break;
+    case 'T': mult = 1ull << 40; break;
+    default: mult = 0; break;
+  }
+  if (mult != 0) digits.pop_back();
+  else mult = 1;
+  const auto v = parse_u64(digits);
+  if (!v) return std::nullopt;
+  if (mult > 1 && *v > std::numeric_limits<std::uint64_t>::max() / mult) return std::nullopt;
+  return *v * mult;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool parse_entry(const std::string& entry, std::size_t index, TierSpec& out,
+                 std::string* error) {
+  const std::vector<std::string> fields = split(entry, ':');
+  if (fields.size() < 3 || fields.size() > 4)
+    return fail(error, "tier " + std::to_string(index) + " \"" + entry +
+                           "\": expected name:capacity:latency[:link_bandwidth]");
+  if (fields[0].empty())
+    return fail(error, "tier " + std::to_string(index) + ": empty name");
+  out.name = fields[0];
+  const auto capacity = parse_bytes_suffixed(fields[1]);
+  if (!capacity || *capacity == 0)
+    return fail(error, "tier " + std::to_string(index) + " (" + out.name +
+                           "): bad capacity \"" + fields[1] +
+                           "\" (expected bytes with optional K/M/G/T suffix, > 0)");
+  out.capacity_pages = bytes_to_pages(*capacity);
+  const auto latency = parse_u64(fields[2]);
+  if (!latency || *latency == 0)
+    return fail(error, "tier " + std::to_string(index) + " (" + out.name +
+                           "): bad latency \"" + fields[2] + "\" (expected ns, > 0)");
+  out.latency = static_cast<Duration>(*latency);
+  if (fields.size() == 4) {
+    const auto bw = parse_bytes_suffixed(fields[3]);
+    if (!bw || *bw == 0)
+      return fail(error, "tier " + std::to_string(index) + " (" + out.name +
+                             "): bad link bandwidth \"" + fields[3] +
+                             "\" (expected bytes/s with optional K/M/G/T suffix, > 0)");
+    out.link_bandwidth_bytes_per_sec = static_cast<double>(*bw);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<TierSpec>> parse_topology(const std::string& spec,
+                                                    std::string* error) {
+  std::vector<TierSpec> tiers;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) {
+      fail(error, "empty tier entry (stray ';'?)");
+      return std::nullopt;
+    }
+    TierSpec t;
+    if (!parse_entry(entry, tiers.size(), t, error)) return std::nullopt;
+    tiers.push_back(t);
+  }
+  if (tiers.size() < 2) {
+    fail(error, "topology needs at least two tiers (fastest first)");
+    return std::nullopt;
+  }
+  if (tiers.size() > kMaxTiers) {
+    fail(error,
+         "topology exceeds the kMaxTiers = " + std::to_string(kMaxTiers) + " tier limit");
+    return std::nullopt;
+  }
+  for (std::size_t t = 1; t < tiers.size(); ++t) {
+    if (tiers[t].latency < tiers[t - 1].latency) {
+      fail(error, "tier " + std::to_string(t) + " (" + tiers[t].name +
+                      ") is faster than tier " + std::to_string(t - 1) + " (" +
+                      tiers[t - 1].name + "); list tiers fastest first");
+      return std::nullopt;
+    }
+  }
+  return tiers;
+}
+
+std::string topology_to_string(const std::vector<TierSpec>& tiers) {
+  std::string out;
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s%s:%lluM:%llu", t == 0 ? "" : ";",
+                  tiers[t].name.empty() ? "tier" : tiers[t].name.c_str(),
+                  (unsigned long long)(tiers[t].capacity_pages * kPageSize >> 20),
+                  (unsigned long long)tiers[t].latency);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mtat

@@ -1,0 +1,36 @@
+// MTAT_TOPOLOGY-style tier-topology specs.
+//
+// A topology string describes an ordered tier vector, fastest first:
+//
+//   dram:8G:73;cxl:64G:202;nvm:256G:450
+//
+// Each `;`-separated entry is `name:capacity:latency[:link_bandwidth]`:
+// capacity in bytes with an optional binary suffix (K/M/G/T), latency in
+// nanoseconds, and an optional bandwidth (bytes/s, same suffixes) for the
+// migration link to the next slower tier — defaulting to the paper's
+// ~4 GB/s. Parsing follows the PR 2 discipline: every number goes through
+// common/parse.h, and anything malformed is rejected with a specific error
+// message rather than silently coerced (callers decide whether to warn and
+// fall back, like bench::Env knobs, or fail hard, like mtat_sim flags).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/tiered_memory.h"
+
+namespace mtat {
+
+/// Parse a topology spec into an ordered TierSpec vector (capacities
+/// converted to pages). Returns nullopt on any malformed entry; when `error`
+/// is non-null it receives a one-line description of what was wrong. The
+/// result satisfies TieredMemory's constructor invariants (2..kMaxTiers
+/// tiers, nondecreasing latencies, nonzero capacity, positive bandwidth).
+std::optional<std::vector<TierSpec>> parse_topology(const std::string& spec,
+                                                    std::string* error = nullptr);
+
+/// Render a tier vector back into the spec syntax (for banners and CSVs).
+std::string topology_to_string(const std::vector<TierSpec>& tiers);
+
+}  // namespace mtat

@@ -32,6 +32,9 @@ inline constexpr const char* kMigrationPromotions = "migration.promotions";
 inline constexpr const char* kMigrationDemotions = "migration.demotions";
 inline constexpr const char* kMigrationExchanges = "migration.exchanges";
 inline constexpr const char* kMigrationPagesPerTick = "migration.pages_per_tick";
+inline constexpr const char* kMigrationLink0PagesMoved = "migration.link0_pages_moved";
+inline constexpr const char* kMigrationLink1PagesMoved = "migration.link1_pages_moved";
+inline constexpr const char* kMigrationLink2PagesMoved = "migration.link2_pages_moved";
 inline constexpr const char* kPolicyWallUs = "policy.wall_us";
 inline constexpr const char* kPolicyWallUsHist = "policy.wall_us_hist";
 inline constexpr const char* kPpmDecideWallUs = "ppm.decide_wall_us";
@@ -121,7 +124,8 @@ inline constexpr const char* kCatQueue = "queue";
 /// exporter tests). Kept in declaration order.
 inline constexpr const char* kAllMetricNames[] = {
     kMigrationPagesMoved, kMigrationPromotions, kMigrationDemotions, kMigrationExchanges,
-    kMigrationPagesPerTick, kPolicyWallUs, kPolicyWallUsHist, kPpmDecideWallUs,
+    kMigrationPagesPerTick, kMigrationLink0PagesMoved, kMigrationLink1PagesMoved,
+    kMigrationLink2PagesMoved, kPolicyWallUs, kPolicyWallUsHist, kPpmDecideWallUs,
     kPpmDecisions, kPpmViolations, kPpmGuardTrips, kPpmReward, kPpePlans, kPpePlanPages,
     kRlUpdates, kRlCriticLoss, kRlActorLoss, kRlAlpha, kQueueArrivals, kQueueCompleted,
     kQueueBacklogPeak, kSimIntervals, kSimMeasuredIntervals, kBwFmemFactor, kBwSmemFactor,

@@ -38,7 +38,7 @@ void DamonPolicy::on_interval(SimTime, Duration, Duration) {
 
   wanted_.clear();
   evictable_.clear();
-  std::uint64_t budget = ctx_.mem->capacity(Tier::kFMem);
+  std::uint64_t budget = ctx_.mem->capacity(kFastestTier);
   for (const RankedRegion& r : all) {
     const std::uint64_t size = r.end - r.begin;
     if (r.density > 0.0 && size <= budget) {
@@ -66,9 +66,9 @@ void DamonPolicy::on_tick(SimTime, Duration) {
       continue;
     }
     const PageId up = page_at(w.tenant, want_page_++);
-    if (ctx_.mem->tier_of(up) == Tier::kFMem) continue;
-    if (ctx_.mem->free_pages(Tier::kFMem) > 0) {
-      if (!ctx_.engine->promote(up)) return;
+    if (ctx_.mem->tier_of(up) == kFastestTier) continue;
+    if (ctx_.mem->free_pages(kFastestTier) > 0) {
+      if (!ctx_.engine->promote_to_fastest(up)) return;
       ++moves;
       continue;
     }
@@ -83,7 +83,7 @@ void DamonPolicy::on_tick(SimTime, Duration) {
         continue;
       }
       const PageId candidate = page_at(e.tenant, evict_page_++);
-      if (ctx_.mem->tier_of(candidate) == Tier::kFMem) {
+      if (ctx_.mem->tier_of(candidate) == kFastestTier) {
         down = candidate;
         break;
       }

@@ -34,12 +34,12 @@ void MemtisHpPolicy::promote_block(std::uint64_t block_index) {
   const PageId end = static_cast<PageId>(
       std::min<std::uint64_t>(ctx_.mem->page_count(), (block_index + 1) * kBlockPages));
   for (PageId p = begin; p < end; ++p) {
-    if (ctx_.mem->tier_of(p) == Tier::kFMem) continue;
-    if (ctx_.mem->free_pages(Tier::kFMem) > 0) {
-      if (!ctx_.engine->promote(p)) return;
+    if (ctx_.mem->tier_of(p) == kFastestTier) continue;
+    if (ctx_.mem->free_pages(kFastestTier) > 0) {
+      if (!ctx_.engine->promote_to_fastest(p)) return;
       continue;
     }
-    const PageId victim = hist_.coldest_page(Tier::kFMem);
+    const PageId victim = hist_.coldest_page(kFastestTier);
     if (victim == kInvalidPage) return;
     // Never let a block evict itself.
     if (victim >= begin && victim < end) continue;
@@ -56,18 +56,18 @@ void MemtisHpPolicy::on_tick(SimTime, Duration) {
     promote_block(blk);
   }
   // Base/split path: page-granular hottest-vs-coldest exchange, as MEMTIS.
-  std::uint64_t free_fmem = ctx_.mem->free_pages(Tier::kFMem);
+  std::uint64_t free_fmem = ctx_.mem->free_pages(kFastestTier);
   if (free_fmem > 0) {
-    hist_.hottest_in_tier(
-        Tier::kSMem, std::min<std::uint64_t>(free_fmem, ctx_.engine->budget_pages()), hot_);
+    hist_.hottest_in_slower(
+        std::min<std::uint64_t>(free_fmem, ctx_.engine->budget_pages()), hot_);
     for (PageId p : hot_)
-      if (!ctx_.engine->promote(p)) break;
+      if (!ctx_.engine->promote_to_fastest(p)) break;
   }
   const std::size_t batch =
       std::min<std::size_t>(opt_.max_exchanges_per_tick, ctx_.engine->budget_pages() / 2);
   if (batch == 0) return;
-  hist_.hottest_in_tier(Tier::kSMem, batch, hot_);
-  hist_.coldest_in_tier(Tier::kFMem, batch, victims_);
+  hist_.hottest_in_slower(batch, hot_);
+  hist_.coldest_in_tier(kFastestTier, batch, victims_);
   std::size_t vi = 0;
   for (PageId p : hot_) {
     if (vi >= victims_.size()) break;

@@ -12,19 +12,19 @@ MemtisPolicy::MemtisPolicy(const PolicyContext& ctx, Options opt)
 
 void MemtisPolicy::on_tick(SimTime, Duration) {
   // Fill any free FMem with the hottest SMem pages first.
-  std::uint64_t free_fmem = ctx_.mem->free_pages(Tier::kFMem);
+  std::uint64_t free_fmem = ctx_.mem->free_pages(kFastestTier);
   if (free_fmem > 0) {
-    hist_.hottest_in_tier(
-        Tier::kSMem, std::min<std::uint64_t>(free_fmem, ctx_.engine->budget_pages()), hot_);
+    hist_.hottest_in_slower(
+        std::min<std::uint64_t>(free_fmem, ctx_.engine->budget_pages()), hot_);
     for (PageId p : hot_)
-      if (!ctx_.engine->promote(p)) break;
+      if (!ctx_.engine->promote_to_fastest(p)) break;
   }
   // Then displace: exchange hot SMem pages against strictly colder FMem pages.
   const std::size_t batch =
       std::min<std::size_t>(opt_.max_exchanges_per_tick, ctx_.engine->budget_pages() / 2);
   if (batch == 0) return;
-  hist_.hottest_in_tier(Tier::kSMem, batch, hot_);
-  hist_.coldest_in_tier(Tier::kFMem, batch, victims_);
+  hist_.hottest_in_slower(batch, hot_);
+  hist_.coldest_in_tier(kFastestTier, batch, victims_);
   std::size_t vi = 0;
   for (PageId p : hot_) {
     if (vi >= victims_.size()) break;

@@ -11,17 +11,16 @@ TppPolicy::TppPolicy(const PolicyContext& ctx, Options opt)
       opt_(opt),
       last_seen_tick_(ctx.mem->page_count(), -1),
       ref_bit_(ctx.mem->page_count(), 0),
-      queued_(ctx.mem->page_count(), 0) {
+      queued_(ctx.mem->page_count(), 0),
+      clock_hand_(ctx.mem->tier_count() - 1, 0) {
   ctx_.sampler->add_callback(
       [this](WorkloadId, PageId p, AccessKind) { on_sample(p); });
 }
 
 void TppPolicy::on_sample(PageId p) {
   if (p >= last_seen_tick_.size()) return;  // page allocated after attach
-  if (ctx_.mem->tier_of(p) == Tier::kFMem) {
-    ref_bit_[p] = 1;  // keeps the page off the clock's demotion path
-    return;
-  }
+  ref_bit_[p] = 1;  // keeps the page off its tier's demotion clock
+  if (ctx_.mem->tier_of(p) == kFastestTier) return;
   // Two-touch filter: the first sample puts the page on the shadow active
   // list; a second sample within the window raises the promotion "fault".
   const std::int64_t last = last_seen_tick_[p];
@@ -36,41 +35,43 @@ void TppPolicy::on_tick(SimTime, Duration) {
   ++tick_no_;
   TieredMemory& mem = *ctx_.mem;
   MigrationEngine& engine = *ctx_.engine;
-  // Keep at least one page free whenever a watermark is configured — TPP's
-  // promotion path always needs headroom to land in.
-  const auto watermark = std::max<std::uint64_t>(
-      opt_.free_watermark > 0 ? 1 : 0,
-      static_cast<std::uint64_t>(opt_.free_watermark *
-                                 static_cast<double>(mem.capacity(Tier::kFMem))));
-
-  // Watermark reclaim: demote cold FMem pages (clock with reference bits)
-  // until the free headroom is restored. Bound the scan so a tick's work
-  // stays proportional to the deficit.
-  std::uint64_t deficit = mem.free_pages(Tier::kFMem) < watermark
-                              ? watermark - mem.free_pages(Tier::kFMem)
-                              : 0;
-  std::uint64_t scan_budget = deficit * 4 + 64;
-  while (deficit > 0 && scan_budget > 0 && engine.budget_pages() > 0) {
-    const PageId p = static_cast<PageId>(clock_hand_ % mem.page_count());
-    clock_hand_++;
-    --scan_budget;
-    if (mem.tier_of(p) != Tier::kFMem) continue;
-    if (ref_bit_[p]) {
-      ref_bit_[p] = 0;  // second chance
-      continue;
+  // Watermark reclaim, per tier: every tier but the slowest demotes its cold
+  // pages (clock with reference bits) one link down until free headroom is
+  // restored — successive clocks cascade cold pages toward the slowest tier.
+  // The scan bound keeps a tick's work proportional to the deficit.
+  for (TierId t = 0; static_cast<std::size_t>(t) + 1 < mem.tier_count(); ++t) {
+    // Keep at least one page free whenever a watermark is configured — TPP's
+    // promotion path always needs headroom to land in.
+    const auto watermark = std::max<std::uint64_t>(
+        opt_.free_watermark > 0 ? 1 : 0,
+        static_cast<std::uint64_t>(opt_.free_watermark *
+                                   static_cast<double>(mem.capacity(t))));
+    std::uint64_t deficit =
+        mem.free_pages(t) < watermark ? watermark - mem.free_pages(t) : 0;
+    std::uint64_t scan_budget = deficit * 4 + 64;
+    std::uint64_t& hand = clock_hand_[t];
+    while (deficit > 0 && scan_budget > 0 && engine.link_budget_pages(t) > 0) {
+      const PageId p = static_cast<PageId>(hand % mem.page_count());
+      hand++;
+      --scan_budget;
+      if (mem.tier_of(p) != t) continue;
+      if (ref_bit_[p]) {
+        ref_bit_[p] = 0;  // second chance
+        continue;
+      }
+      if (engine.demote(p)) --deficit;
     }
-    if (engine.demote(p)) --deficit;
   }
 
   // Fault-driven promotion into the freed headroom.
   std::size_t promoted = 0;
   while (!promote_queue_.empty() && promoted < opt_.max_promotions_per_tick &&
-         engine.budget_pages() > 0 && mem.free_pages(Tier::kFMem) > 0) {
+         engine.budget_pages() > 0 && mem.free_pages(kFastestTier) > 0) {
     const PageId p = promote_queue_.front();
     promote_queue_.pop_front();
     queued_[p] = 0;
-    if (mem.tier_of(p) != Tier::kSMem) continue;  // already moved
-    if (engine.promote(p)) {
+    if (mem.tier_of(p) == kFastestTier) continue;  // already moved
+    if (engine.promote_to_fastest(p)) {
       ref_bit_[p] = 1;  // freshly promoted pages start referenced
       ++promoted;
     }

@@ -43,13 +43,14 @@ class TppPolicy : public TieringPolicy {
 
   PolicyContext ctx_;
   Options opt_;
-  // Shadow state per page: last-seen tick for SMem pages (two-touch filter),
-  // reference bit for FMem pages (clock LRU).
+  // Shadow state per page: last-seen tick for slower-tier pages (two-touch
+  // filter), reference bit consulted by the page's tier's reclaim clock.
   std::vector<std::int64_t> last_seen_tick_;
   std::vector<std::uint8_t> ref_bit_;
   std::deque<PageId> promote_queue_;
   std::vector<std::uint8_t> queued_;
-  std::uint64_t clock_hand_ = 0;
+  /// One clock hand per demoting tier (every tier but the slowest).
+  std::vector<std::uint64_t> clock_hand_;
   std::int64_t tick_no_ = 0;
 };
 

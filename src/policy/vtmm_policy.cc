@@ -22,12 +22,11 @@ void VtmmPolicy::on_interval(SimTime, Duration, Duration) {
   double total_hot = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const PageHotness& h = ppe_->histogram(i);
-    hot[i] = static_cast<double>(h.pages_at_or_above(Tier::kFMem, opt_.hot_threshold_bin) +
-                                 h.pages_at_or_above(Tier::kSMem, opt_.hot_threshold_bin));
+    hot[i] = static_cast<double>(h.pages_at_or_above_total(opt_.hot_threshold_bin));
     total_hot += hot[i];
   }
 
-  const auto fmem = static_cast<double>(ctx_.mem->capacity(Tier::kFMem));
+  const auto fmem = static_cast<double>(ctx_.mem->capacity(kFastestTier));
   std::vector<std::uint64_t> quotas(n, 0);
   if (total_hot <= 0.0) {
     // Nobody measured hot yet: even split.

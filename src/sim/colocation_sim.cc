@@ -34,13 +34,20 @@ ColocationSim::ColocationSim(const SimConfig& cfg, obs::RunContext* run_ctx) : c
 
   // --- Platform ---------------------------------------------------------------
   TieredMemory::Config mc;
-  mc.fmem_pages = bytes_to_pages(cfg.fmem);
-  mc.smem_pages = bytes_to_pages(cfg.smem);
-  mc.fmem_latency = cfg.fmem_latency;
-  mc.smem_latency = cfg.smem_latency;
+  MigrationEngine::Config ec{cfg.migration_bandwidth};
+  if (cfg.tiers.empty()) {
+    mc = TieredMemory::Config::two_tier(bytes_to_pages(cfg.fmem), bytes_to_pages(cfg.smem),
+                                        cfg.fmem_latency, cfg.smem_latency);
+  } else {
+    mc.tiers = cfg.tiers;
+    // Each tier's spec carries the bandwidth of its downhill link; link 0 is
+    // also the engine's headline (Eq. 1) bandwidth.
+    ec.bandwidth_bytes_per_sec = cfg.tiers.front().link_bandwidth_bytes_per_sec;
+    for (std::size_t t = 0; t + 1 < cfg.tiers.size(); ++t)
+      ec.link_bandwidth_bytes_per_sec.push_back(cfg.tiers[t].link_bandwidth_bytes_per_sec);
+  }
   mem_ = std::make_unique<TieredMemory>(mc);
-  engine_ = std::make_unique<MigrationEngine>(
-      *mem_, MigrationEngine::Config{cfg.migration_bandwidth});
+  engine_ = std::make_unique<MigrationEngine>(*mem_, ec);
   engine_->set_run_context(ctx_);
   sampler_ = std::make_unique<AccessSampler>(*mem_, cfg.lc.sample_period);
   // Fault injection (DESIGN.md §12): when the context carries an injector,
@@ -61,10 +68,10 @@ ColocationSim::ColocationSim(const SimConfig& cfg, obs::RunContext* run_ctx) : c
   trace_track_ = ctx_->trace().allocate_track();
 
   // --- Tenants: LC allocates first (paper Figure 2 setup) ---------------------
-  AllocPolicy lc_alloc = AllocPolicy::kFMemFirst;
-  AllocPolicy be_alloc = AllocPolicy::kFMemFirst;
-  if (cfg.policy == PolicyKind::kFmemAll) be_alloc = AllocPolicy::kSMemOnly;
-  if (cfg.policy == PolicyKind::kSmemAll) lc_alloc = AllocPolicy::kSMemOnly;
+  AllocPolicy lc_alloc = kFastestFirst;
+  AllocPolicy be_alloc = kFastestFirst;
+  if (cfg.policy == PolicyKind::kFmemAll) be_alloc = kTierOnly(kFastestTier + 1);
+  if (cfg.policy == PolicyKind::kSmemAll) lc_alloc = kTierOnly(kFastestTier + 1);
 
   Rng seeder(cfg.seed);
   const WorkloadId lc_id = 0;
@@ -130,8 +137,8 @@ ColocationSim::ColocationSim(const SimConfig& cfg, obs::RunContext* run_ctx) : c
         // factors that placement itself induces (short fixed-point).
         opt.ppm.joint_objective = [this](const std::vector<std::uint64_t>& alloc) {
           const BandwidthModel& bw = cfg_.bandwidth;
-          const double base_f = static_cast<double>(mem_->base_latency(Tier::kFMem));
-          const double base_s = static_cast<double>(mem_->base_latency(Tier::kSMem));
+          const double base_f = static_cast<double>(mem_->base_latency(kFastestTier));
+          const double base_s = static_cast<double>(mem_->base_latency(kFastestTier + 1));
           double ff = 1.0, fs = 1.0;
           std::vector<double> hit(be_.size());
           for (std::size_t i = 0; i < be_.size(); ++i)
@@ -170,6 +177,7 @@ ColocationSim::ColocationSim(const SimConfig& cfg, obs::RunContext* run_ctx) : c
     }
   }
 
+  bw_factor_.assign(mem_->tier_count(), 1.0);
   next_interval_ = cfg.interval;
   reset_stats();
 }
@@ -197,7 +205,7 @@ void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool meas
         // factors, so an SMem latency spike is applied (and lifted) directly.
         const double spike = inj_->smem_latency_factor();
         if (spike != smem_spike_applied_) {
-          mem_->set_contention_factor(Tier::kSMem, spike);
+          mem_->set_contention_factor(kFastestTier + 1, spike);
           smem_spike_applied_ = spike;
         }
       }
@@ -245,27 +253,54 @@ void ColocationSim::apply_bandwidth_model(double lc_offered_rps) {
   // One-step-lagged fixed point: demand is computed from the previous tick's
   // (possibly contended) rates, then the new factors apply to this tick.
   const BandwidthModel& bw = cfg_.bandwidth;
-  double demand[2] = {0.0, 0.0};
-  for (const auto& be : be_) {
-    const double acc = be->current_rate() * be->config().profile.accesses_per_iteration;
-    demand[0] += acc * be->fmem_weight();
-    demand[1] += acc * (1.0 - be->fmem_weight());
-  }
-  const double lc_acc = lc_offered_rps * static_cast<double>(lc_->misses_per_request());
-  demand[0] += lc_acc * mem_->fmem_usage_ratio(lc_->id());
-  demand[1] += lc_acc * (1.0 - mem_->fmem_usage_ratio(lc_->id()));
-  const double cap[2] = {bw.fmem_accesses_per_sec, bw.smem_accesses_per_sec};
-  for (int t = 0; t < 2; ++t) {
-    const double target = bandwidth_factor(bw, demand[t] / cap[t]);
-    bw_factor_[t] = (1.0 - bw.damping) * bw_factor_[t] + bw.damping * target;
-    mem_->set_contention_factor(t == 0 ? Tier::kFMem : Tier::kSMem, bw_factor_[t]);
-    bw_factor_g_[t]->set(bw_factor_[t]);
+  if (mem_->tier_count() == 2) {
+    // The classic two-tier model, kept in its original arithmetic order so
+    // 2-tier runs stay bit-identical to the pre-tier-vector code.
+    double demand[2] = {0.0, 0.0};
+    for (const auto& be : be_) {
+      const double acc = be->current_rate() * be->config().profile.accesses_per_iteration;
+      demand[0] += acc * be->fmem_weight();
+      demand[1] += acc * (1.0 - be->fmem_weight());
+    }
+    const double lc_acc = lc_offered_rps * static_cast<double>(lc_->misses_per_request());
+    demand[0] += lc_acc * mem_->fmem_usage_ratio(lc_->id());
+    demand[1] += lc_acc * (1.0 - mem_->fmem_usage_ratio(lc_->id()));
+    const double cap[2] = {bw.fmem_accesses_per_sec, bw.smem_accesses_per_sec};
+    for (int t = 0; t < 2; ++t) {
+      const double target = bandwidth_factor(bw, demand[t] / cap[t]);
+      bw_factor_[t] = (1.0 - bw.damping) * bw_factor_[t] + bw.damping * target;
+      mem_->set_contention_factor(static_cast<TierId>(t), bw_factor_[t]);
+      bw_factor_g_[t]->set(bw_factor_[t]);
+    }
+  } else {
+    // N-tier: the same demand/inflation fixed point, with each workload's
+    // access stream split across tiers by the probability mass (BE) or page
+    // count (LC) resident there.
+    const TierId n = mem_->tier_count();
+    std::vector<double> demand(n, 0.0);
+    for (const auto& be : be_) {
+      const double acc = be->current_rate() * be->config().profile.accesses_per_iteration;
+      for (TierId t = 0; t < n; ++t) demand[t] += acc * be->tier_weight(t);
+    }
+    const double lc_acc = lc_offered_rps * static_cast<double>(lc_->misses_per_request());
+    const auto lc_total = static_cast<double>(mem_->workload_total(lc_->id()));
+    if (lc_total > 0) {
+      for (TierId t = 0; t < n; ++t)
+        demand[t] += lc_acc *
+                     static_cast<double>(mem_->workload_pages(lc_->id(), t)) / lc_total;
+    }
+    for (TierId t = 0; t < n; ++t) {
+      const double target = bandwidth_factor(bw, demand[t] / tier_accesses_per_sec(bw, t));
+      bw_factor_[t] = (1.0 - bw.damping) * bw_factor_[t] + bw.damping * target;
+      mem_->set_contention_factor(t, bw_factor_[t]);
+      if (t < 2) bw_factor_g_[t]->set(bw_factor_[t]);
+    }
   }
   if (inj_ != nullptr) {
     // An injected SMem latency spike stacks multiplicatively on top of the
     // modelled contention (the gauges keep reporting the model's own state).
     const double spike = inj_->smem_latency_factor();
-    if (spike > 1.0) mem_->set_contention_factor(Tier::kSMem, bw_factor_[1] * spike);
+    if (spike > 1.0) mem_->set_contention_factor(kFastestTier + 1, bw_factor_[1] * spike);
   }
 }
 
@@ -277,12 +312,12 @@ void ColocationSim::record_interval(double offered_rps, Duration lc_p99, Duratio
   const double interval_s = to_seconds(interval);
   tp.lc_throughput_rps = static_cast<double>(queue_->take_interval_completed()) / interval_s;
   tp.lc_fmem_ratio = mem_->fmem_usage_ratio(lc_->id());
-  const auto fmem_cap = static_cast<double>(mem_->capacity(Tier::kFMem));
+  const auto fmem_cap = static_cast<double>(mem_->capacity(kFastestTier));
   tp.lc_fmem_share =
-      static_cast<double>(mem_->workload_pages(lc_->id(), Tier::kFMem)) / fmem_cap;
+      static_cast<double>(mem_->workload_pages(lc_->id(), kFastestTier)) / fmem_cap;
   for (std::size_t i = 0; i < be_.size(); ++i) {
     tp.be_fmem_share.push_back(
-        static_cast<double>(mem_->workload_pages(be_[i]->id(), Tier::kFMem)) / fmem_cap);
+        static_cast<double>(mem_->workload_pages(be_[i]->id(), kFastestTier)) / fmem_cap);
     const double iters = be_[i]->take_interval_iterations();
     be_measured_iters_[i] += iters;
     tp.be_throughput.push_back(iters / interval_s);

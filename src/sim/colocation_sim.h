@@ -54,6 +54,10 @@ struct BandwidthModel {
   bool enabled = false;
   double fmem_accesses_per_sec = 600e6;  ///< sustainable access rate, FMem
   double smem_accesses_per_sec = 45e6;   ///< sustainable access rate, SMem
+  /// Optional per-tier sustainable rates for deeper topologies, indexed by
+  /// TierId. Tiers beyond the vector (or with it empty) fall back to
+  /// fmem_accesses_per_sec for tier 0 and smem_accesses_per_sec for the rest.
+  std::vector<double> tier_accesses_per_sec;
   /// Inflation curve: latency factor = 1 / (1 - saturation * utilization),
   /// the standard open-queue approximation; `saturation` < 1 softens it so
   /// the coupled demand/latency fixed point stays stable.
@@ -70,6 +74,12 @@ inline double bandwidth_factor(const BandwidthModel& bw, double rho) {
   return std::min(bw.max_factor, std::max(1.0, 1.0 / (1.0 - bw.saturation * r)));
 }
 
+/// Sustainable access rate of tier `t` under the model's fallback rules.
+inline double tier_accesses_per_sec(const BandwidthModel& bw, TierId t) {
+  if (t < bw.tier_accesses_per_sec.size()) return bw.tier_accesses_per_sec[t];
+  return t == kFastestTier ? bw.fmem_accesses_per_sec : bw.smem_accesses_per_sec;
+}
+
 struct SimConfig {
   // --- platform (DESIGN.md §5 scaled defaults) ---
   Bytes fmem = Bytes{2} * 1024 * 1024 * 1024;
@@ -77,6 +87,16 @@ struct SimConfig {
   Duration fmem_latency = 73;
   Duration smem_latency = 202;
   double migration_bandwidth = 4.0 * 1024 * 1024 * 1024;  ///< bytes/s (§5.5)
+  /// Explicit tier vector (fastest first, e.g. from parse_topology). Empty —
+  /// the default — means the classic two-tier platform built from the four
+  /// fields above; non-empty overrides them, and each tier's link bandwidth
+  /// feeds the migration engine's per-link budgets.
+  std::vector<TierSpec> tiers;
+  /// Capacity of the fastest tier, whichever way the platform was specified —
+  /// what cluster-level placement treats as the node's FMem.
+  Bytes fastest_capacity_bytes() const {
+    return tiers.empty() ? fmem : tiers.front().capacity_pages * kPageSize;
+  }
   // --- timing ---
   Duration tick = milliseconds(10);
   Duration interval = seconds(1);  ///< partitioning interval (paper: 60 s, /60)
@@ -214,7 +234,7 @@ class ColocationSim {
   double pages_moved_measured_ = 0;  // counter delta as of the last interval
   double policy_wall_mark_ = 0;
   double measured_intervals_mark_ = 0;
-  double bw_factor_[2] = {1.0, 1.0};  // damped contention factors per tier
+  std::vector<double> bw_factor_;  // damped contention factors, one per tier
 };
 
 }  // namespace mtat

@@ -120,17 +120,15 @@ std::vector<LatencyCurvePoint> lc_latency_curve(const LCConfig& lc, double fmem_
   Rng seeder(seed);
   const LCConfig cfg = lc;
   // Determine the footprint by building once against an all-SMem scratch.
-  TieredMemory::Config probe_mc;
-  probe_mc.fmem_pages = 1;
-  probe_mc.smem_pages = bytes_to_pages(Bytes{64} * 1024 * 1024 * 1024);
-  TieredMemory probe_mem(probe_mc);
-  LCWorkload probe(probe_mem, 0, cfg, AllocPolicy::kSMemOnly, seeder.next_u64());
+  TieredMemory probe_mem(TieredMemory::Config::two_tier(
+      1, bytes_to_pages(Bytes{64} * 1024 * 1024 * 1024)));
+  LCWorkload probe(probe_mem, 0, cfg, kTierOnly(kFastestTier + 1), seeder.next_u64());
   const std::uint64_t footprint = probe.space().num_pages();
 
-  TieredMemory::Config mc;
-  mc.fmem_pages = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(fmem_fraction * static_cast<double>(footprint)));
-  mc.smem_pages = footprint + 1024;
+  const TieredMemory::Config mc = TieredMemory::Config::two_tier(
+      std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(fmem_fraction * static_cast<double>(footprint))),
+      footprint + 1024);
 
   // Per-point seeds are drawn here, in point order, so the result cannot
   // depend on the execution schedule; each point then runs on a fresh
@@ -151,7 +149,7 @@ std::vector<LatencyCurvePoint> lc_latency_curve(const LCConfig& lc, double fmem_
   const auto run_point = [&](std::size_t i) {
     const PointPlan& pp = plan[i];
     TieredMemory mem(mc);
-    LCWorkload wl(mem, 0, cfg, AllocPolicy::kFMemFirst, pp.wl_seed);
+    LCWorkload wl(mem, 0, cfg, kFastestFirst, pp.wl_seed);
     QueueSim queue(wl, seconds(1), pp.queue_seed);
     const LoadPattern pattern = LoadPattern::constant(pp.rate);
     queue.set_pattern(&pattern, 0);

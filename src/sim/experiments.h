@@ -18,9 +18,9 @@
 // find_max_load), so even its *predicate call set* does not depend on the
 // worker count. DESIGN.md §11 spells out the full contract.
 //
-// The thin mtat:: forwarding wrappers at the bottom keep pre-namespace
-// callers (examples, older tests) compiling; new code should use
-// mtat::experiments:: directly.
+// Everything lives in mtat::experiments; the pre-namespace mtat:: forwarding
+// wrappers that once sat at the bottom of this header are gone — callers
+// qualify with experiments:: directly.
 #pragma once
 
 #include <functional>
@@ -131,29 +131,3 @@ bool probe_slo_sustainable(ColocationSim& sim, double krps, Duration warm, Durat
                            double max_violation_rate = 0.01);
 
 }  // namespace mtat::experiments
-
-namespace mtat {
-
-/// Deprecated: use experiments::LatencyCurvePoint.
-using LatencyCurvePoint = experiments::LatencyCurvePoint;
-
-/// Deprecated forwarder: use experiments::lc_latency_curve.
-inline std::vector<experiments::LatencyCurvePoint> lc_latency_curve(
-    const LCConfig& lc, double fmem_fraction, const std::vector<double>& load_fractions,
-    Duration per_point, std::uint64_t seed) {
-  return experiments::lc_latency_curve(lc, fmem_fraction, load_fractions, per_point, seed);
-}
-
-/// Deprecated forwarder: use experiments::find_max_load.
-inline double find_max_load(const std::function<bool(double krps)>& sustainable,
-                            double lo_krps, double hi_krps, int iters = 7) {
-  return experiments::find_max_load(sustainable, lo_krps, hi_krps, iters);
-}
-
-/// Deprecated forwarder: use experiments::probe_slo_sustainable.
-inline bool probe_slo_sustainable(ColocationSim& sim, double krps, Duration warm,
-                                  Duration duration, double max_violation_rate = 0.01) {
-  return experiments::probe_slo_sustainable(sim, krps, warm, duration, max_violation_rate);
-}
-
-}  // namespace mtat

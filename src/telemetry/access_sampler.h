@@ -9,6 +9,7 @@
 // out to the registered PageHotness histograms.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -24,10 +25,14 @@ namespace mtat {
 
 /// Per-workload counters accumulated over one observation interval.
 struct IntervalCounters {
-  std::uint64_t fmem_accesses = 0;  ///< sampled accesses resolved in FMem
-  std::uint64_t smem_accesses = 0;  ///< sampled accesses resolved in SMem
+  std::uint64_t fmem_accesses = 0;  ///< sampled accesses resolved in the fastest tier
+  std::uint64_t smem_accesses = 0;  ///< sampled accesses resolved in any slower tier
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+  /// Per-tier breakdown of the same samples (tier_accesses[0] ==
+  /// fmem_accesses; slower tiers sum to smem_accesses). Lets N-tier policies
+  /// see where in the cascade the misses actually land.
+  std::array<std::uint64_t, kMaxTiers> tier_accesses{};
 
   std::uint64_t total() const { return fmem_accesses + smem_accesses; }
 
@@ -68,10 +73,12 @@ class AccessSampler : public AccessObserver {
       cumulative_.resize(static_cast<std::size_t>(w) + 1);
     }
     IntervalCounters& c = current_[w];
-    if (mem_->tier_of(p) == Tier::kFMem)
+    const TierId tier = mem_->tier_of(p);
+    if (tier == kFastestTier)
       ++c.fmem_accesses;
     else
       ++c.smem_accesses;
+    ++c.tier_accesses[tier];
     if (kind == AccessKind::kRead)
       ++c.reads;
     else
@@ -129,6 +136,8 @@ class AccessSampler : public AccessObserver {
     into.smem_accesses += from.smem_accesses;
     into.reads += from.reads;
     into.writes += from.writes;
+    for (std::size_t t = 0; t < from.tier_accesses.size(); ++t)
+      into.tier_accesses[t] += from.tier_accesses[t];
   }
 
   const TieredMemory* mem_;

@@ -3,7 +3,7 @@
 namespace mtat {
 
 PageHotness::PageHotness(TieredMemory& mem, WorkloadId workload_filter)
-    : mem_(&mem), filter_(workload_filter) {
+    : mem_(&mem), filter_(workload_filter), tiers_(mem.tier_count()) {
   mem.add_migration_listener(this);
 }
 
@@ -12,7 +12,7 @@ void PageHotness::seed_allocated_pages() {
     ensure(p);
     if (words_[p] & kTrackedBit) return;
     const int tier = static_cast<int>(mem_->tier_of(p));
-    words_[p] = kTrackedBit | (tier != 0 ? kTierBit : 0) | packed_epoch();
+    words_[p] = kTrackedBit | packed_tier(tier) | packed_epoch();
     push(p, tier, 0);
     ++tracked_;
   };
@@ -28,7 +28,7 @@ void PageHotness::record_untracked(PageId p) {
   // growing the arrays.
   const int tier = static_cast<int>(mem_->tier_of(p));
   ensure(p);
-  words_[p] = kTrackedBit | (tier != 0 ? kTierBit : 0) | packed_epoch() | 1u;
+  words_[p] = kTrackedBit | packed_tier(tier) | packed_epoch() | 1u;
   push(p, tier, bin_of(1));
   ++tracked_;
 }
@@ -36,8 +36,8 @@ void PageHotness::record_untracked(PageId p) {
 void PageHotness::record_bin_move(PageId p, std::uint64_t word, std::uint32_t eff) {
   const int old_bin = bin_of(eff);
   const int new_bin = bin_of(eff + 1);
-  const int tier = (word & kTierBit) != 0 ? 1 : 0;
-  words_[p] = (word & (kTierBit | kTrackedBit)) | packed_epoch() |
+  const int tier = tier_of_word(word);
+  words_[p] = (word & (kTierMask | kTrackedBit)) | packed_epoch() |
               static_cast<std::uint64_t>(eff + 1);
   // new_bin == old_bin happens only at the saturating top bin (and the
   // count-wrap corner); everywhere else eff+1 being a power of two means the
@@ -48,15 +48,15 @@ void PageHotness::record_bin_move(PageId p, std::uint64_t word, std::uint32_t ef
   }
 }
 
-void PageHotness::on_migration(PageId p, Tier, Tier to) {
+void PageHotness::on_migration(PageId p, TierId, TierId to) {
   if (p >= words_.size()) return;
   const std::uint64_t word = words_[p];
   if (!(word & kTrackedBit)) return;
-  const int tier = (word & kTierBit) != 0 ? 1 : 0;
+  const int tier = tier_of_word(word);
   const int bin = bin_of(effective_of(word));
   remove(p, tier, bin);
   const int nt = static_cast<int>(to);
-  words_[p] = nt != 0 ? (word | kTierBit) : (word & ~kTierBit);
+  words_[p] = (word & ~kTierMask) | packed_tier(nt);
   push(p, nt, bin);
 }
 
@@ -65,9 +65,9 @@ void PageHotness::age() {
   // Counts halve lazily via the epoch shift; physically, every bin's contents
   // now belong one bin lower, which the circular bins express as a base_
   // advance. Only bin 1 (count 1 -> 0) needs touching: it merges into bin 0.
-  for (int t = 0; t < 2; ++t) {
-    auto& b0 = bin0_[t];
-    auto& b1 = ring_[t][base_];  // logical bin 1
+  for (TierBins& tb : tiers_) {
+    auto& b0 = tb.bin0;
+    auto& b1 = tb.ring[base_];  // logical bin 1
     const auto start = static_cast<std::uint32_t>(b0.size());
     b0.insert(b0.end(), b1.begin(), b1.end());
     for (std::uint32_t i = 0; i < b1.size(); ++i) pos_[b1[i]] = start + i;
@@ -83,13 +83,13 @@ void PageHotness::renormalize() {
   // 24-bit stored epochs within an unambiguous distance of epoch_.
   for (std::uint64_t& word : words_) {
     if (!(word & kTrackedBit)) continue;
-    word = (word & (kTierBit | kTrackedBit)) | packed_epoch() |
+    word = (word & (kTierMask | kTrackedBit)) | packed_epoch() |
            static_cast<std::uint64_t>(effective_of(word));
   }
   ages_since_renorm_ = 0;
 }
 
-void PageHotness::scan(Tier tier, std::size_t max_n, bool from_hot,
+void PageHotness::scan(TierId tier, std::size_t max_n, bool from_hot,
                        std::vector<PageId>& out) const {
   if (max_n == 0) return;
   const int t = static_cast<int>(tier);
@@ -111,7 +111,7 @@ void PageHotness::scan(Tier tier, std::size_t max_n, bool from_hot,
   }
 }
 
-PageId PageHotness::hottest_page(Tier tier) const {
+PageId PageHotness::hottest_page(TierId tier) const {
   const int t = static_cast<int>(tier);
   for (int b = kBins - 1; b >= 1; --b) {
     const auto& v = bin_ref(t, b);
@@ -120,7 +120,7 @@ PageId PageHotness::hottest_page(Tier tier) const {
   return kInvalidPage;
 }
 
-PageId PageHotness::coldest_page(Tier tier) const {
+PageId PageHotness::coldest_page(TierId tier) const {
   const int t = static_cast<int>(tier);
   for (int b = 0; b < kBins; ++b) {
     const auto& v = bin_ref(t, b);
@@ -129,10 +129,65 @@ PageId PageHotness::coldest_page(Tier tier) const {
   return kInvalidPage;
 }
 
-std::uint64_t PageHotness::pages_at_or_above(Tier tier, int b) const {
+PageId PageHotness::hottest_slow_page() const {
+  // Bin-major, then tier id order within a bin: at two tiers this is exactly
+  // hottest_page(1); at more it prefers the hotter page regardless of where
+  // in the cascade it sits.
+  for (int b = kBins - 1; b >= 1; --b) {
+    for (std::size_t t = 1; t < tiers_.size(); ++t) {
+      const auto& v = bin_ref(static_cast<int>(t), b);
+      if (!v.empty()) return v.front();
+    }
+  }
+  return kInvalidPage;
+}
+
+PageId PageHotness::coldest_slow_page() const {
+  for (int b = 0; b < kBins; ++b) {
+    for (std::size_t t = 1; t < tiers_.size(); ++t) {
+      const auto& v = bin_ref(static_cast<int>(t), b);
+      if (!v.empty()) return v.front();
+    }
+  }
+  return kInvalidPage;
+}
+
+void PageHotness::hottest_in_slower(std::size_t max_n, std::vector<PageId>& out) const {
+  out.clear();
+  if (max_n == 0) return;
+  for (int b = kBins - 1; b >= 1; --b) {
+    for (std::size_t t = 1; t < tiers_.size(); ++t) {
+      for (PageId p : bin_ref(static_cast<int>(t), b)) {
+        out.push_back(p);
+        if (out.size() == max_n) return;
+      }
+    }
+  }
+}
+
+void PageHotness::coldest_in_slower(std::size_t max_n, std::vector<PageId>& out) const {
+  out.clear();
+  if (max_n == 0) return;
+  for (int b = 0; b < kBins; ++b) {
+    for (std::size_t t = 1; t < tiers_.size(); ++t) {
+      for (PageId p : bin_ref(static_cast<int>(t), b)) {
+        out.push_back(p);
+        if (out.size() == max_n) return;
+      }
+    }
+  }
+}
+
+std::uint64_t PageHotness::pages_at_or_above(TierId tier, int b) const {
   const int t = static_cast<int>(tier);
   std::uint64_t n = 0;
   for (int i = b; i < kBins; ++i) n += bin_ref(t, i).size();
+  return n;
+}
+
+std::uint64_t PageHotness::pages_at_or_above_total(int b) const {
+  std::uint64_t n = 0;
+  for (std::size_t t = 0; t < tiers_.size(); ++t) n += pages_at_or_above(static_cast<TierId>(t), b);
   return n;
 }
 

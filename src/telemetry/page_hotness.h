@@ -3,9 +3,10 @@
 // This is the data structure §3.3.2 and §4 describe (and MEMTIS/FlexMem use):
 // sampled per-page access counts are kept page-table-style, and pages are
 // chained into histogram bins whose ranges double at each step (2^0, 2^1, ...),
-// so "promote the hottest SMem pages" and "demote the coldest FMem pages" are
-// O(result) pulls from the ends of the bin array. Bins are segregated by the
-// page's current tier — the paper's separate FMem and SMem histograms — kept
+// so "promote the hottest slow-tier pages" and "demote the coldest fast-tier
+// pages" are O(result) pulls from the ends of the bin array. Bins are
+// segregated by the page's current tier — the paper's separate FMem and SMem
+// histograms, generalized to one histogram per tier of the topology — kept
 // in sync with placement via a TieredMemory migration listener. Counts are
 // periodically 'aged' by halving, implemented in O(|count-1 pages|) by
 // advancing a circular bin base and halving stored counts lazily via an
@@ -16,19 +17,21 @@
 // the base rotation is exact, not an approximation.
 //
 // Layout. Per-page state is ONE 64-bit word in a flat array indexed by
-// PageId — count (32 bits), age epoch (24 bits), cached tier (1 bit), and a
-// tracked flag (1 bit) — plus a parallel pos_ array giving the page's slot in
-// its bin vector. This replaces a 16-byte AoS entry whose hot path also had
-// to chase TieredMemory::tier_of on every record; the tier bit is kept in
-// sync by the migration listener instead, so the common record_access — a
-// same-bin count bump — inlines to one word load, a shift, a power-of-two
-// test, and one word store. Logical bins 1..kBins-1 live in a circular array
-// offset by base_, so age() merges logical bin 1 into bin 0 and advances
-// base_ instead of moving kBins vectors. A renormalization sweep every
-// kRenormPeriod ages rewrites stored counts to their effective values, which
-// keeps the 24-bit stored epoch unambiguous.
+// PageId — count (32 bits), age epoch (24 bits), cached tier (3 bits, so
+// kMaxTiers = 8 topologies fit), and a tracked flag (1 bit) — plus a
+// parallel pos_ array giving the page's slot in its bin vector. This
+// replaces a 16-byte AoS entry whose hot path also had to chase
+// TieredMemory::tier_of on every record; the tier field is kept in sync by
+// the migration listener instead, so the common record_access — a same-bin
+// count bump — inlines to one word load, a shift, a power-of-two test, and
+// one word store. Logical bins 1..kBins-1 live in a circular array offset by
+// base_, so age() merges logical bin 1 into bin 0 and advances base_ instead
+// of moving kBins vectors. A renormalization sweep every kRenormPeriod ages
+// rewrites stored counts to their effective values, which keeps the 24-bit
+// stored epoch unambiguous.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -77,7 +80,7 @@ class PageHotness : public MigrationListener {
     // The bin changes exactly when eff+1 is a power of two (covers eff == 0
     // entering bin 1, and unsigned wrap at eff == UINT32_MAX).
     if ((eff & (eff + 1)) != 0) {
-      words_[p] = (word & (kTierBit | kTrackedBit)) | packed_epoch() |
+      words_[p] = (word & (kTierMask | kTrackedBit)) | packed_epoch() |
                   static_cast<std::uint64_t>(eff + 1);
       return;
     }
@@ -99,7 +102,7 @@ class PageHotness : public MigrationListener {
 
   /// Up to `max_n` of the hottest tracked pages currently resident in `tier`,
   /// hottest bins first. Pages with zero effective count never qualify.
-  std::vector<PageId> hottest_in_tier(Tier tier, std::size_t max_n) const {
+  std::vector<PageId> hottest_in_tier(TierId tier, std::size_t max_n) const {
     std::vector<PageId> out;
     out.reserve(max_n < 4096 ? max_n : 4096);
     scan(tier, max_n, /*from_hot=*/true, out);
@@ -108,7 +111,7 @@ class PageHotness : public MigrationListener {
 
   /// Up to `max_n` of the coldest tracked pages in `tier`, coldest first
   /// (seeded/aged-out pages in bin 0 lead).
-  std::vector<PageId> coldest_in_tier(Tier tier, std::size_t max_n) const {
+  std::vector<PageId> coldest_in_tier(TierId tier, std::size_t max_n) const {
     std::vector<PageId> out;
     out.reserve(max_n < 4096 ? max_n : 4096);
     scan(tier, max_n, /*from_hot=*/false, out);
@@ -118,37 +121,57 @@ class PageHotness : public MigrationListener {
   /// Non-allocating pulls: clear `out` and fill it with the same pages (and
   /// order) the allocating overloads return. Policies that pull every
   /// interval keep a scratch vector and reuse its capacity.
-  void hottest_in_tier(Tier tier, std::size_t max_n, std::vector<PageId>& out) const {
+  void hottest_in_tier(TierId tier, std::size_t max_n, std::vector<PageId>& out) const {
     out.clear();
     scan(tier, max_n, /*from_hot=*/true, out);
   }
-  void coldest_in_tier(Tier tier, std::size_t max_n, std::vector<PageId>& out) const {
+  void coldest_in_tier(TierId tier, std::size_t max_n, std::vector<PageId>& out) const {
     out.clear();
     scan(tier, max_n, /*from_hot=*/false, out);
   }
 
   /// Single hottest / coldest tracked page in `tier` (what the allocating
   /// pulls return for max_n == 1), or kInvalidPage when no page qualifies.
-  PageId hottest_page(Tier tier) const;
-  PageId coldest_page(Tier tier) const;
+  PageId hottest_page(TierId tier) const;
+  PageId coldest_page(TierId tier) const;
+
+  // --- Slower-aggregate views ------------------------------------------------
+  //
+  // Promotion policies want "the hottest page NOT in the fastest tier",
+  // wherever it currently sits in the cascade. These aggregate every tier
+  // except tier 0, scanning bins hottest-first (or coldest-first) and, within
+  // a bin, tiers in id order; at two tiers they are exactly the tier-1 views.
+
+  /// Hottest tracked page outside the fastest tier, or kInvalidPage.
+  PageId hottest_slow_page() const;
+  /// Coldest tracked page outside the fastest tier, or kInvalidPage.
+  PageId coldest_slow_page() const;
+  /// Up to `max_n` hottest pages outside the fastest tier, hottest bins first.
+  void hottest_in_slower(std::size_t max_n, std::vector<PageId>& out) const;
+  /// Up to `max_n` coldest pages outside the fastest tier, coldest first.
+  void coldest_in_slower(std::size_t max_n, std::vector<PageId>& out) const;
 
   /// Number of tracked pages in `tier` at bin `b` or hotter — lets policies
   /// size "how much of my quota is genuinely warm" without a scan.
-  std::uint64_t pages_at_or_above(Tier tier, int b) const;
+  std::uint64_t pages_at_or_above(TierId tier, int b) const;
+
+  /// Same, summed over every tier of the topology (pages this hot wherever
+  /// they currently live) — the tier-indexed hotness distribution a
+  /// VTMM-style quota split consumes.
+  std::uint64_t pages_at_or_above_total(int b) const;
 
   /// The pages of one (tier, bin), in structural order — the order pulls and
   /// aging observe them in. Exposed for determinism fingerprints and the
   /// differential equivalence test.
-  const std::vector<PageId>& bin_pages(Tier tier, int b) const {
-    return bin_ref(static_cast<int>(tier), b);
+  const std::vector<PageId>& bin_pages(TierId tier, int b) const {
+    return bin_ref(tier, b);
   }
 
-  std::size_t bin_size(Tier tier, int b) const {
-    return bin_ref(static_cast<int>(tier), b).size();
-  }
+  std::size_t bin_size(TierId tier, int b) const { return bin_ref(tier, b).size(); }
   std::size_t tracked_pages() const { return tracked_; }
   std::uint32_t age_epoch() const { return epoch_; }
   WorkloadId workload_filter() const { return filter_; }
+  std::size_t tier_count() const { return tiers_.size(); }
 
   /// The bin rule, exposed for tests: 0 -> 0, c >= 1 -> 1 + floor(log2(c)).
   static int bin_of(std::uint32_t c) {
@@ -160,13 +183,21 @@ class PageHotness : public MigrationListener {
  private:
   // Packed-word fields. Stored epochs are 24-bit; the renormalization sweep
   // bounds the distance to epoch_ well below 2^24, so the masked difference
-  // is the true age delta.
+  // is the true age delta. The tier field is 3 bits (kMaxTiers = 8).
   static constexpr std::uint64_t kCountMask = 0xFFFFFFFFull;
   static constexpr int kEpochShift = 32;
   static constexpr std::uint32_t kEpochMask = 0xFFFFFFu;
-  static constexpr std::uint64_t kTierBit = 1ull << 56;
-  static constexpr std::uint64_t kTrackedBit = 1ull << 57;
+  static constexpr int kTierShift = 56;
+  static constexpr std::uint64_t kTierMask = 7ull << kTierShift;
+  static constexpr std::uint64_t kTrackedBit = 1ull << 59;
   static constexpr std::uint32_t kRenormPeriod = 1u << 16;
+
+  static int tier_of_word(std::uint64_t word) {
+    return static_cast<int>((word >> kTierShift) & 7u);
+  }
+  static std::uint64_t packed_tier(int tier) {
+    return static_cast<std::uint64_t>(tier) << kTierShift;
+  }
 
   std::uint64_t packed_epoch() const {
     return static_cast<std::uint64_t>(epoch_ & kEpochMask) << kEpochShift;
@@ -179,13 +210,18 @@ class PageHotness : public MigrationListener {
     return shift >= 32 ? 0 : static_cast<std::uint32_t>(word & kCountMask) >> shift;
   }
 
-  /// Logical bin b of a tier: bin 0 is its own pool; bins 1..kBins-1 rotate
+  /// Per-tier bin storage: bin 0 is its own pool; bins 1..kBins-1 rotate
   /// through a circular array so age() is a base increment, not kBins moves.
+  struct TierBins {
+    std::vector<PageId> bin0;
+    std::array<std::vector<PageId>, kBins - 1> ring;
+  };
+
   std::vector<PageId>& bin_ref(int tier, int b) {
-    return b == 0 ? bin0_[tier] : ring_[tier][(base_ + b - 1) % (kBins - 1)];
+    return b == 0 ? tiers_[tier].bin0 : tiers_[tier].ring[(base_ + b - 1) % (kBins - 1)];
   }
   const std::vector<PageId>& bin_ref(int tier, int b) const {
-    return b == 0 ? bin0_[tier] : ring_[tier][(base_ + b - 1) % (kBins - 1)];
+    return b == 0 ? tiers_[tier].bin0 : tiers_[tier].ring[(base_ + b - 1) % (kBins - 1)];
   }
 
   void ensure(PageId p) {
@@ -214,17 +250,16 @@ class PageHotness : public MigrationListener {
   void record_untracked(PageId p);
   void record_bin_move(PageId p, std::uint64_t word, std::uint32_t eff);
 
-  void on_migration(PageId p, Tier from, Tier to) override;
+  void on_migration(PageId p, TierId from, TierId to) override;
   void renormalize();
-  void scan(Tier tier, std::size_t max_n, bool from_hot, std::vector<PageId>& out) const;
+  void scan(TierId tier, std::size_t max_n, bool from_hot, std::vector<PageId>& out) const;
 
   TieredMemory* mem_;
   WorkloadId filter_;
-  std::vector<std::uint64_t> words_;   ///< packed per-page state, indexed by PageId
-  std::vector<std::uint32_t> pos_;     ///< slot within the page's bin vector
-  std::vector<PageId> bin0_[2];        ///< per-tier count-zero pools
-  std::vector<PageId> ring_[2][kBins - 1];  ///< per-tier circular bins 1..kBins-1
-  int base_ = 0;                       ///< ring slot of logical bin 1
+  std::vector<std::uint64_t> words_;  ///< packed per-page state, indexed by PageId
+  std::vector<std::uint32_t> pos_;    ///< slot within the page's bin vector
+  std::vector<TierBins> tiers_;       ///< bin storage, one entry per tier
+  int base_ = 0;                      ///< ring slot of logical bin 1
   std::size_t tracked_ = 0;
   std::uint32_t epoch_ = 0;
   std::uint32_t ages_since_renorm_ = 0;

@@ -26,28 +26,41 @@ BEWorkload::BEWorkload(TieredMemory& mem, WorkloadId id, BEConfig cfg, AllocPoli
       throw std::logic_error("BEWorkload: non-contiguous page allocation");
 
   for (std::size_t i = 0; i < pages.size(); ++i)
-    if (mem.tier_of(pages[i]) == Tier::kFMem) fmem_weight_ += cfg_.profile.weight[i];
+    tier_weight_[mem.tier_of(pages[i])] += cfg_.profile.weight[i];
 
   mem.add_migration_listener(this);
 }
 
-void BEWorkload::on_migration(PageId p, Tier, Tier to) {
+void BEWorkload::on_migration(PageId p, TierId from, TierId to) {
   if (p < first_page_ || p >= first_page_ + space_->num_pages()) return;
   const double w = cfg_.profile.weight[p - first_page_];
-  fmem_weight_ += to == Tier::kFMem ? w : -w;
+  tier_weight_[from] -= w;
+  tier_weight_[to] += w;
   ++migrations_pending_;
 }
 
 double BEWorkload::rate_for_weight(double fmem_weight) const {
-  const double lat_f = static_cast<double>(mem_->latency(Tier::kFMem));
-  const double lat_s = static_cast<double>(mem_->latency(Tier::kSMem));
+  const double lat_f = static_cast<double>(mem_->latency(kFastestTier));
+  const double lat_s = static_cast<double>(mem_->latency(kFastestTier + 1));
   const double expected_lat = fmem_weight * lat_f + (1.0 - fmem_weight) * lat_s;
   const double ns_per_iter =
       cfg_.cpu_ns_per_iter + cfg_.profile.accesses_per_iteration * expected_lat / cfg_.mlp;
   return static_cast<double>(cfg_.cores) * 1e9 / ns_per_iter;
 }
 
-double BEWorkload::current_rate() const { return rate_for_weight(fmem_weight_); }
+double BEWorkload::current_rate() const {
+  // Two tiers: the classic closed form over the fastest-tier weight (kept
+  // verbatim so the 2-tier arithmetic is bit-identical to the pre-tier-vector
+  // code). Deeper cascades weigh every tier's latency by the probability mass
+  // resident there.
+  if (mem_->tier_count() == 2) return rate_for_weight(tier_weight_[kFastestTier]);
+  double expected_lat = 0.0;
+  for (TierId t = 0; t < mem_->tier_count(); ++t)
+    expected_lat += tier_weight_[t] * static_cast<double>(mem_->latency(t));
+  const double ns_per_iter =
+      cfg_.cpu_ns_per_iter + cfg_.profile.accesses_per_iteration * expected_lat / cfg_.mlp;
+  return static_cast<double>(cfg_.cores) * 1e9 / ns_per_iter;
+}
 
 double BEWorkload::rate_at_pages(std::uint64_t fmem_pages) const {
   const std::uint64_t g = std::min<std::uint64_t>(fmem_pages, space_->num_pages());

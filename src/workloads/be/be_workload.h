@@ -10,6 +10,7 @@
 // that dwarf the LC workload's per-page rates.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -91,8 +92,12 @@ class BEWorkload : public MigrationListener {
   double take_interval_iterations();
   double total_iterations() const { return total_iterations_; }
 
-  /// Fraction of the access distribution currently resident in FMem.
-  double fmem_weight() const { return fmem_weight_; }
+  /// Fraction of the access distribution currently resident in the fastest
+  /// tier.
+  double fmem_weight() const { return tier_weight_[kFastestTier]; }
+
+  /// Fraction of the access distribution resident in tier `t`.
+  double tier_weight(TierId t) const { return tier_weight_[t]; }
 
   WorkloadId id() const { return id_; }
   AddressSpace& space() { return *space_; }
@@ -100,8 +105,8 @@ class BEWorkload : public MigrationListener {
 
  private:
   double rate_for_weight(double fmem_weight) const;
-  /// Maintains the incremental FMem-resident weight sum (MigrationListener).
-  void on_migration(PageId p, Tier from, Tier to) override;
+  /// Maintains the incremental per-tier resident weight sums (MigrationListener).
+  void on_migration(PageId p, TierId from, TierId to) override;
 
   TieredMemory* mem_;
   WorkloadId id_;
@@ -112,7 +117,9 @@ class BEWorkload : public MigrationListener {
   std::unique_ptr<AliasSampler> alias_;
   std::vector<double> best_prefix_;
   PageId first_page_ = 0;
-  double fmem_weight_ = 0.0;
+  /// tier_weight_[t] = summed access probability of this workload's pages
+  /// currently resident in tier t (so the entries sum to ~1).
+  std::array<double, kMaxTiers> tier_weight_{};
   double total_iterations_ = 0.0;
   double interval_iterations_ = 0.0;
   std::uint64_t migrations_pending_ = 0;

@@ -24,11 +24,11 @@ class CountingObserver : public AccessObserver {
 PageProfile extract_profile(Bytes footprint,
                             const std::function<std::uint64_t(AddressSpace&)>& body) {
   const std::uint64_t pages = bytes_to_pages(footprint);
-  TieredMemory::Config mc;
-  mc.fmem_pages = 0;
-  mc.smem_pages = pages;
-  TieredMemory scratch(mc);
-  AddressSpace space(scratch, /*w=*/0, footprint, AllocPolicy::kSMemOnly, /*sample_period=*/1);
+  // Scratch substrate: all pages in the slower tier of a two-tier topology —
+  // profiling only needs stable page ids, not realistic placement.
+  TieredMemory scratch(TieredMemory::Config::two_tier(/*fmem_pages=*/0, pages));
+  AddressSpace space(scratch, /*w=*/0, footprint, kTierOnly(kFastestTier + 1),
+                     /*sample_period=*/1);
   CountingObserver counter(pages);
   space.set_observer(&counter);
 

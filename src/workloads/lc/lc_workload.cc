@@ -91,12 +91,15 @@ LCWorkload::LCWorkload(TieredMemory& mem, WorkloadId id, const LCConfig& cfg, Al
   }
   const double s_f = s_lo;  // ns
   const double s_s = s_f / cfg.smem_throughput_ratio;
-  const double lat_gap = static_cast<double>(mem.base_latency(Tier::kSMem) -
-                                             mem.base_latency(Tier::kFMem));
+  // Calibration is pinned to the two fastest tiers regardless of topology
+  // depth: the SLO knee is defined against the FMem/SMem pair of the paper's
+  // testbed, and deeper tiers only matter at runtime via actual placement.
+  const double lat_gap = static_cast<double>(mem.base_latency(kFastestTier + 1) -
+                                             mem.base_latency(kFastestTier));
   if (lat_gap <= 0) throw std::invalid_argument("LCWorkload: degenerate tier latencies");
   const double m_total = (s_s - s_f) / lat_gap;
   const double base =
-      s_f - m_total * static_cast<double>(mem.base_latency(Tier::kFMem));
+      s_f - m_total * static_cast<double>(mem.base_latency(kFastestTier));
   if (base <= 0)
     throw std::invalid_argument("LCWorkload: smem_throughput_ratio too low to calibrate");
   base_cpu_ = static_cast<Duration>(base);
@@ -200,7 +203,7 @@ Duration LCWorkload::serve() {
   return base_cpu_ + mem_lat;
 }
 
-Duration LCWorkload::ideal_service_time(Tier t) const {
+Duration LCWorkload::ideal_service_time(TierId t) const {
   const int touches = cfg_.kind == LCKind::kSilo ? cfg_.txn_reads + cfg_.txn_writes : 1;
   const std::uint64_t m =
       fixed_misses_ + record_misses_ * static_cast<std::uint64_t>(touches);

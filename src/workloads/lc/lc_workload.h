@@ -76,7 +76,7 @@ class LCWorkload {
 
   /// Service time a request would see with every page in the given tier —
   /// the analytic envelope used by tests and calibration checks.
-  Duration ideal_service_time(Tier t) const;
+  Duration ideal_service_time(TierId t) const;
 
   AddressSpace& space() { return *space_; }
   const LCConfig& config() const { return cfg_; }

@@ -104,9 +104,8 @@ struct PpeHarness {
 
   explicit PpeHarness(std::uint64_t fmem = 64, std::uint64_t smem = 512)
       : mem([&] {
-          TieredMemory::Config c;
-          c.fmem_pages = fmem;
-          c.smem_pages = smem;
+          TieredMemory::Config c =
+              TieredMemory::Config::two_tier(fmem, smem);
           return c;
         }()),
         engine(mem, {1e12}),  // effectively unlimited per-interval bandwidth
@@ -124,8 +123,8 @@ struct PpeHarness {
 
 TEST(Ppe, InitialQuotasMatchResidency) {
   PpeHarness h;
-  h.add_tenant(0, true, 40, AllocPolicy::kFMemFirst);
-  h.add_tenant(1, false, 100, AllocPolicy::kFMemFirst);  // 24 in FMem, rest spill
+  h.add_tenant(0, true, 40, kFastestFirst);
+  h.add_tenant(1, false, 100, kFastestFirst);  // 24 in FMem, rest spill
   PartitionEnforcer ppe(h.ctx, {});
   EXPECT_EQ(ppe.quota(0), 40u);
   EXPECT_EQ(ppe.quota(1), 24u);
@@ -134,8 +133,8 @@ TEST(Ppe, InitialQuotasMatchResidency) {
 
 TEST(Ppe, PlanExecutesToTargets) {
   PpeHarness h;
-  h.add_tenant(0, true, 40, AllocPolicy::kFMemFirst);
-  h.add_tenant(1, false, 100, AllocPolicy::kFMemFirst);
+  h.add_tenant(0, true, 40, kFastestFirst);
+  h.add_tenant(1, false, 100, kFastestFirst);
   PartitionEnforcer ppe(h.ctx, {});
   // Shrink LC to 10, give BE 54.
   ppe.set_plan({10, 54});
@@ -151,9 +150,9 @@ TEST(Ppe, PlanExecutesToTargets) {
 
 TEST(Ppe, LcExpansionEvictsBeProportionally) {
   PpeHarness h;
-  h.add_tenant(0, true, 100, AllocPolicy::kSMemOnly);
-  h.add_tenant(1, false, 40, AllocPolicy::kFMemFirst);
-  h.add_tenant(2, false, 40, AllocPolicy::kFMemFirst);  // 24 in FMem
+  h.add_tenant(0, true, 100, kTierOnly(Tier::kSMem));
+  h.add_tenant(1, false, 40, kFastestFirst);
+  h.add_tenant(2, false, 40, kFastestFirst);  // 24 in FMem
   PartitionEnforcer ppe(h.ctx, {});
   ppe.set_plan({64, 0, 0});  // LC takes the whole fast tier
   for (int i = 0; i < 50 && ppe.plan_active(); ++i) {
@@ -167,8 +166,8 @@ TEST(Ppe, LcExpansionEvictsBeProportionally) {
 
 TEST(Ppe, PMaxBoundsPerSliceMovement) {
   PpeHarness h;
-  h.add_tenant(0, true, 100, AllocPolicy::kSMemOnly);
-  h.add_tenant(1, false, 64, AllocPolicy::kFMemOnly);
+  h.add_tenant(0, true, 100, kTierOnly(Tier::kSMem));
+  h.add_tenant(1, false, 64, kTierOnly(Tier::kFMem));
   PartitionEnforcer::Options opt;
   opt.p_max = 8;
   PartitionEnforcer ppe(h.ctx, opt);
@@ -181,8 +180,8 @@ TEST(Ppe, PMaxBoundsPerSliceMovement) {
 
 TEST(Ppe, PlanPrefersHotPagesForPromotion) {
   PpeHarness h;
-  h.add_tenant(0, true, 100, AllocPolicy::kSMemOnly);
-  h.add_tenant(1, false, 64, AllocPolicy::kFMemOnly);
+  h.add_tenant(0, true, 100, kTierOnly(Tier::kSMem));
+  h.add_tenant(1, false, 64, kTierOnly(Tier::kFMem));
   PartitionEnforcer ppe(h.ctx, {});
   // Mark ten LC pages hot via the sampler (PP-E's histograms are sinks).
   const auto& pages = h.mem.pages_of(0);
@@ -200,7 +199,7 @@ TEST(Ppe, PlanPrefersHotPagesForPromotion) {
 
 TEST(Ppe, RefinementSwapsHotForColdWithinPartition) {
   PpeHarness h;
-  h.add_tenant(0, true, 100, AllocPolicy::kFMemFirst);  // 64 in FMem, 36 in SMem
+  h.add_tenant(0, true, 100, kFastestFirst);  // 64 in FMem, 36 in SMem
   PartitionEnforcer ppe(h.ctx, {});
   const auto& pages = h.mem.pages_of(0);
   // Make one SMem-resident page very hot.
@@ -216,9 +215,9 @@ TEST(Ppe, RefinementSwapsHotForColdWithinPartition) {
 
 TEST(Ppe, FullModeIsolatesBePartitions) {
   PpeHarness h;
-  h.add_tenant(0, true, 10, AllocPolicy::kSMemOnly);
-  h.add_tenant(1, false, 60, AllocPolicy::kFMemFirst);
-  h.add_tenant(2, false, 60, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, true, 10, kTierOnly(Tier::kSMem));
+  h.add_tenant(1, false, 60, kFastestFirst);
+  h.add_tenant(2, false, 60, kTierOnly(Tier::kSMem));
   PartitionEnforcer ppe(h.ctx, {});
   // Tenant 2 is screaming hot in SMem, but full mode must not let it displace
   // tenant 1 beyond its quota.
@@ -235,9 +234,9 @@ TEST(Ppe, FullModeIsolatesBePartitions) {
 
 TEST(Ppe, LcOnlyModeLetsBeCompete) {
   PpeHarness h;
-  h.add_tenant(0, true, 10, AllocPolicy::kSMemOnly);
-  h.add_tenant(1, false, 60, AllocPolicy::kFMemFirst);
-  h.add_tenant(2, false, 60, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, true, 10, kTierOnly(Tier::kSMem));
+  h.add_tenant(1, false, 60, kFastestFirst);
+  h.add_tenant(2, false, 60, kTierOnly(Tier::kSMem));
   PartitionEnforcer::Options opt;
   opt.isolate_be = false;
   PartitionEnforcer ppe(h.ctx, opt);
@@ -252,7 +251,7 @@ TEST(Ppe, LcOnlyModeLetsBeCompete) {
 
 TEST(Ppe, AgeHalvesHistogramsOnItsCadence) {
   PpeHarness h;
-  h.add_tenant(0, true, 10, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, true, 10, kTierOnly(Tier::kSMem));
   PartitionEnforcer::Options opt;
   opt.age_every_intervals = 3;
   PartitionEnforcer ppe(h.ctx, opt);
@@ -268,7 +267,7 @@ TEST(Ppe, AgeHalvesHistogramsOnItsCadence) {
 
 TEST(Ppe, RejectsMismatchedPlan) {
   PpeHarness h;
-  h.add_tenant(0, true, 10, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, true, 10, kTierOnly(Tier::kSMem));
   PartitionEnforcer ppe(h.ctx, {});
   EXPECT_THROW(ppe.set_plan({1, 2, 3}), std::invalid_argument);
 }
@@ -427,7 +426,7 @@ TEST(Ppe, BandwidthBackoffPausesRefinement) {
   // refinement must stop promoting into the saturated tier; below it, the
   // same exchange fires.
   PpeHarness h;
-  h.add_tenant(0, true, 100, AllocPolicy::kFMemFirst);  // 64 FMem + 36 SMem
+  h.add_tenant(0, true, 100, kFastestFirst);  // 64 FMem + 36 SMem
   PartitionEnforcer::Options opt;
   opt.bandwidth_backoff_factor = 1.5;
   PartitionEnforcer ppe(h.ctx, opt);

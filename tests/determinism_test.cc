@@ -110,9 +110,9 @@ void expect_identical_registries(const obs::MetricsRegistry& a,
 std::string hotness_fingerprint(const PageHotness& h) {
   std::ostringstream os;
   os << "tracked=" << h.tracked_pages() << " epoch=" << h.age_epoch();
-  for (int t = 0; t < 2; ++t) {
+  for (std::size_t t = 0; t < h.tier_count(); ++t) {
     for (int b = 0; b < PageHotness::kBins; ++b) {
-      const std::vector<PageId>& v = h.bin_pages(static_cast<Tier>(t), b);
+      const std::vector<PageId>& v = h.bin_pages(static_cast<TierId>(t), b);
       if (v.empty()) continue;
       os << " " << t << ":" << b << "=";
       for (PageId p : v) os << p << ",";

@@ -150,11 +150,10 @@ TEST(FaultInjectorTest, WindowQueriesFollowSetNow) {
 // ------------------------------------------------------------- AccessSampler --
 
 TEST(FaultSamplerTest, BlackoutDropsEverySampleAndCounts) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 16;
-  mc.smem_pages = 64;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(16, 64);
   TieredMemory mem(mc);
-  const auto pages = mem.allocate(0, 8, AllocPolicy::kFMemFirst);
+  const auto pages = mem.allocate(0, 8, kFastestFirst);
   obs::RunContext ctx;
   FaultPlan plan;
   plan.telemetry_blackouts = {{0, seconds(100), 0}};
@@ -167,13 +166,12 @@ TEST(FaultSamplerTest, BlackoutDropsEverySampleAndCounts) {
 }
 
 TEST(FaultSamplerTest, CorruptionMisattributesWithinTheWorkload) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 4;
-  mc.smem_pages = 64;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(4, 64);
   TieredMemory mem(mc);
   // 4 pages land in FMem, 28 spill to SMem: a corrupted sample of an FMem
   // page will mostly be misattributed to an SMem one.
-  mem.allocate(0, 32, AllocPolicy::kFMemFirst);
+  mem.allocate(0, 32, kFastestFirst);
   const PageId fmem_page = mem.pages_of(0)[0];
   ASSERT_EQ(mem.tier_of(fmem_page), Tier::kFMem);
   obs::RunContext ctx;
@@ -201,14 +199,13 @@ struct EngineFixture {
 
   explicit EngineFixture(FaultPlan plan)
       : mem([] {
-          TieredMemory::Config mc;
-          mc.fmem_pages = 32;
-          mc.smem_pages = 64;
+          TieredMemory::Config mc =
+              TieredMemory::Config::two_tier(32, 64);
           return mc;
         }()),
         engine(mem, {100.0 * static_cast<double>(kPageSize)}) {
-    fmem_pages = mem.allocate(0, 8, AllocPolicy::kFMemOnly);
-    smem_pages = mem.allocate(1, 8, AllocPolicy::kSMemOnly);
+    fmem_pages = mem.allocate(0, 8, kTierOnly(Tier::kFMem));
+    smem_pages = mem.allocate(1, 8, kTierOnly(Tier::kSMem));
     ctx.install_faults(plan);
     engine.set_run_context(&ctx);
     engine.begin_interval(seconds(1));

@@ -12,9 +12,8 @@ namespace mtat {
 namespace {
 
 TieredMemory::Config big() {
-  TieredMemory::Config c;
-  c.fmem_pages = 1;
-  c.smem_pages = 1 << 18;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(1, 1 << 18);
   return c;
 }
 
@@ -94,7 +93,7 @@ TEST_P(KernelCorrectness, BfsMatchesUnitDijkstra) {
   Rng rng(GetParam());
   const Graph g = make_uniform_graph(200, 800, rng);
   TieredMemory mem(big());
-  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kTierOnly(Tier::kSMem));
   GraphLayout layout(space, g);
   std::vector<std::uint64_t> dist;
   const KernelStats stats = bfs(layout, 0, dist);
@@ -107,7 +106,7 @@ TEST_P(KernelCorrectness, SsspMatchesDijkstra) {
   Rng rng(GetParam() + 100);
   const Graph g = make_uniform_graph(150, 600, rng);
   TieredMemory mem(big());
-  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kTierOnly(Tier::kSMem));
   GraphLayout layout(space, g);
   std::vector<std::uint64_t> dist;
   sssp(layout, 0, /*delta=*/8, dist);
@@ -123,7 +122,7 @@ TEST_P(SsspDeltaSweep, DeltaInvariant) {
   Rng rng(77);
   const Graph g = make_rmat_graph(8, 8, rng);
   TieredMemory mem(big());
-  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kTierOnly(Tier::kSMem));
   GraphLayout layout(space, g);
   std::vector<std::uint64_t> dist;
   sssp(layout, 3, GetParam(), dist);
@@ -136,7 +135,7 @@ TEST(Sssp, RejectsZeroDelta) {
   Rng rng(5);
   const Graph g = make_uniform_graph(10, 20, rng);
   TieredMemory mem(big());
-  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kTierOnly(Tier::kSMem));
   GraphLayout layout(space, g);
   std::vector<std::uint64_t> dist;
   EXPECT_THROW(sssp(layout, 0, 0, dist), std::invalid_argument);
@@ -146,7 +145,7 @@ TEST(Bfs, UnreachableVerticesStayUnreached) {
   // Two disconnected edges: 0-1 and 2-3.
   Graph g(4, {{0, 1}, {2, 3}}, true);
   TieredMemory mem(big());
-  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kTierOnly(Tier::kSMem));
   GraphLayout layout(space, g);
   std::vector<std::uint64_t> dist;
   bfs(layout, 0, dist);
@@ -158,7 +157,7 @@ TEST(PageRank, MassIsConserved) {
   Rng rng(6);
   const Graph g = make_uniform_graph(300, 3000, rng);
   TieredMemory mem(big());
-  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kTierOnly(Tier::kSMem));
   GraphLayout layout(space, g);
   std::vector<double> rank;
   pagerank(layout, 10, rank);
@@ -177,7 +176,7 @@ TEST(PageRank, HighDegreeVerticesRankHigher) {
   for (Graph::Vertex v = 1; v < 50; ++v) edges.push_back({0, v});
   Graph g(50, std::move(edges), true);
   TieredMemory mem(big());
-  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kTierOnly(Tier::kSMem));
   GraphLayout layout(space, g);
   std::vector<double> rank;
   pagerank(layout, 20, rank);
@@ -189,7 +188,7 @@ TEST(Kernels, MemoryChargeMatchesAccessCount) {
   Rng rng(7);
   const Graph g = make_uniform_graph(100, 400, rng);
   TieredMemory mem(big());
-  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, GraphLayout::required_bytes(g), kTierOnly(Tier::kSMem));
   GraphLayout layout(space, g);
   std::vector<std::uint64_t> dist;
   const KernelStats stats = bfs(layout, 0, dist);
@@ -200,7 +199,7 @@ TEST(GraphLayout, RejectsUndersizedSpace) {
   Rng rng(8);
   const Graph g = make_uniform_graph(100, 400, rng);
   TieredMemory mem(big());
-  AddressSpace space(mem, 0, kPageSize, AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, kPageSize, kTierOnly(Tier::kSMem));
   EXPECT_THROW(GraphLayout(space, g), std::invalid_argument);
 }
 

@@ -8,9 +8,8 @@ namespace mtat {
 namespace {
 
 TieredMemory::Config big(std::uint64_t fmem = 0) {
-  TieredMemory::Config c;
-  c.fmem_pages = fmem == 0 ? 1 : fmem;
-  c.smem_pages = 1 << 18;  // 1 GiB
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(fmem == 0 ? 1 : fmem, 1 << 18);  // 1 GiB
   return c;
 }
 
@@ -20,7 +19,7 @@ TEST(HashStore, RejectsBadConfig) {
   TieredMemory mem(big());
   HashStore::Config hc;
   hc.n_records = 0;
-  AddressSpace space(mem, 0, 1_MiB, AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, 1_MiB, kTierOnly(Tier::kSMem));
   EXPECT_THROW(HashStore(space, hc), std::invalid_argument);
   hc.n_records = 100;
   hc.fill_factor = 1.5;
@@ -31,7 +30,7 @@ TEST(HashStore, RejectsUndersizedSpace) {
   TieredMemory mem(big());
   HashStore::Config hc;
   hc.n_records = 10000;
-  AddressSpace space(mem, 0, kPageSize, AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, kPageSize, kTierOnly(Tier::kSMem));
   EXPECT_THROW(HashStore(space, hc), std::invalid_argument);
 }
 
@@ -40,7 +39,7 @@ TEST(HashStore, EveryInsertedKeyIsFound) {
   HashStore::Config hc;
   hc.n_records = 5000;
   hc.record_size = 128;
-  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), kTierOnly(Tier::kSMem));
   HashStore store(space, hc);
   for (std::uint64_t k = 0; k < hc.n_records; ++k)
     EXPECT_GT(store.get(k), 0u) << "key " << k;  // would throw if missing
@@ -51,7 +50,7 @@ TEST(HashStore, MeanProbesNearTheory) {
   HashStore::Config hc;
   hc.n_records = 20000;
   hc.fill_factor = 0.7;
-  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), kTierOnly(Tier::kSMem));
   HashStore store(space, hc);
   // Linear probing successful search: ~0.5 * (1 + 1/(1-a)) = 2.17 at a=0.7.
   EXPECT_GT(store.mean_probes(), 1.2);
@@ -64,8 +63,8 @@ TEST(HashStore, GetLatencyReflectsTier) {
   hc.n_records = 1000;
   hc.record_misses = 10;
   // Two identical stores, one per tier.
-  AddressSpace fmem_space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kFMemOnly);
-  AddressSpace smem_space(mem, 1, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  AddressSpace fmem_space(mem, 0, HashStore::required_bytes(hc), kTierOnly(Tier::kFMem));
+  AddressSpace smem_space(mem, 1, HashStore::required_bytes(hc), kTierOnly(Tier::kSMem));
   HashStore fast(fmem_space, hc), slow(smem_space, hc);
   for (std::uint64_t k = 0; k < 50; ++k) EXPECT_LT(fast.get(k), slow.get(k));
 }
@@ -77,7 +76,7 @@ TEST(HashStore, RecordMissBudgetFullyCharged) {
   hc.record_size = 3 * kPageSize;  // record spans 4 pages
   hc.record_misses = 21;
   hc.probe_misses = 0;  // isolate the record charge
-  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), kTierOnly(Tier::kSMem));
   HashStore store(space, hc);
   EXPECT_EQ(store.get(3), 21u * 202u);
 }
@@ -86,7 +85,7 @@ TEST(HashStore, PutWritesRecord) {
   TieredMemory mem(big());
   HashStore::Config hc;
   hc.n_records = 100;
-  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), kTierOnly(Tier::kSMem));
   HashStore store(space, hc);
   EXPECT_GT(store.put(42), 0u);
 }
@@ -95,7 +94,7 @@ TEST(HashStore, MissingKeyThrows) {
   TieredMemory mem(big());
   HashStore::Config hc;
   hc.n_records = 100;
-  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), kTierOnly(Tier::kSMem));
   HashStore store(space, hc);
   EXPECT_THROW(store.get(100), std::logic_error);
 }
@@ -106,13 +105,13 @@ TEST(BTreeStore, LevelCountMatchesFanout) {
   TieredMemory mem(big());
   BTreeStore::Config bc;
   bc.n_records = 200;  // < 256 -> 1 level
-  AddressSpace s1(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  AddressSpace s1(mem, 0, BTreeStore::required_bytes(bc), kTierOnly(Tier::kSMem));
   EXPECT_EQ(BTreeStore(s1, bc).levels(), 1);
   bc.n_records = 300;  // 2 levels
-  AddressSpace s2(mem, 1, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  AddressSpace s2(mem, 1, BTreeStore::required_bytes(bc), kTierOnly(Tier::kSMem));
   EXPECT_EQ(BTreeStore(s2, bc).levels(), 2);
   bc.n_records = 100'000;  // 256^2 = 65536 < 100000 -> 3 levels
-  AddressSpace s3(mem, 2, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  AddressSpace s3(mem, 2, BTreeStore::required_bytes(bc), kTierOnly(Tier::kSMem));
   EXPECT_EQ(BTreeStore(s3, bc).levels(), 3);
 }
 
@@ -122,7 +121,7 @@ TEST(BTreeStore, LookupChargesNodesAndRecord) {
   bc.n_records = 100'000;
   bc.node_misses = 2;
   bc.record_misses = 8;
-  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), kTierOnly(Tier::kSMem));
   BTreeStore store(space, bc);
   // 3 levels x 2 + 8 record misses, all at SMem latency, 1 KiB record fits a page.
   EXPECT_EQ(store.get(12345), (3 * 2 + 8) * 202u);
@@ -132,7 +131,7 @@ TEST(BTreeStore, KeyOutOfRangeThrows) {
   TieredMemory mem(big());
   BTreeStore::Config bc;
   bc.n_records = 100;
-  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), kTierOnly(Tier::kSMem));
   BTreeStore store(space, bc);
   EXPECT_THROW(store.get(100), std::out_of_range);
 }
@@ -142,7 +141,7 @@ TEST(BTreeStore, MultipleTablesShareSpace) {
   BTreeStore::Config bc;
   bc.n_records = 1000;
   const Bytes per_table = BTreeStore::required_bytes(bc);
-  AddressSpace space(mem, 0, per_table * 3, AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, per_table * 3, kTierOnly(Tier::kSMem));
   BTreeStore t0(space, bc, 0), t1(space, bc, per_table), t2(space, bc, per_table * 2);
   EXPECT_GT(t0.get(0), 0u);
   EXPECT_GT(t2.get(999), 0u);
@@ -154,7 +153,7 @@ TEST(BTreeStore, DistinctKeysTouchDistinctLeaves) {
   TieredMemory mem(big());
   BTreeStore::Config bc;
   bc.n_records = 100'000;
-  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, BTreeStore::required_bytes(bc), kTierOnly(Tier::kSMem));
   BTreeStore store(space, bc);
   // Keys far apart must produce some different page accesses: check via the
   // total access counter after touching each.

@@ -267,6 +267,24 @@ TEST(LintSource, UnannotatedMutexMemberIsReported) {
   EXPECT_EQ(findings.size(), 1u) << dump(findings);
 }
 
+TEST(LintSource, TierLiteralsOutsideMemAndTestsAreReported) {
+  const auto findings = lint_fixture("bad_tier_literal.cc");
+  EXPECT_TRUE(has(findings, "tier-literal", 6, "Tier::kFMem")) << dump(findings);
+  EXPECT_TRUE(has(findings, "tier-literal", 7, "Tier::kSMem")) << dump(findings);
+  EXPECT_EQ(findings.size(), 2u) << dump(findings);
+}
+
+TEST(LintSource, TierLiteralsAllowedInMemSubstrateAndTests) {
+  // The same contents are clean when the file lives under src/mem/ (where
+  // the aliases are defined) or tests/ (two-tier fixtures are deliberate).
+  const std::string contents = slurp(kFixtures / "bad_tier_literal.cc");
+  for (const char* rel : {"src/mem/some_file.cc", "tests/some_test.cc"}) {
+    std::vector<Finding> out;
+    lint_source(rel, contents, real_table(), {}, out);
+    EXPECT_TRUE(out.empty()) << rel << ":\n" << dump(out);
+  }
+}
+
 TEST(LintSource, StaleInlineAllowMarkerIsReported) {
   const auto findings = lint_fixture("bad_stale_allow.cc");
   EXPECT_TRUE(has(findings, "stale-suppression", 4, "allow(nondet)")) << dump(findings);
@@ -354,7 +372,8 @@ TEST(Run, FixtureTreeProducesEveryRule) {
   for (const char* rule :
        {"metric-name", "fault-name", "cluster-name", "perf-name", "unit-suffix", "nondet",
         "unsafe-parse", "getenv", "ns-header", "context-escape", "shared-mutable",
-        "unordered-iter", "pointer-order", "guarded-by", "stale-suppression"}) {
+        "unordered-iter", "pointer-order", "tier-literal", "guarded-by",
+        "stale-suppression"}) {
     EXPECT_TRUE(std::any_of(findings.begin(), findings.end(),
                             [&](const Finding& f) { return f.rule == rule; }))
         << "rule " << rule << " never fired:\n" << dump(findings);

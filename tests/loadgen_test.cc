@@ -87,21 +87,19 @@ LCConfig queue_test_config(int threads) {
 }
 
 TEST(QueueSim, RequiresPattern) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 16;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 16);
   TieredMemory mem(mc);
-  LCWorkload wl(mem, 0, queue_test_config(1), AllocPolicy::kSMemOnly, 1);
+  LCWorkload wl(mem, 0, queue_test_config(1), kTierOnly(Tier::kSMem), 1);
   QueueSim q(wl, seconds(1), 1);
   EXPECT_THROW(q.run_until(seconds(1)), std::logic_error);
 }
 
 TEST(QueueSim, ThroughputMatchesOfferedLoadBelowSaturation) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 16;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 16);
   TieredMemory mem(mc);
-  LCWorkload wl(mem, 0, queue_test_config(1), AllocPolicy::kSMemOnly, 2);
+  LCWorkload wl(mem, 0, queue_test_config(1), kTierOnly(Tier::kSMem), 2);
   QueueSim q(wl, seconds(1), 3);
   const LoadPattern pat = LoadPattern::constant(2000.0);
   q.set_pattern(&pat, 0);
@@ -116,11 +114,10 @@ class QueueUtilizationSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(QueueUtilizationSweep, MeanSojournWithinTheoryBand) {
   const double u = GetParam();
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 16;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 16);
   TieredMemory mem(mc);
-  LCWorkload wl(mem, 0, queue_test_config(1), AllocPolicy::kSMemOnly, 4);
+  LCWorkload wl(mem, 0, queue_test_config(1), kTierOnly(Tier::kSMem), 4);
   const double s = static_cast<double>(wl.ideal_service_time(Tier::kSMem));  // ns
   const double lambda = u * 1e9 / s;
   QueueSim q(wl, seconds(100), 5);
@@ -140,11 +137,10 @@ INSTANTIATE_TEST_SUITE_P(Utilizations, QueueUtilizationSweep,
                          ::testing::Values(0.3, 0.5, 0.7, 0.9));
 
 TEST(QueueSim, LatencyDivergesAboveSaturation) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 16;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 16);
   TieredMemory mem(mc);
-  LCWorkload wl(mem, 0, queue_test_config(1), AllocPolicy::kSMemOnly, 6);
+  LCWorkload wl(mem, 0, queue_test_config(1), kTierOnly(Tier::kSMem), 6);
   const double s = static_cast<double>(wl.ideal_service_time(Tier::kSMem));
   QueueSim q(wl, seconds(1), 7);
   const LoadPattern pat = LoadPattern::constant(1.3 * 1e9 / s);  // 130% load
@@ -157,16 +153,15 @@ TEST(QueueSim, LatencyDivergesAboveSaturation) {
 }
 
 TEST(QueueSim, MultiServerOutpacesSingleServer) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 17;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 17);
   TieredMemory mem(mc);
-  LCWorkload wl1(mem, 0, queue_test_config(1), AllocPolicy::kSMemOnly, 8);
+  LCWorkload wl1(mem, 0, queue_test_config(1), kTierOnly(Tier::kSMem), 8);
   // Same per-request service time (max load scaled with the thread count),
   // eight servers instead of one.
   LCConfig cfg8 = queue_test_config(8);
   cfg8.max_load_krps *= 8;
-  LCWorkload wl8(mem, 1, cfg8, AllocPolicy::kSMemOnly, 8);
+  LCWorkload wl8(mem, 1, cfg8, kTierOnly(Tier::kSMem), 8);
   // Same offered load near single-server saturation.
   const double s = static_cast<double>(wl1.ideal_service_time(Tier::kSMem));
   const double lambda = 0.95 * 1e9 / s;
@@ -180,11 +175,10 @@ TEST(QueueSim, MultiServerOutpacesSingleServer) {
 }
 
 TEST(QueueSim, IntervalCompletionCounter) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 16;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 16);
   TieredMemory mem(mc);
-  LCWorkload wl(mem, 0, queue_test_config(1), AllocPolicy::kSMemOnly, 10);
+  LCWorkload wl(mem, 0, queue_test_config(1), kTierOnly(Tier::kSMem), 10);
   QueueSim q(wl, seconds(1), 11);
   const LoadPattern pat = LoadPattern::constant(1000.0);
   q.set_pattern(&pat, 0);
@@ -195,11 +189,10 @@ TEST(QueueSim, IntervalCompletionCounter) {
 }
 
 TEST(QueueSim, ZeroRatePatternServesNothing) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 16;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 16);
   TieredMemory mem(mc);
-  LCWorkload wl(mem, 0, queue_test_config(1), AllocPolicy::kSMemOnly, 12);
+  LCWorkload wl(mem, 0, queue_test_config(1), kTierOnly(Tier::kSMem), 12);
   QueueSim q(wl, seconds(1), 13);
   const LoadPattern pat = LoadPattern::constant(0.0);
   q.set_pattern(&pat, 0);
@@ -214,11 +207,10 @@ namespace mtat {
 namespace {
 
 TEST(QueueSim, PatternSwapMidRunTakesEffect) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 16;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 16);
   TieredMemory mem(mc);
-  LCWorkload wl(mem, 0, queue_test_config(1), AllocPolicy::kSMemOnly, 30);
+  LCWorkload wl(mem, 0, queue_test_config(1), kTierOnly(Tier::kSMem), 30);
   QueueSim q(wl, seconds(1), 31);
   const LoadPattern slow = LoadPattern::constant(500.0);
   const LoadPattern fast = LoadPattern::constant(4000.0);

@@ -13,27 +13,32 @@ namespace mtat {
 namespace {
 
 TieredMemory::Config small_config(std::uint64_t fmem = 16, std::uint64_t smem = 64) {
-  TieredMemory::Config c;
-  c.fmem_pages = fmem;
-  c.smem_pages = smem;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(fmem, smem);
   return c;
 }
 
 // -------------------------------------------------------- TieredMemory ----
 
 TEST(TieredMemory, RejectsDegenerateConfigs) {
-  TieredMemory::Config c;  // zero capacity
+  TieredMemory::Config c;  // no tiers at all
   EXPECT_THROW(TieredMemory{c}, std::invalid_argument);
-  c.fmem_pages = 1;
-  c.smem_pages = 1;
-  c.fmem_latency = 300;
-  c.smem_latency = 100;  // inverted tiers
+  c = TieredMemory::Config::two_tier(0, 0);  // zero capacity
+  EXPECT_THROW(TieredMemory{c}, std::invalid_argument);
+  c = TieredMemory::Config::two_tier(1, 1, /*fmem_latency=*/300,
+                                     /*smem_latency=*/100);  // inverted tiers
+  EXPECT_THROW(TieredMemory{c}, std::invalid_argument);
+  c = TieredMemory::Config::two_tier(1, 1);
+  c.tiers.push_back(c.tiers.back());  // one tier per slot up to the cap...
+  for (TierId t = 3; t < kMaxTiers; ++t) c.tiers.push_back(c.tiers.back());
+  EXPECT_NO_THROW(TieredMemory{c});
+  c.tiers.push_back(c.tiers.back());  // ...and one past it
   EXPECT_THROW(TieredMemory{c}, std::invalid_argument);
 }
 
 TEST(TieredMemory, FMemFirstFillsFastTierThenSpills) {
   TieredMemory mem(small_config());
-  const auto pages = mem.allocate(0, 20, AllocPolicy::kFMemFirst);
+  const auto pages = mem.allocate(0, 20, kFastestFirst);
   EXPECT_EQ(pages.size(), 20u);
   EXPECT_EQ(mem.workload_pages(0, Tier::kFMem), 16u);
   EXPECT_EQ(mem.workload_pages(0, Tier::kSMem), 4u);
@@ -42,25 +47,25 @@ TEST(TieredMemory, FMemFirstFillsFastTierThenSpills) {
 
 TEST(TieredMemory, SMemOnlyNeverTouchesFMem) {
   TieredMemory mem(small_config());
-  mem.allocate(1, 10, AllocPolicy::kSMemOnly);
+  mem.allocate(1, 10, kTierOnly(Tier::kSMem));
   EXPECT_EQ(mem.workload_pages(1, Tier::kFMem), 0u);
   EXPECT_EQ(mem.used(Tier::kFMem), 0u);
 }
 
 TEST(TieredMemory, FMemOnlyThrowsWhenFull) {
   TieredMemory mem(small_config());
-  mem.allocate(0, 10, AllocPolicy::kFMemOnly);
-  EXPECT_THROW(mem.allocate(1, 10, AllocPolicy::kFMemOnly), std::runtime_error);
+  mem.allocate(0, 10, kTierOnly(Tier::kFMem));
+  EXPECT_THROW(mem.allocate(1, 10, kTierOnly(Tier::kFMem)), std::runtime_error);
 }
 
 TEST(TieredMemory, AllocationBeyondTotalCapacityThrows) {
   TieredMemory mem(small_config(4, 4));
-  EXPECT_THROW(mem.allocate(0, 9, AllocPolicy::kFMemFirst), std::runtime_error);
+  EXPECT_THROW(mem.allocate(0, 9, kFastestFirst), std::runtime_error);
 }
 
 TEST(TieredMemory, TierAndOwnerQueries) {
   TieredMemory mem(small_config());
-  const auto a = mem.allocate(2, 3, AllocPolicy::kFMemFirst);
+  const auto a = mem.allocate(2, 3, kFastestFirst);
   EXPECT_EQ(mem.owner_of(a[0]), 2);
   EXPECT_EQ(mem.tier_of(a[0]), Tier::kFMem);
   EXPECT_THROW(mem.tier_of(999), std::out_of_range);
@@ -70,13 +75,13 @@ TEST(TieredMemory, LatencyPerTier) {
   TieredMemory mem(small_config());
   EXPECT_EQ(mem.latency(Tier::kFMem), 73u);
   EXPECT_EQ(mem.latency(Tier::kSMem), 202u);
-  const auto p = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 1, kTierOnly(Tier::kSMem));
   EXPECT_EQ(mem.access_latency(p[0]), 202u);
 }
 
 TEST(TieredMemory, MigrateMovesAndCounts) {
   TieredMemory mem(small_config());
-  const auto p = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 1, kTierOnly(Tier::kSMem));
   EXPECT_TRUE(mem.migrate(p[0], Tier::kFMem));
   EXPECT_EQ(mem.tier_of(p[0]), Tier::kFMem);
   EXPECT_EQ(mem.total_migrations(), 1u);
@@ -88,16 +93,16 @@ TEST(TieredMemory, MigrateMovesAndCounts) {
 
 TEST(TieredMemory, MigrateFailsWhenDestinationFull) {
   TieredMemory mem(small_config(2, 8));
-  mem.allocate(0, 2, AllocPolicy::kFMemOnly);
-  const auto p = mem.allocate(1, 1, AllocPolicy::kSMemOnly);
+  mem.allocate(0, 2, kTierOnly(Tier::kFMem));
+  const auto p = mem.allocate(1, 1, kTierOnly(Tier::kSMem));
   EXPECT_FALSE(mem.migrate(p[0], Tier::kFMem));
   EXPECT_EQ(mem.tier_of(p[0]), Tier::kSMem);
 }
 
 TEST(TieredMemory, ExchangeSwapsAcrossFullTiers) {
   TieredMemory mem(small_config(1, 1));
-  const auto f = mem.allocate(0, 1, AllocPolicy::kFMemOnly);
-  const auto s = mem.allocate(1, 1, AllocPolicy::kSMemOnly);
+  const auto f = mem.allocate(0, 1, kTierOnly(Tier::kFMem));
+  const auto s = mem.allocate(1, 1, kTierOnly(Tier::kSMem));
   mem.exchange(s[0], f[0]);
   EXPECT_EQ(mem.tier_of(s[0]), Tier::kFMem);
   EXPECT_EQ(mem.tier_of(f[0]), Tier::kSMem);
@@ -106,13 +111,13 @@ TEST(TieredMemory, ExchangeSwapsAcrossFullTiers) {
 
 TEST(TieredMemory, ExchangeSameTierThrows) {
   TieredMemory mem(small_config());
-  const auto p = mem.allocate(0, 2, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 2, kTierOnly(Tier::kSMem));
   EXPECT_THROW(mem.exchange(p[0], p[1]), std::logic_error);
 }
 
 TEST(TieredMemory, UsageRatioTracksPlacement) {
   TieredMemory mem(small_config(5, 100));
-  mem.allocate(0, 10, AllocPolicy::kFMemFirst);
+  mem.allocate(0, 10, kFastestFirst);
   EXPECT_DOUBLE_EQ(mem.fmem_usage_ratio(0), 0.5);
   mem.migrate(mem.pages_of(0)[0], Tier::kSMem);
   EXPECT_DOUBLE_EQ(mem.fmem_usage_ratio(0), 0.4);
@@ -120,16 +125,16 @@ TEST(TieredMemory, UsageRatioTracksPlacement) {
 
 /// Test adapter: a MigrationListener that forwards to a lambda.
 struct FnListener : MigrationListener {
-  std::function<void(PageId, Tier, Tier)> fn;
-  explicit FnListener(std::function<void(PageId, Tier, Tier)> f) : fn(std::move(f)) {}
-  void on_migration(PageId p, Tier from, Tier to) override { fn(p, from, to); }
+  std::function<void(PageId, TierId, TierId)> fn;
+  explicit FnListener(std::function<void(PageId, TierId, TierId)> f) : fn(std::move(f)) {}
+  void on_migration(PageId p, TierId from, TierId to) override { fn(p, from, to); }
 };
 
 TEST(TieredMemory, MigrationListenerFires) {
   TieredMemory mem(small_config());
-  const auto p = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 1, kTierOnly(Tier::kSMem));
   int calls = 0;
-  FnListener listener([&](PageId pid, Tier from, Tier to) {
+  FnListener listener([&](PageId pid, TierId from, TierId to) {
     ++calls;
     EXPECT_EQ(pid, p[0]);
     EXPECT_EQ(from, Tier::kSMem);
@@ -142,8 +147,8 @@ TEST(TieredMemory, MigrationListenerFires) {
 
 TEST(TieredMemory, CapacityConservationUnderRandomChurn) {
   TieredMemory mem(small_config(32, 128));
-  mem.allocate(0, 64, AllocPolicy::kFMemFirst);
-  mem.allocate(1, 64, AllocPolicy::kSMemOnly);
+  mem.allocate(0, 64, kFastestFirst);
+  mem.allocate(1, 64, kTierOnly(Tier::kSMem));
   Rng rng(5);
   for (int i = 0; i < 5000; ++i) {
     const auto p = static_cast<PageId>(rng.next_below(mem.page_count()));
@@ -205,7 +210,7 @@ TEST(MigrationEngine, Eq1BoundIsHalfBandwidth) {
 
 TEST(MigrationEngine, MovesDebitBudget) {
   TieredMemory mem(small_config());
-  const auto s = mem.allocate(0, 4, AllocPolicy::kSMemOnly);
+  const auto s = mem.allocate(0, 4, kTierOnly(Tier::kSMem));
   MigrationEngine eng(mem, {static_cast<double>(kPageSize) * 3});
   eng.begin_interval(seconds(1));  // 3 pages of budget
   EXPECT_TRUE(eng.promote(s[0]));
@@ -218,8 +223,8 @@ TEST(MigrationEngine, MovesDebitBudget) {
 
 TEST(MigrationEngine, ExchangeCostsTwoPages) {
   TieredMemory mem(small_config(1, 4));
-  const auto f = mem.allocate(0, 1, AllocPolicy::kFMemOnly);
-  const auto s = mem.allocate(1, 2, AllocPolicy::kSMemOnly);
+  const auto f = mem.allocate(0, 1, kTierOnly(Tier::kFMem));
+  const auto s = mem.allocate(1, 2, kTierOnly(Tier::kSMem));
   MigrationEngine eng(mem, {static_cast<double>(kPageSize) * 3});
   eng.begin_interval(seconds(1));
   EXPECT_TRUE(eng.exchange(s[0], f[0]));
@@ -229,7 +234,7 @@ TEST(MigrationEngine, ExchangeCostsTwoPages) {
 
 TEST(MigrationEngine, ExchangeValidatesTiers) {
   TieredMemory mem(small_config());
-  const auto s = mem.allocate(0, 2, AllocPolicy::kSMemOnly);
+  const auto s = mem.allocate(0, 2, kTierOnly(Tier::kSMem));
   MigrationEngine eng(mem, {1e9});
   eng.begin_interval(seconds(1));
   EXPECT_FALSE(eng.exchange(s[0], s[1]));  // demote target not in FMem
@@ -237,7 +242,7 @@ TEST(MigrationEngine, ExchangeValidatesTiers) {
 
 TEST(MigrationEngine, DemoteSymmetric) {
   TieredMemory mem(small_config());
-  const auto f = mem.allocate(0, 1, AllocPolicy::kFMemOnly);
+  const auto f = mem.allocate(0, 1, kTierOnly(Tier::kFMem));
   MigrationEngine eng(mem, {1e9});
   eng.begin_interval(seconds(1));
   EXPECT_TRUE(eng.demote(f[0]));
@@ -248,12 +253,12 @@ TEST(MigrationEngine, DemoteSymmetric) {
 
 TEST(AddressSpace, RejectsZeroSize) {
   TieredMemory mem(small_config());
-  EXPECT_THROW(AddressSpace(mem, 0, 0, AllocPolicy::kSMemOnly), std::invalid_argument);
+  EXPECT_THROW(AddressSpace(mem, 0, 0, kTierOnly(Tier::kSMem)), std::invalid_argument);
 }
 
 TEST(AddressSpace, TranslationIsPageGranular) {
   TieredMemory mem(small_config(16, 64));
-  AddressSpace space(mem, 0, 3 * kPageSize, AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, 3 * kPageSize, kTierOnly(Tier::kSMem));
   EXPECT_EQ(space.num_pages(), 3u);
   EXPECT_EQ(space.page_at(0), space.page_at(kPageSize - 1));
   EXPECT_NE(space.page_at(0), space.page_at(kPageSize));
@@ -262,21 +267,21 @@ TEST(AddressSpace, TranslationIsPageGranular) {
 
 TEST(AddressSpace, AccessChargesTierLatency) {
   TieredMemory mem(small_config(1, 64));
-  AddressSpace space(mem, 0, 2 * kPageSize, AllocPolicy::kFMemFirst);
+  AddressSpace space(mem, 0, 2 * kPageSize, kFastestFirst);
   EXPECT_EQ(space.access(0), 73u);           // page 0 in FMem
   EXPECT_EQ(space.access(kPageSize), 202u);  // page 1 spilled to SMem
 }
 
 TEST(AddressSpace, AccessPageNScalesLatency) {
   TieredMemory mem(small_config(0, 64));
-  AddressSpace space(mem, 0, kPageSize, AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, kPageSize, kTierOnly(Tier::kSMem));
   EXPECT_EQ(space.access_page_n(0, 10), 2020u);
   EXPECT_EQ(space.total_accesses(), 10u);
 }
 
 TEST(AddressSpace, RangeAccessTouchesOverlappingPages) {
   TieredMemory mem(small_config(0, 64));
-  AddressSpace space(mem, 0, 4 * kPageSize, AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, 4 * kPageSize, kTierOnly(Tier::kSMem));
   // Range spanning two pages charges both.
   EXPECT_EQ(space.access_range(kPageSize - 10, 20), 2 * 202u);
   // Zero-length range touches the single containing page.
@@ -295,7 +300,7 @@ class CountingObserver : public AccessObserver {
 
 TEST(AddressSpace, SamplingPeriodThins) {
   TieredMemory mem(small_config(0, 64));
-  AddressSpace space(mem, 3, 8 * kPageSize, AllocPolicy::kSMemOnly, /*sample_period=*/4);
+  AddressSpace space(mem, 3, 8 * kPageSize, kTierOnly(Tier::kSMem), /*sample_period=*/4);
   CountingObserver obs;
   space.set_observer(&obs);
   for (int i = 0; i < 100; ++i) space.access(0);
@@ -305,7 +310,7 @@ TEST(AddressSpace, SamplingPeriodThins) {
 
 TEST(AddressSpace, AccessPageNEmitsProportionalSamples) {
   TieredMemory mem(small_config(0, 64));
-  AddressSpace space(mem, 0, kPageSize, AllocPolicy::kSMemOnly, /*sample_period=*/10);
+  AddressSpace space(mem, 0, kPageSize, kTierOnly(Tier::kSMem), /*sample_period=*/10);
   CountingObserver obs;
   space.set_observer(&obs);
   space.access_page_n(0, 95);
@@ -322,22 +327,22 @@ namespace {
 
 TEST(TieredMemory, ExchangeNotifiesBothPages) {
   TieredMemory mem(small_config(1, 1));
-  const auto f = mem.allocate(0, 1, AllocPolicy::kFMemOnly);
-  const auto s = mem.allocate(1, 1, AllocPolicy::kSMemOnly);
-  std::vector<std::pair<PageId, Tier>> events;
-  FnListener listener([&](PageId p, Tier, Tier to) { events.push_back({p, to}); });
+  const auto f = mem.allocate(0, 1, kTierOnly(Tier::kFMem));
+  const auto s = mem.allocate(1, 1, kTierOnly(Tier::kSMem));
+  std::vector<std::pair<PageId, TierId>> events;
+  FnListener listener([&](PageId p, TierId, TierId to) { events.push_back({p, to}); });
   mem.add_migration_listener(&listener);
   mem.exchange(s[0], f[0]);
   ASSERT_EQ(events.size(), 2u);
-  EXPECT_EQ(events[0], (std::pair<PageId, Tier>{s[0], Tier::kFMem}));
-  EXPECT_EQ(events[1], (std::pair<PageId, Tier>{f[0], Tier::kSMem}));
+  EXPECT_EQ(events[0], (std::pair<PageId, TierId>{s[0], Tier::kFMem}));
+  EXPECT_EQ(events[1], (std::pair<PageId, TierId>{f[0], Tier::kSMem}));
 }
 
 TEST(MigrationEngine, BudgetPersistsAcrossFailedMoves) {
   // A refused move (destination full) must not burn budget.
   TieredMemory mem(small_config(1, 8));
-  mem.allocate(0, 1, AllocPolicy::kFMemOnly);
-  const auto s = mem.allocate(1, 2, AllocPolicy::kSMemOnly);
+  mem.allocate(0, 1, kTierOnly(Tier::kFMem));
+  const auto s = mem.allocate(1, 2, kTierOnly(Tier::kSMem));
   MigrationEngine eng(mem, {static_cast<double>(kPageSize) * 10});
   eng.begin_interval(seconds(1));
   EXPECT_FALSE(eng.promote(s[0]));  // FMem full

@@ -15,9 +15,8 @@ struct Harness {
 
   Harness()
       : mem([] {
-          TieredMemory::Config c;
-          c.fmem_pages = 1000;
-          c.smem_pages = 8000;
+          TieredMemory::Config c =
+              TieredMemory::Config::two_tier(1000, 8000);
           return c;
         }()),
         engine(mem, {1e12}),
@@ -25,9 +24,9 @@ struct Harness {
     ctx.mem = &mem;
     ctx.engine = &engine;
     ctx.sampler = &sampler;
-    mem.allocate(0, 1500, AllocPolicy::kSMemOnly);  // LC A
-    mem.allocate(1, 1500, AllocPolicy::kSMemOnly);  // LC B
-    mem.allocate(2, 1500, AllocPolicy::kFMemFirst); // BE
+    mem.allocate(0, 1500, kTierOnly(Tier::kSMem));  // LC A
+    mem.allocate(1, 1500, kTierOnly(Tier::kSMem));  // LC B
+    mem.allocate(2, 1500, kFastestFirst); // BE
     ctx.tenants = {{0, true}, {1, true}, {2, false}};
   }
 

@@ -97,7 +97,7 @@ class RefHotness : public MigrationListener {
                : -1;
   }
 
-  std::vector<PageId> pull(Tier tier, std::size_t max_n, bool from_hot) const {
+  std::vector<PageId> pull(TierId tier, std::size_t max_n, bool from_hot) const {
     std::vector<PageId> out;
     const auto& tier_bins = bins_[static_cast<int>(tier)];
     const auto collect = [&](int b) {
@@ -118,7 +118,7 @@ class RefHotness : public MigrationListener {
     return out;
   }
 
-  const std::vector<PageId>& bin_pages(Tier tier, int b) const {
+  const std::vector<PageId>& bin_pages(TierId tier, int b) const {
     return bins_[static_cast<int>(tier)][b];
   }
   std::size_t tracked_pages() const { return tracked_; }
@@ -153,7 +153,7 @@ class RefHotness : public MigrationListener {
     entries_[v[pos]].pos = pos;
     v.pop_back();
   }
-  void on_migration(PageId p, Tier, Tier to) override {
+  void on_migration(PageId p, TierId, TierId to) override {
     if (p >= entries_.size()) return;
     Entry& e = entries_[p];
     if (!e.tracked) return;
@@ -170,14 +170,14 @@ class RefHotness : public MigrationListener {
   std::uint32_t epoch_ = 0;
 };
 
-constexpr Tier kTiers[2] = {Tier::kFMem, Tier::kSMem};
+constexpr TierId kTiers[2] = {Tier::kFMem, Tier::kSMem};
 
 void expect_equivalent(const RefHotness& ref, const PageHotness& soa, std::uint64_t page_count,
                        const char* where) {
   SCOPED_TRACE(where);
   ASSERT_EQ(ref.tracked_pages(), soa.tracked_pages());
   ASSERT_EQ(ref.age_epoch(), soa.age_epoch());
-  for (Tier t : kTiers) {
+  for (TierId t : kTiers) {
     for (int b = 0; b < PageHotness::kBins; ++b) {
       SCOPED_TRACE(testing::Message() << "tier " << static_cast<int>(t) << " bin " << b);
       ASSERT_EQ(ref.bin_pages(t, b), soa.bin_pages(t, b));
@@ -210,14 +210,13 @@ struct Harness {
 
   Harness(WorkloadId filter, std::uint64_t seed)
       : mem(config()), ref(mem, filter), soa(mem, filter), rng(seed) {
-    mem.allocate(0, kPages / 2, AllocPolicy::kFMemFirst);
-    mem.allocate(1, kPages / 2, AllocPolicy::kFMemFirst);
+    mem.allocate(0, kPages / 2, kFastestFirst);
+    mem.allocate(1, kPages / 2, kFastestFirst);
   }
 
   static TieredMemory::Config config() {
-    TieredMemory::Config c;
-    c.fmem_pages = kPages / 4;
-    c.smem_pages = kPages;
+    TieredMemory::Config c =
+        TieredMemory::Config::two_tier(kPages / 4, kPages);
     return c;
   }
 
@@ -233,7 +232,7 @@ struct Harness {
       soa.record_access(w, p);
     } else if (op < 90) {
       const PageId p = static_cast<PageId>(rng.next_below(kPages));
-      const Tier to = rng.next_below(2) == 0 ? Tier::kFMem : Tier::kSMem;
+      const TierId to = rng.next_below(2) == 0 ? Tier::kFMem : Tier::kSMem;
       mem.migrate(p, to);  // both histograms observe via the listener
     } else if (op < 96) {
       // Exchange two pages in different tiers, when such a pair exists.

@@ -20,9 +20,8 @@ struct Harness {
 
   explicit Harness(std::uint64_t fmem = 64, std::uint64_t smem = 512)
       : mem([&] {
-          TieredMemory::Config c;
-          c.fmem_pages = fmem;
-          c.smem_pages = smem;
+          TieredMemory::Config c =
+              TieredMemory::Config::two_tier(fmem, smem);
           return c;
         }()),
         engine(mem, {1e12}),
@@ -49,8 +48,8 @@ TEST(Memtis, HotBePagesDisplaceColdLcPages) {
   // The paper's core phenomenon: LC fills FMem first, BE pages become hot,
   // frequency-blind management swaps the idle LC data out.
   Harness h;
-  h.add_tenant(0, true, 64, AllocPolicy::kFMemFirst);   // LC owns all of FMem
-  h.add_tenant(1, false, 200, AllocPolicy::kSMemOnly);  // BE in SMem
+  h.add_tenant(0, true, 64, kFastestFirst);   // LC owns all of FMem
+  h.add_tenant(1, false, 200, kTierOnly(Tier::kSMem));  // BE in SMem
   MemtisPolicy memtis(h.ctx);
   const auto& be_pages = h.mem.pages_of(1);
   for (int round = 0; round < 4; ++round)
@@ -63,8 +62,8 @@ TEST(Memtis, HotBePagesDisplaceColdLcPages) {
 
 TEST(Memtis, DoesNotSwapEquallyColdPages) {
   Harness h;
-  h.add_tenant(0, true, 64, AllocPolicy::kFMemFirst);
-  h.add_tenant(1, false, 64, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, true, 64, kFastestFirst);
+  h.add_tenant(1, false, 64, kTierOnly(Tier::kSMem));
   MemtisPolicy memtis(h.ctx);
   h.tick(memtis);  // nobody is hot: nothing should move
   EXPECT_EQ(h.mem.workload_pages(0, Tier::kFMem), 64u);
@@ -73,7 +72,7 @@ TEST(Memtis, DoesNotSwapEquallyColdPages) {
 
 TEST(Memtis, FillsFreeFMemWithHottestPages) {
   Harness h;
-  h.add_tenant(0, false, 100, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, false, 100, kTierOnly(Tier::kSMem));
   MemtisPolicy memtis(h.ctx);
   const auto& pages = h.mem.pages_of(0);
   for (int i = 0; i < 10; ++i) h.sampler.on_sampled_access(0, pages[5], AccessKind::kRead);
@@ -83,7 +82,7 @@ TEST(Memtis, FillsFreeFMemWithHottestPages) {
 
 TEST(Memtis, CoolingHalvesCounts) {
   Harness h;
-  h.add_tenant(0, false, 10, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, false, 10, kTierOnly(Tier::kSMem));
   MemtisPolicy::Options opt;
   opt.cooling_period_intervals = 2;
   MemtisPolicy memtis(h.ctx, opt);
@@ -97,9 +96,9 @@ TEST(Memtis, CoolingHalvesCounts) {
 
 TEST(Memtis, RespectsMigrationBudget) {
   Harness h;
-  h.mem.allocate(0, 64, AllocPolicy::kFMemFirst);
+  h.mem.allocate(0, 64, kFastestFirst);
   h.ctx.tenants.push_back(TenantInfo{0, true});
-  h.add_tenant(1, false, 200, AllocPolicy::kSMemOnly);
+  h.add_tenant(1, false, 200, kTierOnly(Tier::kSMem));
   MemtisPolicy memtis(h.ctx);
   const auto& be = h.mem.pages_of(1);
   for (int r = 0; r < 4; ++r)
@@ -121,7 +120,7 @@ TEST(Memtis, RespectsMigrationBudget) {
 
 TEST(Tpp, TwoTouchPromotes) {
   Harness h;
-  h.add_tenant(0, false, 100, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, false, 100, kTierOnly(Tier::kSMem));
   TppPolicy tpp(h.ctx);
   const PageId p = h.mem.pages_of(0)[3];
   h.sampler.on_sampled_access(0, p, AccessKind::kRead);  // first touch: shadow list
@@ -134,7 +133,7 @@ TEST(Tpp, TwoTouchPromotes) {
 
 TEST(Tpp, SecondTouchOutsideWindowDoesNotPromote) {
   Harness h;
-  h.add_tenant(0, false, 100, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, false, 100, kTierOnly(Tier::kSMem));
   TppPolicy::Options opt;
   opt.active_window_ticks = 2;
   TppPolicy tpp(h.ctx, opt);
@@ -148,7 +147,7 @@ TEST(Tpp, SecondTouchOutsideWindowDoesNotPromote) {
 
 TEST(Tpp, WatermarkDemotionKeepsHeadroom) {
   Harness h(100, 1000);
-  h.add_tenant(0, false, 100, AllocPolicy::kFMemOnly);  // FMem completely full
+  h.add_tenant(0, false, 100, kTierOnly(Tier::kFMem));  // FMem completely full
   TppPolicy::Options opt;
   opt.free_watermark = 0.10;
   TppPolicy tpp(h.ctx, opt);
@@ -158,7 +157,7 @@ TEST(Tpp, WatermarkDemotionKeepsHeadroom) {
 
 TEST(Tpp, ReferencedPagesSurviveTheClock) {
   Harness h(100, 1000);
-  h.add_tenant(0, false, 100, AllocPolicy::kFMemOnly);
+  h.add_tenant(0, false, 100, kTierOnly(Tier::kFMem));
   TppPolicy::Options opt;
   opt.free_watermark = 0.05;
   TppPolicy tpp(h.ctx, opt);
@@ -175,8 +174,8 @@ TEST(Tpp, ReferencedPagesSurviveTheClock) {
 
 TEST(Tpp, PromotionWaitsForFreeHeadroom) {
   Harness h(10, 100);
-  h.add_tenant(0, false, 10, AllocPolicy::kFMemOnly);
-  h.add_tenant(1, false, 50, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, false, 10, kTierOnly(Tier::kFMem));
+  h.add_tenant(1, false, 50, kTierOnly(Tier::kSMem));
   TppPolicy tpp(h.ctx);
   const PageId hot = h.mem.pages_of(1)[0];
   h.sampler.on_sampled_access(1, hot, AccessKind::kRead);
@@ -207,7 +206,7 @@ namespace {
 
 TEST(Damon, PromotesDenseRegionsWholesale) {
   Harness h(64, 1024);
-  h.add_tenant(0, false, 512, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, false, 512, kTierOnly(Tier::kSMem));
   DamonPolicy damon(h.ctx);
   // Hammer a 16-page range; after an aggregation the policy should pull the
   // covering region into FMem.
@@ -231,8 +230,8 @@ TEST(Damon, SparseLcLosesToDenseBe) {
   // accesses are spread thin measures low region density everywhere and is
   // displaced by a BE tenant with a dense core.
   Harness h(64, 2048);
-  h.add_tenant(0, true, 256, AllocPolicy::kFMemFirst);   // LC holds FMem first
-  h.add_tenant(1, false, 256, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, true, 256, kFastestFirst);   // LC holds FMem first
+  h.add_tenant(1, false, 256, kTierOnly(Tier::kSMem));
   DamonPolicy damon(h.ctx);
   Rng rng(5);
   for (int w = 0; w < 8; ++w) {
@@ -259,8 +258,8 @@ namespace {
 
 TEST(MemtisHp, WellUtilizedHotBlockPromotesWholesale) {
   Harness h(2048, 8192);
-  h.add_tenant(0, false, 512, AllocPolicy::kFMemFirst);   // fills 1 block's worth
-  h.add_tenant(1, false, 2048, AllocPolicy::kSMemOnly);   // 4 blocks in SMem
+  h.add_tenant(0, false, 512, kFastestFirst);   // fills 1 block's worth
+  h.add_tenant(1, false, 2048, kTierOnly(Tier::kSMem));   // 4 blocks in SMem
   MemtisHpPolicy::Options opt;
   opt.util_threshold = 0.5;
   MemtisHpPolicy hp(h.ctx, opt);
@@ -282,7 +281,7 @@ TEST(MemtisHp, WellUtilizedHotBlockPromotesWholesale) {
 
 TEST(MemtisHp, SkewedBlockIsSplitNotBulkMoved) {
   Harness h(2048, 8192);
-  h.add_tenant(0, false, 2048, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, false, 2048, kTierOnly(Tier::kSMem));
   MemtisHpPolicy::Options opt;
   opt.util_threshold = 0.5;
   MemtisHpPolicy hp(h.ctx, opt);
@@ -301,7 +300,7 @@ TEST(MemtisHp, SkewedBlockIsSplitNotBulkMoved) {
 
 TEST(MemtisHp, WindowStateResetsEachInterval) {
   Harness h(2048, 8192);
-  h.add_tenant(0, false, 1024, AllocPolicy::kSMemOnly);
+  h.add_tenant(0, false, 1024, kTierOnly(Tier::kSMem));
   MemtisHpPolicy hp(h.ctx);
   for (std::size_t i = 0; i < 300; ++i)
     h.sampler.on_sampled_access(0, h.mem.pages_of(0)[i], AccessKind::kRead);

@@ -72,9 +72,8 @@ TEST_P(ChurnSweep, InvariantsHoldUnderRandomQuotaPlans) {
   // Fire arbitrary (valid) quota plans at PP-E while telemetry streams in;
   // after every settling period the fast tier must be exactly quota-shaped
   // and global page accounting intact.
-  TieredMemory::Config mc;
-  mc.fmem_pages = 128;
-  mc.smem_pages = 2048;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(128, 2048);
   TieredMemory mem(mc);
   MigrationEngine engine(mem, {1e12});
   AccessSampler sampler(mem);
@@ -82,9 +81,9 @@ TEST_P(ChurnSweep, InvariantsHoldUnderRandomQuotaPlans) {
   ctx.mem = &mem;
   ctx.engine = &engine;
   ctx.sampler = &sampler;
-  mem.allocate(0, 300, AllocPolicy::kFMemFirst);
-  mem.allocate(1, 300, AllocPolicy::kFMemFirst);
-  mem.allocate(2, 300, AllocPolicy::kSMemOnly);
+  mem.allocate(0, 300, kFastestFirst);
+  mem.allocate(1, 300, kFastestFirst);
+  mem.allocate(2, 300, kTierOnly(Tier::kSMem));
   ctx.tenants = {{0, true}, {1, false}, {2, false}};
   PartitionEnforcer ppe(ctx, {});
   Rng rng(GetParam());
@@ -173,9 +172,8 @@ TEST(FailureInjection, ZeroMigrationBudgetFreezesPlacementNotTheSim) {
 }
 
 TEST(FailureInjection, OnePageFMemPlatform) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 16;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 16);
   TieredMemory mem(mc);
   MigrationEngine engine(mem, {1e12});
   AccessSampler sampler(mem);
@@ -183,8 +181,8 @@ TEST(FailureInjection, OnePageFMemPlatform) {
   ctx.mem = &mem;
   ctx.engine = &engine;
   ctx.sampler = &sampler;
-  mem.allocate(0, 100, AllocPolicy::kFMemFirst);
-  mem.allocate(1, 100, AllocPolicy::kSMemOnly);
+  mem.allocate(0, 100, kFastestFirst);
+  mem.allocate(1, 100, kTierOnly(Tier::kSMem));
   ctx.tenants = {{0, true}, {1, false}};
   MemtisPolicy memtis(ctx);
   for (int i = 0; i < 50; ++i) {

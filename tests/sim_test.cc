@@ -137,7 +137,7 @@ TEST(Experiments, LatencyCurveShowsTheKnee) {
   LCConfig lc = redis_config();
   lc.n_records = 30'000;
   const auto curve =
-      lc_latency_curve(lc, 1.0, {0.5, 0.9, 1.3}, seconds(10), 3);
+      experiments::lc_latency_curve(lc, 1.0, {0.5, 0.9, 1.3}, seconds(10), 3);
   ASSERT_EQ(curve.size(), 3u);
   // Below the knee: low latency, achieved ~= offered. Above: divergence.
   EXPECT_LT(curve[0].p99_ms, static_cast<double>(lc.slo) / 1e6);
@@ -150,8 +150,8 @@ TEST(Experiments, LessFMemMeansEarlierKnee) {
   LCConfig lc = redis_config();
   lc.n_records = 30'000;
   const std::vector<double> loads = {0.95};
-  const auto full = lc_latency_curve(lc, 1.0, loads, seconds(10), 4);
-  const auto none = lc_latency_curve(lc, 0.0, loads, seconds(10), 4);
+  const auto full = experiments::lc_latency_curve(lc, 1.0, loads, seconds(10), 4);
+  const auto none = experiments::lc_latency_curve(lc, 0.0, loads, seconds(10), 4);
   // 95% of max load: fine with full FMem, saturated with none.
   EXPECT_LT(full[0].p99_ms, static_cast<double>(lc.slo) / 1e6);
   EXPECT_GT(none[0].p99_ms, full[0].p99_ms * 3);
@@ -160,20 +160,20 @@ TEST(Experiments, LessFMemMeansEarlierKnee) {
 TEST(Experiments, FindMaxLoadBisectsMonotonePredicate) {
   const double knee = 7.3;
   const double found =
-      find_max_load([&](double krps) { return krps <= knee; }, 1.0, 16.0, 20);
+      experiments::find_max_load([&](double krps) { return krps <= knee; }, 1.0, 16.0, 20);
   EXPECT_NEAR(found, knee, 0.01);
   // Unsustainable even at the floor: returns the floor.
-  EXPECT_DOUBLE_EQ(find_max_load([](double) { return false; }, 2.0, 16.0), 2.0);
+  EXPECT_DOUBLE_EQ(experiments::find_max_load([](double) { return false; }, 2.0, 16.0), 2.0);
 }
 
 TEST(Experiments, ProbeSloSustainableAgreesWithCapacity) {
   SimConfig cfg = tiny_config(PolicyKind::kFmemAll);
   ColocationSim sim(cfg);
-  EXPECT_TRUE(probe_slo_sustainable(sim, cfg.lc.max_load_krps * 0.5, seconds(2), seconds(6)));
+  EXPECT_TRUE(experiments::probe_slo_sustainable(sim, cfg.lc.max_load_krps * 0.5, seconds(2), seconds(6)));
   SimConfig cfg2 = tiny_config(PolicyKind::kFmemAll);
   ColocationSim sim2(cfg2);
   EXPECT_FALSE(
-      probe_slo_sustainable(sim2, cfg.lc.max_load_krps * 1.4, seconds(2), seconds(6)));
+      experiments::probe_slo_sustainable(sim2, cfg.lc.max_load_krps * 1.4, seconds(2), seconds(6)));
 }
 
 TEST(ColocationSim, VtmmAllocatesProportionallyToHotSets) {

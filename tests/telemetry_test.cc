@@ -10,9 +10,8 @@ namespace mtat {
 namespace {
 
 TieredMemory::Config cfg(std::uint64_t f = 8, std::uint64_t s = 64) {
-  TieredMemory::Config c;
-  c.fmem_pages = f;
-  c.smem_pages = s;
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(f, s);
   return c;
 }
 
@@ -38,7 +37,7 @@ TEST(PageHotnessBinRule, HalvingShiftsExactlyOneBin) {
 
 TEST(PageHotness, CountsAccumulate) {
   TieredMemory mem(cfg());
-  const auto p = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 1, kTierOnly(Tier::kSMem));
   PageHotness h(mem);
   for (int i = 0; i < 5; ++i) h.record_access(0, p[0]);
   EXPECT_EQ(h.count_of(p[0]), 5u);
@@ -48,8 +47,8 @@ TEST(PageHotness, CountsAccumulate) {
 
 TEST(PageHotness, WorkloadFilterIgnoresOthers) {
   TieredMemory mem(cfg());
-  const auto a = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
-  const auto b = mem.allocate(1, 1, AllocPolicy::kSMemOnly);
+  const auto a = mem.allocate(0, 1, kTierOnly(Tier::kSMem));
+  const auto b = mem.allocate(1, 1, kTierOnly(Tier::kSMem));
   PageHotness h(mem, /*workload_filter=*/1);
   h.record_access(0, a[0]);
   h.record_access(1, b[0]);
@@ -59,7 +58,7 @@ TEST(PageHotness, WorkloadFilterIgnoresOthers) {
 
 TEST(PageHotness, SeedPutsAllPagesInBinZero) {
   TieredMemory mem(cfg(4, 16));
-  mem.allocate(0, 6, AllocPolicy::kFMemFirst);
+  mem.allocate(0, 6, kFastestFirst);
   PageHotness h(mem);
   h.seed_allocated_pages();
   EXPECT_EQ(h.tracked_pages(), 6u);
@@ -69,8 +68,8 @@ TEST(PageHotness, SeedPutsAllPagesInBinZero) {
 
 TEST(PageHotness, SeedRespectsFilter) {
   TieredMemory mem(cfg());
-  mem.allocate(0, 3, AllocPolicy::kSMemOnly);
-  mem.allocate(1, 2, AllocPolicy::kSMemOnly);
+  mem.allocate(0, 3, kTierOnly(Tier::kSMem));
+  mem.allocate(1, 2, kTierOnly(Tier::kSMem));
   PageHotness h(mem, 1);
   h.seed_allocated_pages();
   EXPECT_EQ(h.tracked_pages(), 2u);
@@ -80,7 +79,7 @@ TEST(PageHotness, SeedRespectsFilter) {
 
 TEST(PageHotness, AgingHalvesCounts) {
   TieredMemory mem(cfg());
-  const auto p = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 1, kTierOnly(Tier::kSMem));
   PageHotness h(mem);
   for (int i = 0; i < 12; ++i) h.record_access(0, p[0]);
   h.age();
@@ -93,7 +92,7 @@ TEST(PageHotness, AgingMatchesRecomputedBins) {
   // Property: after arbitrary record/age interleavings, each page's physical
   // bin equals bin_of(effective count) — the rotation trick is exact.
   TieredMemory mem(cfg(16, 128));
-  const auto pages = mem.allocate(0, 100, AllocPolicy::kFMemFirst);
+  const auto pages = mem.allocate(0, 100, kFastestFirst);
   PageHotness h(mem);
   Rng rng(3);
   for (int step = 0; step < 2000; ++step) {
@@ -117,7 +116,7 @@ TEST(PageHotness, AgingMatchesRecomputedBins) {
 
 TEST(PageHotness, AgedOutPagesReachBinZero) {
   TieredMemory mem(cfg());
-  const auto p = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 1, kTierOnly(Tier::kSMem));
   PageHotness h(mem);
   h.record_access(0, p[0]);
   for (int i = 0; i < 40; ++i) h.age();  // beyond the 32-bit shift horizon
@@ -133,7 +132,7 @@ TEST(PageHotness, AgedOutPagesReachBinZero) {
 
 TEST(PageHotness, MigrationMovesPageBetweenTierBins) {
   TieredMemory mem(cfg());
-  const auto p = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 1, kTierOnly(Tier::kSMem));
   PageHotness h(mem);
   h.record_access(0, p[0]);
   EXPECT_EQ(h.hottest_in_tier(Tier::kSMem, 1).size(), 1u);
@@ -147,7 +146,7 @@ TEST(PageHotness, MigrationMovesPageBetweenTierBins) {
 
 TEST(PageHotness, HottestExcludesZeroCountPages) {
   TieredMemory mem(cfg());
-  mem.allocate(0, 5, AllocPolicy::kSMemOnly);
+  mem.allocate(0, 5, kTierOnly(Tier::kSMem));
   PageHotness h(mem);
   h.seed_allocated_pages();
   EXPECT_TRUE(h.hottest_in_tier(Tier::kSMem, 10).empty());
@@ -156,7 +155,7 @@ TEST(PageHotness, HottestExcludesZeroCountPages) {
 
 TEST(PageHotness, PagesAtOrAboveCounts) {
   TieredMemory mem(cfg());
-  const auto p = mem.allocate(0, 3, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 3, kTierOnly(Tier::kSMem));
   PageHotness h(mem);
   h.record_access(0, p[0]);  // bin 1
   h.record_access(0, p[1]);
@@ -168,7 +167,7 @@ TEST(PageHotness, PagesAtOrAboveCounts) {
 
 TEST(PageHotness, ScanHonorsMaxN) {
   TieredMemory mem(cfg(0, 64));
-  const auto p = mem.allocate(0, 10, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 10, kTierOnly(Tier::kSMem));
   PageHotness h(mem);
   for (PageId pid : p) h.record_access(0, pid);
   EXPECT_EQ(h.hottest_in_tier(Tier::kSMem, 4).size(), 4u);
@@ -179,7 +178,7 @@ TEST(PageHotness, ScanHonorsMaxN) {
 
 TEST(AccessSampler, ClassifiesByTier) {
   TieredMemory mem(cfg(1, 8));
-  const auto p = mem.allocate(0, 2, AllocPolicy::kFMemFirst);
+  const auto p = mem.allocate(0, 2, kFastestFirst);
   AccessSampler sampler(mem);
   sampler.on_sampled_access(0, p[0], AccessKind::kRead);
   sampler.on_sampled_access(0, p[1], AccessKind::kWrite);
@@ -193,7 +192,7 @@ TEST(AccessSampler, ClassifiesByTier) {
 
 TEST(AccessSampler, CollectResetsIntervalButAccumulates) {
   TieredMemory mem(cfg());
-  const auto p = mem.allocate(2, 1, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(2, 1, kTierOnly(Tier::kSMem));
   AccessSampler sampler(mem);
   sampler.on_sampled_access(2, p[0], AccessKind::kRead);
   const auto first = sampler.collect(2);
@@ -212,7 +211,7 @@ TEST(AccessSampler, IdleIntervalRatioIsOne) {
 
 TEST(AccessSampler, FansOutToSinksAndCallbacks) {
   TieredMemory mem(cfg());
-  const auto p = mem.allocate(0, 1, AllocPolicy::kSMemOnly);
+  const auto p = mem.allocate(0, 1, kTierOnly(Tier::kSMem));
   AccessSampler sampler(mem);
   PageHotness h(mem);
   sampler.add_sink(&h);

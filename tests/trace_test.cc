@@ -60,13 +60,12 @@ TEST(TraceProfile, WeightsMatchSampleFrequencies) {
 TEST(TraceRecorder, CapturesARealWorkloadsAccesses) {
   // Record a hash-store tenant, write/read the trace, and check the rebuilt
   // profile concentrates where the accesses actually went.
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 16;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 16);
   TieredMemory mem(mc);
   HashStore::Config hc;
   hc.n_records = 2000;
-  AddressSpace space(mem, 0, HashStore::required_bytes(hc), AllocPolicy::kSMemOnly,
+  AddressSpace space(mem, 0, HashStore::required_bytes(hc), kTierOnly(Tier::kSMem),
                      /*sample_period=*/1);
   TraceRecorder rec(space);
   space.set_observer(&rec);
@@ -96,12 +95,11 @@ TEST(TraceRecorder, CapturesARealWorkloadsAccesses) {
 }
 
 TEST(TraceRecorder, IgnoresOtherTenants) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 12;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 12);
   TieredMemory mem(mc);
-  AddressSpace a(mem, 0, 16 * kPageSize, AllocPolicy::kSMemOnly, 1);
-  AddressSpace b(mem, 1, 16 * kPageSize, AllocPolicy::kSMemOnly, 1);
+  AddressSpace a(mem, 0, 16 * kPageSize, kTierOnly(Tier::kSMem), 1);
+  AddressSpace b(mem, 1, 16 * kPageSize, kTierOnly(Tier::kSMem), 1);
   TraceRecorder rec(a);
   a.set_observer(&rec);
   b.set_observer(&rec);  // misdirected feed: recorder must filter it out

@@ -16,9 +16,8 @@ namespace mtat {
 namespace {
 
 TieredMemory::Config big(std::uint64_t fmem_pages = 1) {
-  TieredMemory::Config c;
-  c.fmem_pages = fmem_pages;
-  c.smem_pages = 1 << 19;  // 2 GiB
+  TieredMemory::Config c =
+      TieredMemory::Config::two_tier(fmem_pages, 1 << 19);  // 2 GiB
   return c;
 }
 
@@ -31,7 +30,7 @@ TEST(XSBench, LookupAccessCountNearBinarySearchDepth) {
   xc.n_nuclides = 8;
   xc.points_per_nuclide = 128;
   xc.avg_nuclides_per_material = 5;
-  AddressSpace space(mem, 0, XSBenchKernel::required_bytes(xc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, XSBenchKernel::required_bytes(xc), kTierOnly(Tier::kSMem));
   XSBenchKernel kernel(space, xc, 1);
   const auto stats = kernel.run(1000);
   // log2(4096) = 12 probes + 1 row read + 5 gathers = ~18 per lookup.
@@ -46,7 +45,7 @@ TEST(XSBench, RejectsDegenerateConfig) {
   TieredMemory mem(big());
   XSBenchKernel::Config xc;
   xc.n_gridpoints = 1;
-  AddressSpace space(mem, 0, 1_MiB, AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, 1_MiB, kTierOnly(Tier::kSMem));
   EXPECT_THROW(XSBenchKernel(space, xc, 1), std::invalid_argument);
 }
 
@@ -57,7 +56,7 @@ TEST(XSBench, GridRegionIsHotterThanNuclideData) {
   xc.n_gridpoints = 1024;
   xc.n_nuclides = 8;
   xc.points_per_nuclide = 2048;
-  AddressSpace space(mem, 0, XSBenchKernel::required_bytes(xc), AllocPolicy::kSMemOnly);
+  AddressSpace space(mem, 0, XSBenchKernel::required_bytes(xc), kTierOnly(Tier::kSMem));
   XSBenchKernel kernel(space, xc, 2);
   const auto stats = kernel.run(2000);
   // 10 binary probes + 1 vs 10 gathers: grid gets ~11/21 of accesses on a
@@ -89,7 +88,7 @@ LCConfig small_redis() {
 
 TEST(LCWorkload, CalibrationHitsThroughputTargets) {
   TieredMemory mem(big());
-  LCWorkload wl(mem, 0, small_redis(), AllocPolicy::kSMemOnly, 1);
+  LCWorkload wl(mem, 0, small_redis(), kTierOnly(Tier::kSMem), 1);
   // Service times must order FMem < SMem with ratio ~= smem_throughput_ratio.
   const auto s_f = static_cast<double>(wl.ideal_service_time(Tier::kFMem));
   const auto s_s = static_cast<double>(wl.ideal_service_time(Tier::kSMem));
@@ -111,7 +110,7 @@ TEST_P(LCServeSweep, ServiceTimesWithinIdealEnvelope) {
   TieredMemory mem(big());
   LCConfig cfg = all_lc_configs()[static_cast<std::size_t>(GetParam())];
   cfg.n_records = 20'000;
-  LCWorkload wl(mem, 0, cfg, AllocPolicy::kSMemOnly, 42);
+  LCWorkload wl(mem, 0, cfg, kTierOnly(Tier::kSMem), 42);
   const Duration lo = wl.ideal_service_time(Tier::kFMem);
   const Duration hi = wl.ideal_service_time(Tier::kSMem);
   double sum = 0;
@@ -130,8 +129,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, LCServeSweep, ::testing::Values(0, 1, 2, 3));
 
 TEST(LCWorkload, FasterWhenResidentInFMem) {
   TieredMemory mem(big(1 << 19));
-  LCWorkload fast(mem, 0, small_redis(), AllocPolicy::kFMemOnly, 7);
-  LCWorkload slow(mem, 1, small_redis(), AllocPolicy::kSMemOnly, 7);
+  LCWorkload fast(mem, 0, small_redis(), kTierOnly(Tier::kFMem), 7);
+  LCWorkload slow(mem, 1, small_redis(), kTierOnly(Tier::kSMem), 7);
   double f = 0, s = 0;
   for (int i = 0; i < 500; ++i) {
     f += static_cast<double>(fast.serve());
@@ -145,7 +144,7 @@ TEST(LCWorkload, ZipfianRequestsSkewTelemetry) {
   LCConfig cfg = small_redis();
   cfg.dist = RequestDist::kZipfian;
   cfg.sample_period = 1;
-  LCWorkload wl(mem, 0, cfg, AllocPolicy::kSMemOnly, 9);
+  LCWorkload wl(mem, 0, cfg, kTierOnly(Tier::kSMem), 9);
   AccessSampler sampler(mem);
   PageHotness hist(mem);
   sampler.add_sink(&hist);
@@ -161,10 +160,10 @@ TEST(LCWorkload, SiloTouchesMultipleTables) {
   TieredMemory mem(big());
   LCConfig cfg = silo_config();
   cfg.n_records = 18'000;
-  LCWorkload wl(mem, 0, cfg, AllocPolicy::kSMemOnly, 11);
+  LCWorkload wl(mem, 0, cfg, kTierOnly(Tier::kSMem), 11);
   // A transaction must cost much more than a single-record workload request.
   TieredMemory mem2(big());
-  LCWorkload redis(mem2, 0, small_redis(), AllocPolicy::kSMemOnly, 11);
+  LCWorkload redis(mem2, 0, small_redis(), kTierOnly(Tier::kSMem), 11);
   EXPECT_GT(wl.serve(), redis.serve());
 }
 
@@ -172,7 +171,7 @@ TEST(LCWorkload, BadCalibrationRejected) {
   TieredMemory mem(big());
   LCConfig cfg = small_redis();
   cfg.smem_throughput_ratio = 0.05;  // impossible: base CPU would go negative
-  EXPECT_THROW(LCWorkload(mem, 0, cfg, AllocPolicy::kSMemOnly, 1), std::invalid_argument);
+  EXPECT_THROW(LCWorkload(mem, 0, cfg, kTierOnly(Tier::kSMem), 1), std::invalid_argument);
 }
 
 // ------------------------------------------------------ profile / BE ----
@@ -227,7 +226,7 @@ TEST(PageProfile, BestPlacementPrefixIsMonotoneConcave) {
 TEST(BEWorkload, RateMonotoneInFMemPages) {
   TieredMemory mem(big());
   BEConfig cfg = xsbench_config(BEScale::kTest, 8_MiB, 4);
-  BEWorkload be(mem, 1, cfg, AllocPolicy::kSMemOnly, nullptr, 1);
+  BEWorkload be(mem, 1, cfg, kTierOnly(Tier::kSMem), nullptr, 1);
   double prev = 0;
   for (std::uint64_t g : {0ull, 256ull, 1024ull, 2048ull}) {
     const double r = be.rate_at_pages(g);
@@ -241,7 +240,7 @@ TEST(BEWorkload, RateMonotoneInFMemPages) {
 TEST(BEWorkload, TickAccruesIterations) {
   TieredMemory mem(big());
   BEConfig cfg = pr_config(BEScale::kTest, 8_MiB, 4);
-  BEWorkload be(mem, 1, cfg, AllocPolicy::kSMemOnly, nullptr, 1);
+  BEWorkload be(mem, 1, cfg, kTierOnly(Tier::kSMem), nullptr, 1);
   be.tick(milliseconds(100));
   const double first = be.take_interval_iterations();
   EXPECT_NEAR(first, be.current_rate() * 0.1, first * 0.01);
@@ -252,7 +251,7 @@ TEST(BEWorkload, TickAccruesIterations) {
 TEST(BEWorkload, FmemWeightTracksMigrations) {
   TieredMemory mem(big(4096));
   BEConfig cfg = sssp_config(BEScale::kTest, 8_MiB, 4);
-  BEWorkload be(mem, 1, cfg, AllocPolicy::kSMemOnly, nullptr, 1);
+  BEWorkload be(mem, 1, cfg, kTierOnly(Tier::kSMem), nullptr, 1);
   EXPECT_DOUBLE_EQ(be.fmem_weight(), 0.0);
   // Promote 200 pages and cross-check against a recomputation.
   const auto& pages = be.space().pages();
@@ -269,7 +268,7 @@ TEST(BEWorkload, EmitsSampledTelemetry) {
   BEConfig cfg = bfs_config(BEScale::kTest, 8_MiB, 4);
   cfg.sample_period = 512;
   AccessSampler sampler(mem, cfg.sample_period);
-  BEWorkload be(mem, 1, cfg, AllocPolicy::kSMemOnly, &sampler, 1);
+  BEWorkload be(mem, 1, cfg, kTierOnly(Tier::kSMem), &sampler, 1);
   be.tick(milliseconds(100));
   const auto c = sampler.collect(1);
   const double expected =
@@ -282,7 +281,7 @@ TEST(BEWorkload, MigrationChurnCostsThroughput) {
   TieredMemory mem(big(4096));
   BEConfig cfg = pr_config(BEScale::kTest, 8_MiB, 4);
   cfg.migration_stall = milliseconds(1);  // exaggerated for visibility
-  BEWorkload be(mem, 1, cfg, AllocPolicy::kSMemOnly, nullptr, 1);
+  BEWorkload be(mem, 1, cfg, kTierOnly(Tier::kSMem), nullptr, 1);
   be.tick(milliseconds(10));
   const double clean = be.take_interval_iterations();
   for (int i = 0; i < 5; ++i) mem.migrate(be.space().pages()[static_cast<std::size_t>(i)], Tier::kFMem);
@@ -343,12 +342,11 @@ namespace mtat {
 namespace {
 
 TEST(BEWorkload, RateUnderMatchesCurrentRateAtBaseLatencies) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 4096;
-  mc.smem_pages = 1 << 19;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(4096, 1 << 19);
   TieredMemory mem(mc);
   BEConfig cfg = pr_config(BEScale::kTest, 8_MiB, 4);
-  BEWorkload be(mem, 1, cfg, AllocPolicy::kFMemFirst, nullptr, 1);
+  BEWorkload be(mem, 1, cfg, kFastestFirst, nullptr, 1);
   // With no contention, the hypothetical-rate hook at the live placement's
   // hit fraction and base latencies must agree with current_rate().
   const double via_hook = be.rate_under(be.fmem_weight(), 73.0, 202.0);
@@ -358,12 +356,11 @@ TEST(BEWorkload, RateUnderMatchesCurrentRateAtBaseLatencies) {
 }
 
 TEST(BEWorkload, HitFractionMatchesPrefix) {
-  TieredMemory::Config mc;
-  mc.fmem_pages = 1;
-  mc.smem_pages = 1 << 19;
+  TieredMemory::Config mc =
+      TieredMemory::Config::two_tier(1, 1 << 19);
   TieredMemory mem(mc);
   BEConfig cfg = sssp_config(BEScale::kTest, 8_MiB, 4);
-  BEWorkload be(mem, 1, cfg, AllocPolicy::kSMemOnly, nullptr, 1);
+  BEWorkload be(mem, 1, cfg, kTierOnly(Tier::kSMem), nullptr, 1);
   EXPECT_DOUBLE_EQ(be.hit_fraction_at_pages(0), 0.0);
   EXPECT_NEAR(be.hit_fraction_at_pages(be.space().num_pages()), 1.0, 1e-9);
   // Monotone and concave-ish in between.

@@ -77,6 +77,21 @@ for lane in release asan; do
   rm -rf "${smoke_dir}"
 done
 
+# An N-tier topology end-to-end, in release and again under ASan: the
+# three-tier spec exercises the tier-vector paths two-tier runs leave cold —
+# per-link budgets, cascaded demotion, the slower-aggregate telemetry — and
+# ASan watches the per-link vectors and spill loops for off-by-one indexing
+# (DESIGN.md §16).
+for lane in release asan; do
+  echo "==== 3-tier topology bench smoke (${lane}, MTAT_SCALE=smoke, MTAT_JOBS=2) ===="
+  smoke_dir=$(mktemp -d)
+  (cd "${smoke_dir}" &&
+   MTAT_SCALE=smoke MTAT_JOBS=2 \
+   MTAT_TOPOLOGY="dram:32M:73;cxl:256M:202:2G;nvm:512M:450:1G" \
+   "${repo_root}/build-check/${lane}/bench/fig9_table4_load_levels")
+  rm -rf "${smoke_dir}"
+done
+
 # The perf lane end-to-end: gate the committed trajectory (same check the
 # perf_diff_trajectory ctest runs in every lane), then append a fresh
 # smoke-scale entry to a scratch copy and report it against the committed

@@ -233,6 +233,7 @@ class SourceLinter {
       check_context_escape(i);
       check_pointer_order(i);
       check_unordered_begin(i);
+      check_tier_literal(i);
     }
   }
 
@@ -414,6 +415,27 @@ class SourceLinter {
            "iteration over unordered container '" + t.text +
                "': visit order is hash/bucket-dependent and can leak into results, metrics, "
                "or trace order; use std::map/std::set or drain into a sorted vector first");
+  }
+
+  /// Raw two-tier aliases `Tier::kFMem` / `Tier::kSMem` outside the memory
+  /// substrate and the tests: code that names the two classic tiers directly
+  /// silently stops generalizing to N-tier topologies. Spell the fast tier
+  /// as kFastestTier, derive others with TierId arithmetic, or use the
+  /// slower-aggregate telemetry queries.
+  void check_tier_literal(std::size_t i) {
+    if (rel_.rfind("src/mem/", 0) == 0 || rel_.rfind("tests/", 0) == 0) return;
+    const Token& t = lexed_.tokens[i];
+    if (t.text != "Tier") return;
+    const Token* colons = tok(i + 1);
+    const Token* member = tok(i + 2);
+    if (colons == nullptr || member == nullptr || !is_punct(*colons, "::")) return;
+    if (member->kind != Token::Kind::kIdent ||
+        (member->text != "kFMem" && member->text != "kSMem"))
+      return;
+    report(member->line, "tier-literal",
+           "two-tier literal Tier::" + member->text +
+               " outside src/mem/ and tests/: use kFastestTier / TierId arithmetic (or the "
+               "slower-aggregate PageHotness queries) so the code works on N-tier topologies");
   }
 
   // -- model rules ----------------------------------------------------------

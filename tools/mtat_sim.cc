@@ -21,6 +21,7 @@
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/trace.h"
+#include "mem/topology.h"
 #include "sim/colocation_sim.h"
 #include "workloads/be/be_suite.h"
 
@@ -38,6 +39,7 @@ struct Args {
   double seconds_total = 240;
   double fmem_mib = 128;
   double smem_mib = 2048;
+  std::string topology;  // overrides --fmem-mib/--smem-mib when set
   int train_epochs = 5;
   bool bandwidth = true;
   bool zipf = false;
@@ -59,6 +61,9 @@ struct Args {
       "  --seconds=S       simulated duration (default 240)\n"
       "  --fmem-mib=M      fast tier size (default 128)\n"
       "  --smem-mib=M      slow tier size (default 2048)\n"
+      "  --topology=SPEC   tier vector, fastest first, overriding --fmem-mib/--smem-mib\n"
+      "                    (name:capacity:latency_ns[:link_bw] entries joined by ';',\n"
+      "                    e.g. 'dram:8G:73;cxl:64G:202;nvm:256G:450')\n"
       "  --train-epochs=N  RL training passes before measuring (MTAT only)\n"
       "  --no-bandwidth    disable the tier-bandwidth contention model\n"
       "  --zipf            zipfian LC requests instead of uniform\n"
@@ -98,6 +103,7 @@ Args parse(int argc, char** argv) {
     else if (key == "--seconds") a.seconds_total = num_flag<double>(key, val, parse_double);
     else if (key == "--fmem-mib") a.fmem_mib = num_flag<double>(key, val, parse_double);
     else if (key == "--smem-mib") a.smem_mib = num_flag<double>(key, val, parse_double);
+    else if (key == "--topology") a.topology = val;
     else if (key == "--train-epochs") a.train_epochs = num_flag<int>(key, val, parse_int);
     else if (key == "--no-bandwidth") a.bandwidth = false;
     else if (key == "--zipf") a.zipf = true;
@@ -157,6 +163,17 @@ int main(int argc, char** argv) {
   SimConfig cfg;
   cfg.fmem = static_cast<Bytes>(a.fmem_mib * 1024 * 1024);
   cfg.smem = static_cast<Bytes>(a.smem_mib * 1024 * 1024);
+  if (!a.topology.empty()) {
+    // Flags fail hard on bad input (unlike MTAT_TOPOLOGY, which warns and
+    // falls back): an explicit --topology the user typed must not be ignored.
+    std::string error;
+    const auto tiers = parse_topology(a.topology, &error);
+    if (!tiers) {
+      std::fprintf(stderr, "bad value for --topology: %s\n\n", error.c_str());
+      usage(2);
+    }
+    cfg.tiers = *tiers;
+  }
   cfg.lc = lc_from(a);
   cfg.be = be_suite(BEScale::kDefault, cfg.fmem + cfg.fmem / 10, a.be_cores, a.n_be);
   cfg.policy = policy_from(a.policy);
@@ -249,6 +266,7 @@ int main(int argc, char** argv) {
     manifest.add("seconds", std::to_string(a.seconds_total));
     manifest.add("fmem_mib", std::to_string(a.fmem_mib));
     manifest.add("smem_mib", std::to_string(a.smem_mib));
+    if (!a.topology.empty()) manifest.add("topology", topology_to_string(cfg.tiers));
     manifest.add("bandwidth_model", a.bandwidth ? "on" : "off");
     manifest.add("zipf", a.zipf ? "on" : "off");
     std::ofstream out(a.metrics_path);
