@@ -13,6 +13,22 @@
 
 namespace mtat::bench {
 
+/// Parse MTAT_CLUSTER_FAULTS into a fleet-level fault plan. Empty env means
+/// a healthy fleet (nullopt); a malformed spec warns on stderr and also
+/// returns nullopt — the bench then runs healthy rather than under a plan
+/// the user didn't ask for.
+inline std::optional<faults::ClusterFaultPlan> cluster_faults_from_env() {
+  const std::string& spec = Env::get().cluster_faults;
+  if (spec.empty()) return std::nullopt;
+  auto plan = faults::ClusterFaultPlan::from_spec(spec);
+  if (!plan.has_value())
+    std::fprintf(stderr,
+                 "warning: invalid MTAT_CLUSTER_FAULTS=%s (expected "
+                 "storm[:intensity][:warm|:cold]); running healthy\n",
+                 spec.c_str());
+  return plan;
+}
+
 /// Cluster geometry for the scale preset in effect, with `lc` (already
 /// scaled) as every node's LC tenant and `node_capacity_krps` as the static
 /// serving-capacity estimate handed to the placement policies. The node
@@ -43,6 +59,7 @@ inline cluster::ClusterConfig make_cluster_config(const Scale& sc, const LCConfi
   if (const auto n = Env::get().nodes) cc.nodes = *n;
   cc.node = make_sim_config(sc, lc, node_policy, /*n_be=*/2);
   cc.node_capacity_krps = node_capacity_krps;
+  cc.faults = cluster_faults_from_env();
   return cc;
 }
 

@@ -22,6 +22,11 @@
 //                                      the process (e.g. storm, storm:0.5);
 //                                      validated against the known presets by
 //                                      the harness hook (faults::FaultPlan)
+//   MTAT_CLUSTER_FAULTS preset[:x][:warm|:cold] fleet-level fault plan for the
+//                                      cluster benches (e.g. storm,
+//                                      storm:0.5:cold); validated by
+//                                      cluster_faults_from_env() via
+//                                      faults::ClusterFaultPlan::from_spec
 //   MTAT_PERF_LABEL   non-empty string label for the BENCH_*.json entry a
 //                                      perf_* bench appends (default "run")
 //   MTAT_TOPOLOGY     spec             tier topology override for the
@@ -54,6 +59,11 @@ struct Env {
   /// FaultsEnvHook parses it via faults::FaultPlan::from_spec and warns on
   /// anything malformed.
   std::string faults;
+  /// MTAT_CLUSTER_FAULTS, verbatim (empty: healthy fleet). Raw for the same
+  /// reason as `faults`; bench/cluster_env.h's cluster_faults_from_env()
+  /// parses it via faults::ClusterFaultPlan::from_spec and warns on anything
+  /// malformed.
+  std::string cluster_faults;
   std::string perf_label = "run";     ///< MTAT_PERF_LABEL
   /// MTAT_TOPOLOGY, verbatim (empty: benches keep their two-tier default).
   /// Raw for the same reason as `faults`: parsing lives with mem/topology.h's
@@ -109,6 +119,7 @@ inline Env parse_env() {
     }
   }
   if (const auto s = env_string("MTAT_FAULTS")) e.faults = *s;
+  if (const auto s = env_string("MTAT_CLUSTER_FAULTS")) e.cluster_faults = *s;
   if (const auto s = env_string("MTAT_PERF_LABEL")) e.perf_label = *s;
   if (const auto s = env_string("MTAT_TOPOLOGY")) e.topology = *s;
   if (const auto s = env_string("MTAT_NODES")) {

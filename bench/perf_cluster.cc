@@ -8,15 +8,18 @@
 // smallest fleet normalized to fleet size (fan-out efficiency: 1.0 means a
 // 4x fleet costs exactly 4x the wall time).
 //
-// Results land in BENCH_cluster.json in the working directory (run it from
-// the repo root to refresh the checked-in copy) plus a stdout table. Wall
-// timings use steady_clock and are inherently machine-dependent — this bench
-// is for tracking the simulator's own performance, not the paper's metrics.
+// Like perf_core, results APPEND: every run adds one entry (label from
+// MTAT_PERF_LABEL) to BENCH_cluster.json in the working directory, with one
+// sim-steps/s metric per ladder rung, so the committed file is a
+// same-machine trajectory and tools/perf_diff gates adjacent entries
+// (DESIGN.md §14). Wall timings use steady_clock and are inherently
+// machine-dependent — this bench is for tracking the simulator's own
+// performance, not the paper's metrics.
 #include <chrono>
-#include <fstream>
 
 #include "bench/cluster_env.h"
-#include "obs/json.h"
+#include "bench/perf_trajectory.h"
+#include "obs/names.h"
 
 using namespace mtat;
 using namespace mtat::bench;
@@ -73,31 +76,20 @@ int main() {
                 p.node_sim_seconds / p.wall_s, eff);
   }
 
-  std::ofstream out("BENCH_cluster.json");
-  if (!out) {
-    std::fprintf(stderr, "perf_cluster: cannot open BENCH_cluster.json\n");
-    return 1;
-  }
-  out << "{\n  \"bench\": \"perf_cluster\",\n  \"scale\": ";
-  obs::json_string(out, scale_preset_from_env());
-  out << ",\n  \"jobs\": " << runner.jobs() << ",\n  \"points\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    out << "    {\"nodes\": " << p.nodes << ", \"wall_s\": ";
-    obs::json_number(out, p.wall_s);
-    out << ", \"node_sim_seconds\": ";
-    obs::json_number(out, p.node_sim_seconds);
-    out << ", \"sim_steps\": ";
-    obs::json_number(out, p.sim_steps);
-    out << ", \"sim_steps_per_sec\": ";
-    obs::json_number(out, p.sim_steps / p.wall_s);
-    out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  if (!out.flush()) {
-    std::fprintf(stderr, "perf_cluster: failed writing BENCH_cluster.json\n");
-    return 1;
-  }
-  std::printf("\nwrote BENCH_cluster.json\n");
-  return 0;
+  PerfEntry entry;
+  entry.label = Env::get().perf_label;
+  entry.scale = scale_preset_from_env();
+  // One rate per ladder rung, under fixed names so perf_diff can compare
+  // adjacent entries metric-by-metric (the key set must match across runs).
+  static const char* const kRungNames[] = {
+      obs::names::kPerfClusterQuarterStepsPerSec,
+      obs::names::kPerfClusterHalfStepsPerSec,
+      obs::names::kPerfClusterFullStepsPerSec,
+  };
+  for (std::size_t i = 0; i < points.size(); ++i)
+    entry.metrics.emplace_back(kRungNames[i], points[i].sim_steps / points[i].wall_s);
+
+  return append_perf_trajectory("BENCH_cluster.json", "perf_cluster", std::move(entry))
+             ? 0
+             : 1;
 }

@@ -26,9 +26,8 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "bench/perf_trajectory.h"
 #include "mem/migration_engine.h"
-#include "obs/json.h"
-#include "obs/json_parse.h"
 #include "obs/names.h"
 #include "rl/sac.h"
 #include "telemetry/access_sampler.h"
@@ -243,64 +242,6 @@ double bench_sim_steps(const PerfSizes& s) {
   return rate(steps, s.sim_reps, false, [&] { sim.run(pat, s.sim_len); });
 }
 
-struct PriorEntry {
-  std::string label;
-  std::string scale;
-  std::vector<std::pair<std::string, double>> metrics;
-};
-
-/// Existing BENCH_core.json entries, to re-emit ahead of this run's entry.
-/// A missing file is an empty trajectory; a malformed one is fatal (the
-/// trajectory is the deliverable — never clobber what we cannot read).
-std::vector<PriorEntry> load_prior_entries(const std::string& path, bool* fatal) {
-  std::vector<PriorEntry> out;
-  *fatal = false;
-  if (!std::ifstream(path)) return out;
-  try {
-    const obs::JsonValue doc = obs::json_parse_file(path);
-    const obs::JsonValue* entries = doc.find("entries");
-    if (!doc.is_object() || entries == nullptr || !entries->is_array())
-      throw obs::JsonParseError(path + ": expected {\"bench\": ..., \"entries\": [...]}");
-    for (const obs::JsonValue& e : entries->array) {
-      PriorEntry pe;
-      const obs::JsonValue* label = e.find("label");
-      const obs::JsonValue* scale = e.find("scale");
-      const obs::JsonValue* metrics = e.find("metrics");
-      if (label == nullptr || !label->is_string() || scale == nullptr ||
-          !scale->is_string() || metrics == nullptr || !metrics->is_object())
-        throw obs::JsonParseError(path + ": entry missing label/scale/metrics");
-      pe.label = label->str;
-      pe.scale = scale->str;
-      for (const auto& [name, v] : metrics->object) {
-        if (!v.is_number()) throw obs::JsonParseError(path + ": non-numeric metric");
-        pe.metrics.emplace_back(name, v.number);
-      }
-      out.push_back(std::move(pe));
-    }
-  } catch (const obs::JsonParseError& err) {
-    std::fprintf(stderr, "perf_core: refusing to append to unreadable trajectory: %s\n",
-                 err.what());
-    *fatal = true;
-  }
-  return out;
-}
-
-void emit_entry(std::ostream& os, const PriorEntry& e, bool last) {
-  os << "    {\n      \"label\": ";
-  obs::json_string(os, e.label);
-  os << ",\n      \"scale\": ";
-  obs::json_string(os, e.scale);
-  os << ",\n      \"metrics\": {\n";
-  for (std::size_t i = 0; i < e.metrics.size(); ++i) {
-    os << "        ";
-    obs::json_string(os, e.metrics[i].first);
-    os << ": ";
-    obs::json_number(os, e.metrics[i].second);
-    os << (i + 1 < e.metrics.size() ? ",\n" : "\n");
-  }
-  os << "      }\n    }" << (last ? "\n" : ",\n");
-}
-
 }  // namespace
 
 int main() {
@@ -308,7 +249,7 @@ int main() {
   banner("perf_core", "microbench: single-node hot-path ops/s trajectory");
   const PerfSizes s = sizes_for(preset);
 
-  PriorEntry entry;
+  PerfEntry entry;
   entry.label = Env::get().perf_label;
   entry.scale = preset;
   std::printf("%-36s %14s\n", "metric", "ops/s");
@@ -323,26 +264,5 @@ int main() {
   run_one(obs::names::kPerfSacInferencePerSec, bench_sac_inference(s));
   run_one(obs::names::kPerfSimStepsPerSec, bench_sim_steps(s));
 
-  const std::string path = "BENCH_core.json";
-  bool fatal = false;
-  std::vector<PriorEntry> entries = load_prior_entries(path, &fatal);
-  if (fatal) return 1;
-  entries.push_back(std::move(entry));
-
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "perf_core: cannot open %s\n", path.c_str());
-    return 1;
-  }
-  out << "{\n  \"bench\": \"perf_core\",\n  \"entries\": [\n";
-  for (std::size_t i = 0; i < entries.size(); ++i)
-    emit_entry(out, entries[i], i + 1 == entries.size());
-  out << "  ]\n}\n";
-  if (!out.flush()) {
-    std::fprintf(stderr, "perf_core: failed writing %s\n", path.c_str());
-    return 1;
-  }
-  std::printf("\nappended entry \"%s\" to %s (%zu entr%s)\n", entries.back().label.c_str(),
-              path.c_str(), entries.size(), entries.size() == 1 ? "y" : "ies");
-  return 0;
+  return append_perf_trajectory("BENCH_core.json", "perf_core", std::move(entry)) ? 0 : 1;
 }

@@ -1,0 +1,112 @@
+// Shared persistence for the perf-lane trajectories (DESIGN.md §14).
+//
+// A trajectory file (BENCH_core.json, BENCH_cluster.json) is an append-only
+// same-machine series: every perf bench run adds one entry — label from
+// MTAT_PERF_LABEL, the scale preset, and a flat metric map — and
+// tools/perf_diff compares adjacent entries and gates on regressions. The
+// loader refuses to append to a file it cannot parse: the trajectory is the
+// deliverable, never clobber what we cannot read.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/json_parse.h"
+
+namespace mtat::bench {
+
+struct PerfEntry {
+  std::string label;
+  std::string scale;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Existing trajectory entries, to re-emit ahead of this run's entry. A
+/// missing file is an empty trajectory; a malformed one sets *fatal (the
+/// caller must bail without writing).
+inline std::vector<PerfEntry> load_perf_trajectory(const std::string& path,
+                                                   const char* tool, bool* fatal) {
+  std::vector<PerfEntry> out;
+  *fatal = false;
+  if (!std::ifstream(path)) return out;
+  try {
+    const obs::JsonValue doc = obs::json_parse_file(path);
+    const obs::JsonValue* entries = doc.find("entries");
+    if (!doc.is_object() || entries == nullptr || !entries->is_array())
+      throw obs::JsonParseError(path + ": expected {\"bench\": ..., \"entries\": [...]}");
+    for (const obs::JsonValue& e : entries->array) {
+      PerfEntry pe;
+      const obs::JsonValue* label = e.find("label");
+      const obs::JsonValue* scale = e.find("scale");
+      const obs::JsonValue* metrics = e.find("metrics");
+      if (label == nullptr || !label->is_string() || scale == nullptr ||
+          !scale->is_string() || metrics == nullptr || !metrics->is_object())
+        throw obs::JsonParseError(path + ": entry missing label/scale/metrics");
+      pe.label = label->str;
+      pe.scale = scale->str;
+      for (const auto& [name, v] : metrics->object) {
+        if (!v.is_number()) throw obs::JsonParseError(path + ": non-numeric metric");
+        pe.metrics.emplace_back(name, v.number);
+      }
+      out.push_back(std::move(pe));
+    }
+  } catch (const obs::JsonParseError& err) {
+    std::fprintf(stderr, "%s: refusing to append to unreadable trajectory: %s\n", tool,
+                 err.what());
+    *fatal = true;
+  }
+  return out;
+}
+
+inline void emit_perf_entry(std::ostream& os, const PerfEntry& e, bool last) {
+  os << "    {\n      \"label\": ";
+  obs::json_string(os, e.label);
+  os << ",\n      \"scale\": ";
+  obs::json_string(os, e.scale);
+  os << ",\n      \"metrics\": {\n";
+  for (std::size_t i = 0; i < e.metrics.size(); ++i) {
+    os << "        ";
+    obs::json_string(os, e.metrics[i].first);
+    os << ": ";
+    obs::json_number(os, e.metrics[i].second);
+    os << (i + 1 < e.metrics.size() ? ",\n" : "\n");
+  }
+  os << "      }\n    }" << (last ? "\n" : ",\n");
+}
+
+/// Append `entry` to the trajectory at `path` (creating it if absent).
+/// Returns false — with a message on stderr — on a malformed existing file
+/// or a write failure.
+inline bool append_perf_trajectory(const std::string& path, const char* bench,
+                                   PerfEntry entry) {
+  bool fatal = false;
+  std::vector<PerfEntry> entries = load_perf_trajectory(path, bench, &fatal);
+  if (fatal) return false;
+  entries.push_back(std::move(entry));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot open %s\n", bench, path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": ";
+  obs::json_string(out, bench);
+  out << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    emit_perf_entry(out, entries[i], i + 1 == entries.size());
+  out << "  ]\n}\n";
+  if (!out.flush()) {
+    std::fprintf(stderr, "%s: failed writing %s\n", bench, path.c_str());
+    return false;
+  }
+  std::printf("\nappended entry \"%s\" to %s (%zu entr%s)\n", entries.back().label.c_str(),
+              path.c_str(), entries.size(), entries.size() == 1 ? "y" : "ies");
+  return true;
+}
+
+}  // namespace mtat::bench

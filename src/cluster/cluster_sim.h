@@ -12,33 +12,46 @@
 // cluster's tenant request streams (scaled Poisson aggregates, generated
 // once per seed so every placement policy is judged on the identical tenant
 // population) are routed to nodes by a pluggable cluster::PlacementPolicy.
-// run() executes two placement rounds:
+// run() executes an epoch loop: each epoch re-places the full tenant set
+// (epoch 0 with static information only, later epochs with the
+// `cluster.node_*` telemetry each node exported last epoch), simulates every
+// node for the epoch window, and harvests telemetry. Without a fault plan
+// the loop has exactly two epochs — the classic probe round then measured
+// round, byte-identical to the pre-failure-domain ClusterSim — and the final
+// epoch always runs cfg.measure_window to produce the reported aggregates.
 //
-//   round 1 (probe):    tenants are placed with static information only
-//                       (capacities), each node simulates cfg.probe_window,
-//                       and exports its health as `cluster.node_*` gauges in
-//                       its own metrics registry;
-//   round 2 (measured): tenants are re-placed with that telemetry visible
-//                       (rebalances counted), and each node simulates
-//                       cfg.measure_window to produce the reported fleet
-//                       aggregates.
+// With an active ClusterFaultPlan (DESIGN.md §17) the loop becomes the
+// fleet-level failure domain: a seed-deterministic injector may crash,
+// degrade (straggler), or blind (telemetry blackout) nodes per epoch; a
+// cluster health watchdog turns missed exports into suspicion with a
+// 3-down/5-up hysteresis ladder mirroring MtatPolicy's; suspected nodes are
+// excluded from placement so their tenants evacuate through the policy,
+// under admission control with capped exponential backoff (unplaceable
+// tenants queue and retry — never silently dropped); crashed nodes restart
+// after the configured outage, warm from a deterministic
+// ColocationSim::snapshot() checkpoint or cold into a cold-page flood; and
+// telemetry-aware placement degrades bin-packing → random as blackout
+// coverage rises.
 //
-// Every policy pays for both rounds whether or not it reads the telemetry,
+// Every policy pays for every epoch whether or not it reads the telemetry,
 // so the comparison in bench/ext_cluster_slo.cc is simulate-time fair.
 //
 // Determinism contract: tenant demands/footprints, per-node seeds, and the
 // placement RNG stream are all drawn up front, in a fixed order, from
-// cfg.seed; node specs write into disjoint result slots; every aggregate is
-// folded in node-id order. Nothing consults worker scheduling, so the whole
-// ClusterResult — including the per-node metric dumps — is a pure function
-// of (config, policy).
+// cfg.seed; fault draws happen on the cluster thread in node-id order from
+// the plan's own per-category streams; node specs write into disjoint result
+// slots; every aggregate is folded in node-id order. Nothing consults worker
+// scheduling, so the whole ClusterResult — including the per-node metric
+// dumps — is a pure function of (config, policy).
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/placement.h"
+#include "faults/cluster_fault_plan.h"
 #include "obs/run_context.h"
 #include "sim/colocation_sim.h"
 #include "sim/experiments.h"
@@ -74,6 +87,12 @@ struct ClusterConfig {
   /// NodeResult::metrics_csv (determinism tests); off by default — a
   /// hundreds-of-nodes fleet would otherwise carry hundreds of dumps.
   bool keep_node_metrics = false;
+  /// Fleet-level failure domain (DESIGN.md §17). Unset or inert
+  /// (!plan.any()): the classic two-epoch run, byte-identical to the
+  /// pre-failure-domain ClusterSim. Active: run() loops plan.epochs epochs
+  /// with node crash/straggler/blackout injection, the health watchdog,
+  /// tenant evacuation, and checkpoint-based restarts.
+  std::optional<faults::ClusterFaultPlan> faults;
   std::uint64_t seed = 42;
 };
 
@@ -89,6 +108,32 @@ struct NodeResult {
   double slo_violation_pct = 0;
   double fmem_util_pct = 0;
   std::string metrics_csv;  ///< only when cfg.keep_node_metrics
+  /// False when the node was down for the whole epoch (active fault plans
+  /// only): its sim/telemetry fields are then meaningless (NaN gauges), and
+  /// its routed demand counts as violated in the fleet aggregates.
+  bool ran = true;
+};
+
+/// Per-epoch fleet aggregates — two entries for a healthy run (probe then
+/// measured), plan.epochs entries under an active fault plan. The
+/// fault-tolerance bench derives storm compliance and time-to-recover from
+/// this series.
+struct EpochStats {
+  int epoch = 0;
+  double window_s = 0;
+  int alive_nodes = 0;       ///< nodes that simulated this epoch
+  int crashed_nodes = 0;     ///< nodes down this epoch
+  int straggler_nodes = 0;   ///< nodes degraded by an in-node fault storm
+  int blackout_nodes = 0;    ///< nodes whose telemetry export was lost
+  int suspected_nodes = 0;   ///< watchdog-suspected after this epoch
+  int evacuated_tenants = 0; ///< tenants moved off suspected nodes
+  int queued_tenants = 0;    ///< unplaceable tenants awaiting backoff retry
+  int placement_mode = 0;    ///< ladder rung: 0 native, 1 bin-packing, 2 random
+  double offered_krps = 0;   ///< total tenant demand, placed or queued
+  double completed_krps = 0;
+  /// Offered-weighted compliance: demand routed to dead nodes or left queued
+  /// counts as violated, so losing nodes cannot improve the number.
+  double slo_compliance_pct = 0;
 };
 
 /// Fleet aggregates over the measured round, all folded in node-id order.
@@ -102,11 +147,22 @@ struct ClusterResult {
   double fmem_util_pct = 0;        ///< mean node fast-tier utilization
   int overloaded_nodes = 0;        ///< nodes over 1% SLO violations
   int rebalanced_tenants = 0;      ///< placements that moved between rounds
-  /// Simulated node-time the run consumed (both rounds, settle included):
-  /// the denominator-free work measure bench/perf_cluster.cc rates against
-  /// wall time.
+  /// Simulated node-time the run consumed (every epoch, settle and
+  /// checkpoint replay included): the denominator-free work measure
+  /// bench/perf_cluster.cc rates against wall time.
   double node_sim_seconds = 0;
   std::uint64_t sim_steps = 0;     ///< total node ticks executed
+
+  // --- failure-domain outcomes (zero for healthy runs) ---------------------
+  std::vector<EpochStats> epochs;  ///< per-epoch fleet series, epoch order
+  int node_crashes = 0;            ///< crash events injected
+  int node_stragglers = 0;         ///< straggler epochs injected
+  int node_blackouts = 0;          ///< blackout epochs injected
+  int warm_restarts = 0;           ///< checkpoint-replay restarts
+  int cold_restarts = 0;           ///< from-scratch restarts (cold-page flood)
+  int evacuations = 0;             ///< tenants moved off suspected nodes
+  int failover_retries = 0;        ///< queued-tenant placement retries
+  int unplaced_tenants = 0;        ///< tenants still queued when the run ended
 };
 
 class ClusterSim {
@@ -120,11 +176,12 @@ class ClusterSim {
   ClusterSim(const ClusterSim&) = delete;
   ClusterSim& operator=(const ClusterSim&) = delete;
 
-  /// Execute the two placement/simulation rounds under `policy`. `runner`
-  /// fans the node shards across its workers; null runs them serially (the
-  /// bit-identical reference path). run() drives `runner->run_all` itself,
-  /// so it must be called from the top level, never from inside a RunSpec —
-  /// run_all is non-reentrant and throws std::logic_error if nested.
+  /// Execute the epoch loop under `policy` (two epochs healthy, plan.epochs
+  /// under an active fault plan). `runner` fans the node shards across its
+  /// workers; null runs them serially (the bit-identical reference path).
+  /// run() drives `runner->run_all` itself, so it must be called from the
+  /// top level, never from inside a RunSpec — run_all is non-reentrant and
+  /// throws std::logic_error if nested.
   ClusterResult run(const PlacementPolicy& policy,
                     experiments::ParallelRunner* runner = nullptr);
 
@@ -133,17 +190,22 @@ class ClusterSim {
   obs::RunContext& run_context() { return *ctx_; }
 
  private:
+  struct NodeFailover;    // per-node outage/watchdog/checkpoint state (.cc)
+  struct TenantFailover;  // per-tenant backoff/queue state (.cc)
+
   std::vector<NodeState> fresh_states() const;
-  /// Route every tenant under `policy`, mutating `states`; returns the
-  /// chosen node index per tenant, in tenant order.
-  std::vector<std::size_t> place_all(const PlacementPolicy& policy,
-                                     std::vector<NodeState>& states, Rng& rng) const;
-  /// Simulate one round: every node runs settle + `window` at its routed
-  /// load and exports its `cluster.node_*` gauges; outcomes land in
-  /// node-id-ordered NodeResults.
-  std::vector<NodeResult> run_round(const std::vector<std::size_t>& assignment,
+  /// Simulate one epoch: every up node runs (settle | checkpoint replay) +
+  /// `window` at its routed load and exports its `cluster.node_*` gauges;
+  /// outcomes land in node-id-ordered NodeResults. `failover` null = healthy
+  /// path (every node boots fresh and settles — the classic round); non-null
+  /// = the failure domain (down nodes skip, warm restarts replay their
+  /// checkpoint, cold restarts skip settle, stragglers run under an in-node
+  /// storm, and each up node's fresh checkpoint is captured).
+  std::vector<NodeResult> run_epoch(const std::vector<std::size_t>& assignment,
                                     Duration window,
-                                    experiments::ParallelRunner* runner);
+                                    experiments::ParallelRunner* runner,
+                                    std::vector<NodeFailover>* failover,
+                                    const faults::ClusterFaultPlan* plan);
 
   ClusterConfig cfg_;
   std::unique_ptr<obs::RunContext> owned_ctx_;

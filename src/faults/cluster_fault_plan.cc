@@ -1,0 +1,53 @@
+#include "faults/cluster_fault_plan.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/parse.h"
+
+namespace mtat::faults {
+
+ClusterFaultPlan ClusterFaultPlan::storm(double intensity) {
+  if (!(intensity >= 0.0 && intensity <= 1.0))
+    throw std::invalid_argument("ClusterFaultPlan::storm: intensity must be in [0, 1]");
+  ClusterFaultPlan p;
+  if (intensity == 0.0) return p;  // inert plan: classic two-epoch run
+  p.node_crash_prob = 0.08 * intensity;
+  p.node_straggler_prob = 0.15 * intensity;
+  p.node_blackout_prob = 0.25 * intensity;
+  p.straggler_intensity = intensity;
+  return p;
+}
+
+std::optional<ClusterFaultPlan> ClusterFaultPlan::from_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t colon = spec.find(':', pos);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(pos));
+      break;
+    }
+    parts.push_back(spec.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+  if (parts.empty() || parts.size() > 3 || parts[0] != "storm") return std::nullopt;
+  double intensity = 1.0;
+  if (parts.size() >= 2) {
+    const auto v = parse_double(parts[1]);
+    if (!v || !(*v >= 0.0 && *v <= 1.0)) return std::nullopt;
+    intensity = *v;
+  }
+  ClusterFaultPlan p = storm(intensity);
+  if (parts.size() == 3) {
+    if (parts[2] == "warm")
+      p.warm_restart = true;
+    else if (parts[2] == "cold")
+      p.warm_restart = false;
+    else
+      return std::nullopt;
+  }
+  return p;
+}
+
+}  // namespace mtat::faults

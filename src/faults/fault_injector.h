@@ -21,8 +21,12 @@ namespace mtat::faults {
 
 class FaultInjector {
  public:
+  /// Executes plan.normalized(): zero-length windows are dropped and
+  /// overlapping same-period windows merged before any query, so a sloppy
+  /// schedule cannot double-arm or phantom-arm a category. Throws
+  /// std::invalid_argument on malformed windows (normalize_windows()).
   explicit FaultInjector(const FaultPlan& plan)
-      : plan_(plan),
+      : plan_(plan.normalized()),
         telemetry_rng_(plan.seed ^ 0x7E1E7E1Eull),
         migration_rng_(plan.seed ^ 0x316A7104ull),
         rl_rng_(plan.seed ^ 0x5AC5AC5Aull) {}

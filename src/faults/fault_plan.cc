@@ -1,10 +1,43 @@
 #include "faults/fault_plan.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/parse.h"
 
 namespace mtat::faults {
+
+void normalize_windows(std::vector<FaultWindow>& windows) {
+  for (const FaultWindow& w : windows) {
+    // SimTime/Duration are unsigned, so negative fields are unrepresentable;
+    // the one malformed shape a spec can express is the inverted periodic.
+    if (w.period > 0 && w.length > w.period)
+      throw std::invalid_argument(
+          "FaultWindow: inverted periodic window (length exceeds period, so "
+          "the window would never close)");
+  }
+  std::erase_if(windows, [](const FaultWindow& w) { return w.length == 0; });
+  std::sort(windows.begin(), windows.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              if (a.period != b.period) return a.period < b.period;
+              if (a.start != b.start) return a.start < b.start;
+              return a.length < b.length;
+            });
+  std::vector<FaultWindow> merged;
+  for (const FaultWindow& w : windows) {
+    if (!merged.empty() && merged.back().period == w.period &&
+        w.start <= merged.back().start + merged.back().length) {
+      FaultWindow& prev = merged.back();
+      prev.length = std::max(prev.length, w.start + w.length - prev.start);
+      // Two valid overlapping windows of the same period can legitimately
+      // cover the whole cycle; clamp rather than re-reject.
+      if (prev.period > 0) prev.length = std::min(prev.length, prev.period);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  windows = std::move(merged);
+}
 
 bool FaultPlan::any() const {
   return sample_loss_prob > 0.0 || sample_corruption_prob > 0.0 ||
@@ -42,6 +75,15 @@ FaultPlan FaultPlan::storm(double intensity) {
   return p;
 }
 
+FaultPlan FaultPlan::normalized() const {
+  FaultPlan p = *this;
+  normalize_windows(p.telemetry_blackouts);
+  normalize_windows(p.migration_failure_bursts);
+  normalize_windows(p.bandwidth_collapses);
+  normalize_windows(p.smem_latency_spikes);
+  return p;
+}
+
 std::optional<FaultPlan> FaultPlan::from_spec(const std::string& spec) {
   std::string preset = spec;
   double intensity = 1.0;
@@ -64,7 +106,7 @@ bool g_default_plan_set = false;  // mtat-lint: allow(shared-mutable)
 }  // namespace
 
 void set_default_plan(const FaultPlan& plan) {
-  g_default_plan = plan;
+  g_default_plan = plan.normalized();
   g_default_plan_set = true;
 }
 

@@ -45,6 +45,18 @@ struct FaultWindow {
   }
 };
 
+/// Normalize a window schedule in place:
+///  - reject inverted periodic windows (length exceeds period — the window
+///    would never close, which always means a spec bug) with
+///    std::invalid_argument;
+///  - drop zero-length windows (they never arm, but left in place they make
+///    FaultPlan::any() report the category armed while injecting nothing);
+///  - sort by (period, start) and merge overlapping or abutting same-period
+///    windows, so a category cannot be listed twice for the same instant.
+/// Windows with different periods are kept apart: their overlap varies per
+/// cycle, and contains() queries are idempotent anyway.
+void normalize_windows(std::vector<FaultWindow>& windows);
+
 /// Everything that can go wrong, in one schedule. Default-constructed plans
 /// inject nothing (all probabilities zero, no windows); such a plan still
 /// attaches an injector, which activates the graceful-degradation machinery
@@ -101,6 +113,11 @@ struct FaultPlan {
   /// blackout windows total telemetry loss — the acceptance scenario for the
   /// degradation ladder. Throws std::invalid_argument outside [0, 1].
   static FaultPlan storm(double intensity);
+
+  /// A copy of this plan with every window list passed through
+  /// normalize_windows() — the canonical form the injector actually
+  /// executes. Throws std::invalid_argument on malformed windows.
+  FaultPlan normalized() const;
 
   /// Parse an MTAT_FAULTS-style spec: `preset` or `preset:intensity`
   /// (currently the one preset is `storm`; e.g. "storm", "storm:0.5").

@@ -87,12 +87,26 @@ inline constexpr const char* kClusterNodeSloViolationPct = "cluster.node_slo_vio
 inline constexpr const char* kClusterNodeFmemUtilPct = "cluster.node_fmem_util_pct";
 inline constexpr const char* kClusterNodeOfferedRps = "cluster.node_offered_rps";
 inline constexpr const char* kClusterNodeTenants = "cluster.node_tenants";
+inline constexpr const char* kClusterEpochs = "cluster.epochs";
+inline constexpr const char* kFaultNodeCrashes = "fault.node_crashes";
+inline constexpr const char* kFaultNodeStragglers = "fault.node_stragglers";
+inline constexpr const char* kFaultNodeBlackouts = "fault.node_blackouts";
+inline constexpr const char* kClusterFailoverSuspectedNodes = "cluster.failover_suspected_nodes";
+inline constexpr const char* kClusterFailoverEvacuations = "cluster.failover_evacuations";
+inline constexpr const char* kClusterFailoverQueuedTenants = "cluster.failover_queued_tenants";
+inline constexpr const char* kClusterFailoverRetries = "cluster.failover_retries";
+inline constexpr const char* kClusterFailoverWarmRestarts = "cluster.failover_warm_restarts";
+inline constexpr const char* kClusterFailoverColdRestarts = "cluster.failover_cold_restarts";
+inline constexpr const char* kClusterFailoverPlacementMode = "cluster.failover_placement_mode";
 inline constexpr const char* kPerfSimStepsPerSec = "perf.sim_steps_per_sec";
 inline constexpr const char* kPerfSamplerIngestPerSec = "perf.sampler_ingest_per_sec";
 inline constexpr const char* kPerfHotnessRecordAgePerSec = "perf.hotness_record_age_per_sec";
 inline constexpr const char* kPerfHotnessPullPerSec = "perf.hotness_pull_per_sec";
 inline constexpr const char* kPerfMigrationsPerSec = "perf.migrations_per_sec";
 inline constexpr const char* kPerfSacInferencePerSec = "perf.sac_inference_per_sec";
+inline constexpr const char* kPerfClusterQuarterStepsPerSec = "perf.cluster_quarter_steps_per_sec";
+inline constexpr const char* kPerfClusterHalfStepsPerSec = "perf.cluster_half_steps_per_sec";
+inline constexpr const char* kPerfClusterFullStepsPerSec = "perf.cluster_full_steps_per_sec";
 // mtat-lint: section=trace-event
 inline constexpr const char* kEvInterval = "interval";
 inline constexpr const char* kEvMigration = "migration";
@@ -112,6 +126,9 @@ inline constexpr const char* kEvMigrationRetry = "migration.retry";
 inline constexpr const char* kEvPpePlanAbandon = "ppe.plan_abandon";
 inline constexpr const char* kEvMtatModeChange = "mtat.mode_change";
 inline constexpr const char* kEvClusterRound = "cluster.round";
+inline constexpr const char* kEvClusterEpoch = "cluster.epoch";
+inline constexpr const char* kEvClusterFailover = "cluster.failover";
+inline constexpr const char* kEvNodeFault = "fault.node";
 // mtat-lint: section=trace-category
 inline constexpr const char* kCatSim = "sim";
 inline constexpr const char* kCatMem = "mem";
@@ -137,9 +154,13 @@ inline constexpr const char* kAllMetricNames[] = {
     kClusterRounds, kClusterPlacements, kClusterRebalancedTenants, kClusterOfferedRps,
     kClusterSloCompliancePct, kClusterTailP99Ms, kClusterFmemUtilPct, kClusterNodeP99Ms,
     kClusterNodeSloViolationPct, kClusterNodeFmemUtilPct, kClusterNodeOfferedRps,
-    kClusterNodeTenants, kPerfSimStepsPerSec, kPerfSamplerIngestPerSec,
-    kPerfHotnessRecordAgePerSec, kPerfHotnessPullPerSec, kPerfMigrationsPerSec,
-    kPerfSacInferencePerSec};
+    kClusterNodeTenants, kClusterEpochs, kFaultNodeCrashes, kFaultNodeStragglers,
+    kFaultNodeBlackouts, kClusterFailoverSuspectedNodes, kClusterFailoverEvacuations,
+    kClusterFailoverQueuedTenants, kClusterFailoverRetries, kClusterFailoverWarmRestarts,
+    kClusterFailoverColdRestarts, kClusterFailoverPlacementMode, kPerfSimStepsPerSec,
+    kPerfSamplerIngestPerSec, kPerfHotnessRecordAgePerSec, kPerfHotnessPullPerSec,
+    kPerfMigrationsPerSec, kPerfSacInferencePerSec, kPerfClusterQuarterStepsPerSec,
+    kPerfClusterHalfStepsPerSec, kPerfClusterFullStepsPerSec};
 
 /// Wall-clock-domain metrics: the only registry entries allowed to differ
 /// between two same-seed runs (they measure host compute time, not simulated

@@ -1,5 +1,6 @@
 #include "sim/colocation_sim.h"
 
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/names.h"
@@ -180,11 +181,16 @@ ColocationSim::ColocationSim(const SimConfig& cfg, obs::RunContext* run_ctx) : c
   bw_factor_.assign(mem_->tier_count(), 1.0);
   next_interval_ = cfg.interval;
   reset_stats();
+  // Construction (including the reset_stats() above) is every sim's common
+  // birth state, not part of its history — only ops from here on are journaled.
+  journal_armed_ = true;
 }
 
 ColocationSim::~ColocationSim() = default;
 
 void ColocationSim::run(const LoadPattern& pattern, Duration duration, bool measure) {
+  if (journal_armed_)
+    journal_.push_back({SimCheckpoint::Op::Kind::kRun, pattern, duration, measure});
   // Measured phases run the RL policy on its mean action (no exploration
   // noise); training phases explore. Learning continues in both.
   if (mtat_ != nullptr) mtat_->ppm().set_deterministic(measure);
@@ -347,6 +353,8 @@ void ColocationSim::update_derived_gauges() {
 }
 
 void ColocationSim::reset_stats() {
+  if (journal_armed_)
+    journal_.push_back({SimCheckpoint::Op::Kind::kResetStats, LoadPattern::constant(0.0), 0, true});
   series_.clear();
   measured_lat_.reset();
   measured_requests_ = queue_->recorder().total_requests();
@@ -390,6 +398,48 @@ SimResult ColocationSim::result() const {
   r.policy_wall_us_per_interval =
       intervals > 0 ? (policy_wall_c_->value() - policy_wall_mark_) / intervals : 0.0;
   return r;
+}
+
+std::unique_ptr<ColocationSim> ColocationSim::restore(const SimCheckpoint& cp,
+                                                      obs::RunContext* ctx) {
+  auto sim = std::make_unique<ColocationSim>(cp.config, ctx);
+  // Replaying through the public entry points re-journals each op, so the
+  // restored sim's own snapshot() equals the original's.
+  for (const SimCheckpoint::Op& op : cp.ops) {
+    if (op.kind == SimCheckpoint::Op::Kind::kRun)
+      sim->run(op.pattern, op.duration, op.measure);
+    else
+      sim->reset_stats();
+  }
+  return sim;
+}
+
+std::string ColocationSim::fingerprint() const {
+  std::ostringstream os;
+  os << "t=" << now_;
+  os << " used=";
+  const TierId tiers = mem_->tier_count();
+  for (TierId t = 0; t < tiers; ++t) os << (t ? "," : "") << mem_->used(t);
+  os << " lc=";
+  for (TierId t = 0; t < tiers; ++t)
+    os << (t ? "," : "") << mem_->workload_pages(lc_->id(), t);
+  for (std::size_t i = 0; i < be_.size(); ++i) {
+    os << " be" << i << "=";
+    for (TierId t = 0; t < tiers; ++t)
+      os << (t ? "," : "") << mem_->workload_pages(be_[i]->id(), t);
+  }
+  // Per-sink per-tier bin-occupancy vectors: the PageHotness SoA state that
+  // drives every promotion/demotion decision. Only non-empty bins are listed,
+  // so the digest stays compact at fleet scale.
+  const auto& sinks = sampler_->sinks();
+  for (std::size_t s = 0; s < sinks.size(); ++s) {
+    os << " h" << s << "[" << sinks[s]->tracked_pages() << "]=";
+    for (std::size_t t = 0; t < sinks[s]->tier_count(); ++t)
+      for (int b = 0; b < PageHotness::kBins; ++b)
+        if (const std::size_t n = sinks[s]->bin_size(static_cast<TierId>(t), b); n != 0)
+          os << t << ":" << b << ":" << n << ";";
+  }
+  return os.str();
 }
 
 }  // namespace mtat

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/mtat_policy.h"
@@ -143,6 +144,36 @@ struct SimResult {
   double policy_wall_us_per_interval = 0;  ///< PP-M overhead proxy (§5.5)
 };
 
+/// A deterministic checkpoint of a ColocationSim (DESIGN.md §17): the
+/// construction config plus the journal of every run()/reset_stats() call the
+/// sim has executed. Under the determinism contract the sim's entire state —
+/// tiered-memory occupancy, the PageHotness SoA histograms, policy/PP-E
+/// state, every RNG cursor — is a pure function of (config, op sequence), so
+/// restoring by replaying the journal into a fresh instance reconstructs it
+/// bit-exactly (enforced by tests/checkpoint_test.cc and the cluster
+/// warm-restart path). Ops hold copies of their LoadPatterns: a checkpoint is
+/// plain data that can outlive the sim and cross threads.
+struct SimCheckpoint {
+  struct Op {
+    enum class Kind { kRun, kResetStats };
+    Kind kind = Kind::kRun;
+    LoadPattern pattern = LoadPattern::constant(0.0);  // kRun only
+    Duration duration = 0;                             // kRun only
+    bool measure = true;                               // kRun only
+  };
+  SimConfig config;
+  std::vector<Op> ops;
+
+  /// Total simulated time replaying the journal costs — what a warm restart
+  /// pays to reconstruct the node.
+  Duration replay_time() const {
+    Duration t = 0;
+    for (const Op& op : ops)
+      if (op.kind == Op::Kind::kRun) t += op.duration;
+    return t;
+  }
+};
+
 class ColocationSim {
  public:
   /// `ctx` is the run's observability context (metrics registry + trace
@@ -168,6 +199,29 @@ class ColocationSim {
   /// Drop measured data, keeping all simulation and learning state — used
   /// between a training phase and the measured phase.
   void reset_stats();
+
+  /// Checkpoint this sim: its construction config plus the full op journal
+  /// (see SimCheckpoint). O(journal length); no simulation state is copied.
+  SimCheckpoint snapshot() const { return {cfg_, journal_}; }
+
+  /// Rebuild a sim from a checkpoint by constructing a fresh instance and
+  /// replaying the journal — bit-exact vs. the snapshotted sim, including its
+  /// measurement bookkeeping and metrics registry (minus wall-time metrics).
+  /// The replayed ops re-enter the new sim's journal, so a restored sim's own
+  /// snapshot() equals the original's. `ctx` follows the constructor's
+  /// contract; a checkpoint whose config names a shared_agent replays its
+  /// learning into that same agent, so restoring it is only deterministic
+  /// when the agent is private to this sim's history.
+  static std::unique_ptr<ColocationSim> restore(const SimCheckpoint& cp,
+                                                obs::RunContext* ctx = nullptr);
+
+  /// Structural state digest for checkpoint verification: the sim clock,
+  /// per-tier occupancy, per-workload per-tier page counts, and every
+  /// PageHotness sink's per-tier bin-occupancy vector. Two sims with equal
+  /// fingerprints hold the same memory placement and telemetry state;
+  /// metric-level equality is checked separately (wall-time metrics
+  /// legitimately differ).
+  std::string fingerprint() const;
 
   LCWorkload& lc() { return *lc_; }
   BEWorkload& be(std::size_t i) { return *be_[i]; }
@@ -213,6 +267,12 @@ class ColocationSim {
   SimTime now_ = 0;
   SimTime next_interval_ = 0;
   std::uint32_t trace_track_ = 0;
+
+  // Checkpoint journal (see SimCheckpoint). Armed only after construction
+  // completes: the constructor's own reset_stats() is part of every sim's
+  // birth, not of its history.
+  std::vector<SimCheckpoint::Op> journal_;
+  bool journal_armed_ = false;
 
   // Cached registry handles (stable for the registry's lifetime).
   obs::Counter* policy_wall_c_ = nullptr;      // "policy.wall_us"

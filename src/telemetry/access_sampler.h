@@ -101,6 +101,10 @@ class AccessSampler : public AccessObserver {
   /// Attach a histogram that should receive every sample this monitor sees.
   void add_sink(PageHotness* h) { sinks_.push_back(h); }
 
+  /// The attached histograms, in registration order — read-only, for state
+  /// fingerprinting (ColocationSim::fingerprint()).
+  const std::vector<PageHotness*>& sinks() const { return sinks_; }
+
   /// Attach an arbitrary per-sample callback (e.g. TPP's fault shadowing).
   using SampleCallback = std::function<void(WorkloadId, PageId, AccessKind)>;
   void add_callback(SampleCallback cb) { callbacks_.push_back(std::move(cb)); }

@@ -82,6 +82,63 @@ TEST(FaultPlanTest, FromSpecParsesPresetAndIntensity) {
   EXPECT_FALSE(FaultPlan::from_spec("storm:-1").has_value());
 }
 
+TEST(FaultPlanTest, NormalizeDropsZeroLengthWindows) {
+  FaultPlan plan;
+  plan.telemetry_blackouts = {{seconds(10), 0, 0}, {seconds(20), 0, seconds(30)}};
+  // Raw, the schedule looks armed — normalization reveals it injects nothing.
+  EXPECT_TRUE(plan.any());
+  const FaultPlan canon = plan.normalized();
+  EXPECT_TRUE(canon.telemetry_blackouts.empty());
+  EXPECT_FALSE(canon.any());
+}
+
+TEST(FaultPlanTest, NormalizeMergesOverlappingAndAbuttingOneShots) {
+  std::vector<FaultWindow> windows = {{seconds(8), seconds(2), 0},
+                                      {seconds(0), seconds(4), 0},
+                                      {seconds(3), seconds(5), 0}};
+  faults::normalize_windows(windows);
+  // (0,4) overlaps (3,5) -> (0,8), which abuts (8,2) -> one window (0,10).
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start, seconds(0));
+  EXPECT_EQ(windows[0].length, seconds(10));
+  EXPECT_EQ(windows[0].period, Duration{0});
+}
+
+TEST(FaultPlanTest, NormalizeMergesSamePeriodAndKeepsPeriodsApart) {
+  std::vector<FaultWindow> windows = {{seconds(4), seconds(8), seconds(10)},
+                                      {seconds(0), seconds(6), seconds(10)},
+                                      {seconds(0), seconds(3), seconds(20)}};
+  faults::normalize_windows(windows);
+  ASSERT_EQ(windows.size(), 2u);
+  // Same-period pair merges and clamps to the full cycle; the 20 s window is
+  // untouched — cross-period overlap varies per cycle, so no merge there.
+  EXPECT_EQ(windows[0].start, seconds(0));
+  EXPECT_EQ(windows[0].length, seconds(10));
+  EXPECT_EQ(windows[0].period, seconds(10));
+  EXPECT_EQ(windows[1].start, seconds(0));
+  EXPECT_EQ(windows[1].length, seconds(3));
+  EXPECT_EQ(windows[1].period, seconds(20));
+}
+
+TEST(FaultPlanTest, NormalizeRejectsInvertedPeriodicWindows) {
+  FaultPlan plan;
+  plan.migration_failure_bursts = {{seconds(0), seconds(11), seconds(10)}};
+  EXPECT_THROW(plan.normalized(), std::invalid_argument);
+  std::vector<FaultWindow> windows = {{seconds(0), seconds(11), seconds(10)}};
+  EXPECT_THROW(faults::normalize_windows(windows), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, InjectorExecutesTheNormalizedSchedule) {
+  FaultPlan plan;
+  plan.telemetry_blackouts = {{seconds(5), 0, 0},  // dead weight: dropped
+                              {seconds(0), seconds(4), 0},
+                              {seconds(3), seconds(5), 0}};
+  const FaultInjector injector(plan);
+  ASSERT_EQ(injector.plan().telemetry_blackouts.size(), 1u);
+  EXPECT_EQ(injector.plan().telemetry_blackouts[0].start, seconds(0));
+  EXPECT_EQ(injector.plan().telemetry_blackouts[0].length, seconds(8));
+}
+
 TEST(FaultPlanTest, DefaultPlanReachesNewRunContexts) {
   ASSERT_EQ(faults::default_plan(), nullptr);  // tests run without MTAT_FAULTS
   faults::set_default_plan(FaultPlan::storm(0.25));

@@ -164,6 +164,33 @@ TEST(LintSource, ClusterDomainLiteralsFlaggedAnywhereOnALine) {
       << dump(findings);
 }
 
+TEST(LintSource, NodeFaultSubFamilyReportsUnderItsOwnRule) {
+  const auto findings = lint_fixture("bad_node_fault_literal.cc");
+  // First-wins prefix matching: fault.node_* literals report as
+  // node-fault-name, never as the parent fault-name rule.
+  EXPECT_TRUE(has(findings, "node-fault-name", 6, "use the obs::names:: constant"))
+      << dump(findings);
+  EXPECT_TRUE(has(findings, "node-fault-name", 7, "use the obs::names:: constant"))
+      << dump(findings);
+  EXPECT_FALSE(has(findings, "fault-name", 6, "")) << dump(findings);
+  EXPECT_FALSE(has(findings, "fault-name", 7, "")) << dump(findings);
+  // A typo'd fault.node_* name reads as an unknown to declare.
+  EXPECT_TRUE(has(findings, "node-fault-name", 8, "unknown node-fault-domain name"))
+      << dump(findings);
+}
+
+TEST(LintSource, FailoverSubFamilyReportsUnderItsOwnRule) {
+  const auto findings = lint_fixture("bad_failover_literal.cc");
+  EXPECT_TRUE(has(findings, "failover-name", 6, "use the obs::names:: constant"))
+      << dump(findings);
+  EXPECT_TRUE(has(findings, "failover-name", 7, "use the obs::names:: constant"))
+      << dump(findings);
+  EXPECT_FALSE(has(findings, "cluster-name", 6, "")) << dump(findings);
+  EXPECT_FALSE(has(findings, "cluster-name", 7, "")) << dump(findings);
+  EXPECT_TRUE(has(findings, "failover-name", 8, "unknown failover-domain name"))
+      << dump(findings);
+}
+
 TEST(LintSource, PerfDomainLiteralsFlaggedAnywhereOnALine) {
   const auto findings = lint_fixture("bad_perf_literal.cc");
   // A known perf.* name at a call site: both the call-site rule and the
@@ -370,7 +397,8 @@ TEST(Run, FixtureTreeProducesEveryRule) {
   const std::vector<Finding> findings = run(opt);
   ASSERT_FALSE(findings.empty());
   for (const char* rule :
-       {"metric-name", "fault-name", "cluster-name", "perf-name", "unit-suffix", "nondet",
+       {"metric-name", "fault-name", "cluster-name", "perf-name", "node-fault-name",
+        "failover-name", "unit-suffix", "nondet",
         "unsafe-parse", "getenv", "ns-header", "context-escape", "shared-mutable",
         "unordered-iter", "pointer-order", "tier-literal", "guarded-by",
         "stale-suppression"}) {

@@ -77,6 +77,21 @@ for lane in release asan; do
   rm -rf "${smoke_dir}"
 done
 
+# The fleet failure domain end-to-end: the fault-tolerance sweep drives the
+# epoch loop's every path — injected crashes and blackouts, the watchdog,
+# tenant evacuation with backoff, checkpoint replay on warm restarts — in
+# release and again under ASan, where the checkpoint/restore and
+# node-teardown code would hide lifetime bugs (DESIGN.md §17). MTAT_NODES=8
+# bounds the quadratic warm-replay cost in the sanitizer lane.
+for lane in release asan; do
+  echo "==== cluster fault-tolerance bench smoke (${lane}, MTAT_SCALE=smoke, MTAT_JOBS=2) ===="
+  smoke_dir=$(mktemp -d)
+  (cd "${smoke_dir}" &&
+   MTAT_SCALE=smoke MTAT_JOBS=2 MTAT_NODES=8 \
+   "${repo_root}/build-check/${lane}/bench/ext_cluster_fault_tolerance")
+  rm -rf "${smoke_dir}"
+done
+
 # An N-tier topology end-to-end, in release and again under ASan: the
 # three-tier spec exercises the tier-vector paths two-tier runs leave cold —
 # per-link budgets, cascaded demotion, the slower-aggregate telemetry — and
@@ -99,6 +114,8 @@ done
 # this machine are not comparable to the committed entries' machine.
 echo "==== perf regression gate (perf_diff --trajectory BENCH_core.json) ===="
 "${repo_root}/build-check/release/tools/perf_diff/perf_diff" --trajectory BENCH_core.json
+echo "==== perf regression gate (perf_diff --trajectory BENCH_cluster.json) ===="
+"${repo_root}/build-check/release/tools/perf_diff/perf_diff" --trajectory BENCH_cluster.json
 echo "==== perf lane smoke (release, MTAT_SCALE=smoke, fresh entry report) ===="
 smoke_dir=$(mktemp -d)
 cp BENCH_core.json "${smoke_dir}/"

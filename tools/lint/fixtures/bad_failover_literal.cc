@@ -1,0 +1,9 @@
+// Fixture: failover names spelled as literals. The failover-name rule owns
+// the cluster.failover_* sub-family (first-wins over cluster-name) and flags
+// them anywhere on a line — a known name at a registry call site, a known
+// name in a plain comparison, and a typo'd cluster.failover_* name.
+void bad(mtat::obs::MetricsRegistry& reg, const std::string& row) {
+  reg.counter("cluster.failover_evacuations").inc();
+  if (row == "cluster.failover_suspected_nodes") return;
+  reg.counter("cluster.failover_evacutions").inc();
+}

@@ -319,8 +319,14 @@ class SourceLinter {
       const char* rule;
       const char* what;
     };
+    // Matching is first-wins, so sub-family rows precede their parents: a
+    // failure-domain literal reports under its own rule, which lets the
+    // allowlist bless names.h for the sub-family without widening the
+    // parent-domain grant.
     static const StrictDomain kStrictDomains[] = {
+        {"fault.node_", "node-fault-name", "node-fault-domain"},    // mtat-lint: allow(node-fault-name)
         {"fault.", "fault-name", "fault-domain"},        // mtat-lint: allow(fault-name)
+        {"cluster.failover_", "failover-name", "failover-domain"},  // mtat-lint: allow(failover-name)
         {"cluster.", "cluster-name", "cluster-domain"},  // mtat-lint: allow(cluster-name)
         {"perf.", "perf-name", "perf-domain"},           // mtat-lint: allow(perf-name)
     };

@@ -30,6 +30,12 @@
 //  perf-name     These families are audited across tools (perf_diff, the
 //                placement policy, resilience claims), so the only blessed
 //                spelling is the obs::names:: constant; names.h declares.
+//  node-fault-name
+//  failover-name The fleet failure domain's sub-families, split from their
+//                parents (first-wins prefix match): fault.node_* (injected
+//                node events) and cluster.failover_* (watchdog/evacuation/
+//                restart outcomes) carry the §17 resilience claims, so they
+//                get their own rules and their own allowlist rows.
 //  nondet        Nondeterminism sources are banned: rand(), srand(),
 //                std::random_device, system_clock, time(), clock(),
 //                gettimeofday(), localtime/gmtime. Randomness comes from the
